@@ -1,0 +1,60 @@
+// Ablation A2 (DESIGN.md): the jvar processing order of Algorithm 3.1
+// (master-segmented, selectivity-rooted) versus the naive whole-tree
+// bottom-up pass (Section 3.2's strawman: "this hardly fetches us any
+// benefits of the selectivity of the master TPs") and the greedy order.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "workload/lubm_gen.h"
+
+namespace lbr::bench {
+namespace {
+
+void Run() {
+  double scale = ScaleFromEnv();
+  int runs = RunsFromEnv();
+
+  LubmConfig cfg;
+  cfg.num_universities = static_cast<uint32_t>(25 * scale);
+  Graph graph = Graph::FromTriples(GenerateLubm(cfg));
+  TripleIndex index = TripleIndex::Build(graph);
+  PrintDatasetHeader("LUBM-like (ablation)", graph);
+
+  std::vector<std::pair<std::string, JvarOrderStrategy>> strategies = {
+      {"Alg 3.1 (paper)", JvarOrderStrategy::kPaper},
+      {"naive bottom-up", JvarOrderStrategy::kNaiveBottomUp},
+      {"greedy", JvarOrderStrategy::kGreedy},
+  };
+
+  auto queries = LubmQueries();
+  TablePrinter table(
+      {"query", "order strategy", "Ttotal", "Tprune", "#triples aft pruning",
+       "best-match?"});
+  for (size_t qi : {size_t{0}, size_t{1}, size_t{2}}) {
+    const BenchQuery& q = queries[qi];
+    ParsedQuery parsed = Parser::Parse(q.sparql);
+    for (const auto& [label, strategy] : strategies) {
+      EngineOptions options;
+      options.order_strategy = strategy;
+      Engine engine(&index, &graph.dict(), options);
+      QueryStats stats;
+      double t = TimeAvg(runs, [&] {
+        engine.Execute(parsed, [](const RawRow&) {}, &stats);
+      });
+      table.AddRow({q.id, label, TablePrinter::Seconds(t),
+                    TablePrinter::Seconds(stats.t_prune_sec),
+                    TablePrinter::Count(stats.triples_after_prune),
+                    TablePrinter::YesNo(stats.best_match_used)});
+    }
+  }
+  table.Print("Ablation A2: jvar-order strategies (Alg 3.1 vs strawmen)");
+}
+
+}  // namespace
+}  // namespace lbr::bench
+
+int main() {
+  lbr::bench::Run();
+  return 0;
+}

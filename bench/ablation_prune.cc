@@ -1,0 +1,72 @@
+// Ablation A1 (DESIGN.md): how much of LBR's win comes from the semi-join
+// pruning passes? Runs the low-selectivity LUBM queries with
+//  (a) full LBR (active pruning + prune_triples),
+//  (b) prune_triples only (no active pruning at init),
+//  (c) active pruning only (no prune_triples),
+//  (d) neither (forces nullification + best-match).
+// The paper's claim under test: prune_triples is "light-weight" — T_prune
+// is a small fraction of T_total while removing most candidate triples.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "workload/lubm_gen.h"
+
+namespace lbr::bench {
+namespace {
+
+struct Config {
+  std::string label;
+  bool active;
+  bool prune;
+};
+
+void Run() {
+  double scale = ScaleFromEnv();
+  int runs = RunsFromEnv();
+
+  LubmConfig cfg;
+  cfg.num_universities = static_cast<uint32_t>(25 * scale);
+  Graph graph = Graph::FromTriples(GenerateLubm(cfg));
+  TripleIndex index = TripleIndex::Build(graph);
+  PrintDatasetHeader("LUBM-like (ablation)", graph);
+
+  std::vector<Config> configs = {
+      {"full LBR", true, true},
+      {"prune only", false, true},
+      {"active only", true, false},
+      {"neither", false, false},
+  };
+
+  auto queries = LubmQueries();
+  TablePrinter table({"query", "variant", "Ttotal", "Tprune",
+                      "#triples aft pruning", "#results", "best-match?"});
+  for (size_t qi : {size_t{0}, size_t{2}}) {  // Q1 and Q3: low selectivity
+    const BenchQuery& q = queries[qi];
+    ParsedQuery parsed = Parser::Parse(q.sparql);
+    for (const Config& c : configs) {
+      EngineOptions options;
+      options.enable_active_pruning = c.active;
+      options.enable_prune = c.prune;
+      Engine engine(&index, &graph.dict(), options);
+      QueryStats stats;
+      double t = TimeAvg(runs, [&] {
+        engine.Execute(parsed, [](const RawRow&) {}, &stats);
+      });
+      table.AddRow({q.id, c.label, TablePrinter::Seconds(t),
+                    TablePrinter::Seconds(stats.t_prune_sec),
+                    TablePrinter::Count(stats.triples_after_prune),
+                    TablePrinter::Count(stats.num_results),
+                    TablePrinter::YesNo(stats.best_match_used)});
+    }
+  }
+  table.Print("Ablation A1: pruning variants on low-selectivity queries");
+}
+
+}  // namespace
+}  // namespace lbr::bench
+
+int main() {
+  lbr::bench::Run();
+  return 0;
+}

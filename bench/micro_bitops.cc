@@ -1,0 +1,161 @@
+// Micro-benchmarks for the bit-level substrate: compressed-row encode/AND,
+// BitMat fold/unfold, and the semi-join / clustered-semi-join primitives
+// (Algorithms 5.2/5.3) that prune_triples is built on.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bitmat/bitmat.h"
+#include "core/prune.h"
+#include "util/bitvector.h"
+#include "util/compressed_row.h"
+#include "util/rng.h"
+
+namespace lbr {
+namespace {
+
+std::vector<uint32_t> RandomPositions(Rng* rng, uint32_t width,
+                                      double density) {
+  std::vector<uint32_t> out;
+  for (uint32_t i = 0; i < width; ++i) {
+    if (rng->Chance(density)) out.push_back(i);
+  }
+  return out;
+}
+
+void BM_CompressedRowEncode(benchmark::State& state) {
+  Rng rng(1);
+  double density = static_cast<double>(state.range(0)) / 100.0;
+  auto positions = RandomPositions(&rng, 1 << 16, density);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CompressedRow::FromPositions(positions));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(positions.size()));
+}
+BENCHMARK(BM_CompressedRowEncode)->Arg(1)->Arg(10)->Arg(50);
+
+void BM_CompressedRowAndWith(benchmark::State& state) {
+  Rng rng(2);
+  double density = static_cast<double>(state.range(0)) / 100.0;
+  CompressedRow row =
+      CompressedRow::FromPositions(RandomPositions(&rng, 1 << 16, density));
+  Bitvector mask(1 << 16);
+  for (uint32_t p : RandomPositions(&rng, 1 << 16, 0.5)) mask.Set(p);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(row.AndWith(mask));
+  }
+}
+BENCHMARK(BM_CompressedRowAndWith)->Arg(1)->Arg(10)->Arg(50);
+
+BitMat RandomBitMat(uint64_t seed, uint32_t rows, uint32_t cols,
+                    double density) {
+  Rng rng(seed);
+  BitMat bm(rows, cols);
+  for (uint32_t r = 0; r < rows; ++r) {
+    auto positions = RandomPositions(&rng, cols, density);
+    if (!positions.empty()) bm.SetRow(r, positions);
+  }
+  return bm;
+}
+
+void BM_BitMatFoldCol(benchmark::State& state) {
+  BitMat bm = RandomBitMat(3, 4096, 4096, 0.02);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bm.Fold(Dim::kCol));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(bm.Count()));
+}
+BENCHMARK(BM_BitMatFoldCol);
+
+void BM_BitMatUnfoldCol(benchmark::State& state) {
+  Rng rng(4);
+  Bitvector mask(4096);
+  for (uint32_t p : RandomPositions(&rng, 4096, 0.5)) mask.Set(p);
+  for (auto _ : state) {
+    state.PauseTiming();
+    BitMat bm = RandomBitMat(5, 4096, 4096, 0.02);
+    state.ResumeTiming();
+    bm.Unfold(mask, Dim::kCol);
+    benchmark::DoNotOptimize(bm);
+  }
+}
+BENCHMARK(BM_BitMatUnfoldCol);
+
+void BM_BitMatTranspose(benchmark::State& state) {
+  BitMat bm = RandomBitMat(6, 2048, 2048, 0.02);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bm.Transposed());
+  }
+}
+BENCHMARK(BM_BitMatTranspose);
+
+TpState MakeTpState(int id, BitMat bm, DomainKind row_kind,
+                    DomainKind col_kind, const std::string& rv,
+                    const std::string& cv) {
+  TpState st;
+  st.tp_id = id;
+  st.mat.bm = std::move(bm);
+  st.mat.row_kind = row_kind;
+  st.mat.col_kind = col_kind;
+  st.mat.row_var = rv;
+  st.mat.col_var = cv;
+  return st;
+}
+
+void BM_SemiJoin(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    TpState master =
+        MakeTpState(0, RandomBitMat(7, 4096, 4096, 0.01),
+                    DomainKind::kSubject, DomainKind::kObject, "a", "j");
+    TpState slave =
+        MakeTpState(1, RandomBitMat(8, 4096, 4096, 0.02),
+                    DomainKind::kSubject, DomainKind::kObject, "j", "b");
+    state.ResumeTiming();
+    // Slave's ?j is its row dimension (subject); master's ?j is its column
+    // dimension (object): the cross-domain alignment path.
+    SemiJoin("j", &slave, master, /*num_common=*/4096);
+    benchmark::DoNotOptimize(slave.mat.bm.Count());
+  }
+}
+BENCHMARK(BM_SemiJoin);
+
+void BM_ClusteredSemiJoin(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<TpState> tps;
+    for (int i = 0; i < 3; ++i) {
+      tps.push_back(MakeTpState(
+          i, RandomBitMat(9 + static_cast<uint64_t>(i), 4096, 4096, 0.02),
+          DomainKind::kSubject, DomainKind::kObject, "j",
+          "x" + std::to_string(i)));
+    }
+    std::vector<TpState*> cluster{&tps[0], &tps[1], &tps[2]};
+    state.ResumeTiming();
+    ClusteredSemiJoin("j", cluster, 4096);
+    benchmark::DoNotOptimize(tps[0].mat.bm.Count());
+  }
+}
+BENCHMARK(BM_ClusteredSemiJoin);
+
+void BM_BitvectorAnd(benchmark::State& state) {
+  Rng rng(10);
+  Bitvector a(1 << 20), b(1 << 20);
+  for (size_t i = 0; i < (1 << 20); i += 3) a.Set(i);
+  for (size_t i = 0; i < (1 << 20); i += 5) b.Set(i);
+  for (auto _ : state) {
+    Bitvector c = a;
+    c.And(b);
+    benchmark::DoNotOptimize(c.Count());
+  }
+  state.SetBytesProcessed(state.iterations() * (1 << 17));
+}
+BENCHMARK(BM_BitvectorAnd);
+
+}  // namespace
+}  // namespace lbr
+
+BENCHMARK_MAIN();

@@ -1,0 +1,36 @@
+// Reproduces Table 6.3 (UniProt query processing times): Q1-Q7 of Appendix
+// E.2. All seven queries are acyclic; Q2 is empty and must be detected
+// early by active pruning; Q4's slave side empties entirely under the
+// master semi-join — both effects the paper calls out explicitly.
+
+#include "bench_common.h"
+#include "workload/uniprot_gen.h"
+
+namespace lbr::bench {
+namespace {
+
+void Run() {
+  double scale = ScaleFromEnv();
+  int runs = RunsFromEnv();
+
+  UniprotConfig cfg;
+  cfg.num_proteins = static_cast<uint32_t>(12000 * scale);
+  Graph graph = Graph::FromTriples(GenerateUniprot(cfg));
+  TripleIndex index = TripleIndex::Build(graph);
+  PrintDatasetHeader("UniProt-like", graph);
+
+  std::vector<QueryResultRow> rows;
+  for (const BenchQuery& q : UniprotQueries()) {
+    rows.push_back(RunQuery(graph, index, q, runs));
+  }
+  PrintQueryTable(
+      "Table 6.3: Query proc. times (sec, warm cache) — UniProt-like", rows);
+}
+
+}  // namespace
+}  // namespace lbr::bench
+
+int main() {
+  lbr::bench::Run();
+  return 0;
+}

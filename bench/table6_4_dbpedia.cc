@@ -1,0 +1,42 @@
+// Reproduces Table 6.4 (DBPedia query processing times): Q1-Q6 of Appendix
+// E.3. Q1 is the wide place-star with four OPTIONAL attributes (LBR's
+// strongest case); Q2/Q3 are empty by data and detected early; Q6 carries
+// the paper's widest OPT fan (8 OPTIONAL groups).
+
+#include "bench_common.h"
+#include "workload/dbpedia_gen.h"
+
+namespace lbr::bench {
+namespace {
+
+void Run() {
+  double scale = ScaleFromEnv();
+  int runs = RunsFromEnv();
+
+  DbpediaConfig cfg;
+  cfg.num_places = static_cast<uint32_t>(4000 * scale);
+  cfg.num_persons = static_cast<uint32_t>(6000 * scale);
+  cfg.num_soccer_players = static_cast<uint32_t>(3000 * scale);
+  cfg.num_settlements = static_cast<uint32_t>(1500 * scale);
+  cfg.num_airports = static_cast<uint32_t>(600 * scale);
+  cfg.num_companies = static_cast<uint32_t>(2000 * scale);
+  cfg.num_noise_triples = static_cast<uint32_t>(40000 * scale);
+  Graph graph = Graph::FromTriples(GenerateDbpedia(cfg));
+  TripleIndex index = TripleIndex::Build(graph);
+  PrintDatasetHeader("DBPedia-like", graph);
+
+  std::vector<QueryResultRow> rows;
+  for (const BenchQuery& q : DbpediaQueries()) {
+    rows.push_back(RunQuery(graph, index, q, runs));
+  }
+  PrintQueryTable(
+      "Table 6.4: Query proc. times (sec, warm cache) — DBPedia-like", rows);
+}
+
+}  // namespace
+}  // namespace lbr::bench
+
+int main() {
+  lbr::bench::Run();
+  return 0;
+}

@@ -1,0 +1,47 @@
+#ifndef LBR_BENCH_TEST_DATA_H_
+#define LBR_BENCH_TEST_DATA_H_
+
+// Small hand-built graph used by the classification and ablation benches:
+// the paper's Figure 3.2 sitcom data extended with livesIn/email edges so
+// that cyclic-GoJ query classes have matching shapes.
+
+#include <string>
+#include <vector>
+
+#include "rdf/graph.h"
+#include "rdf/term.h"
+
+namespace lbr::bench {
+
+inline Graph SitcomBenchGraph() {
+  auto iri = [](const std::string& v) { return Term::Iri(v); };
+  std::vector<TermTriple> triples;
+  auto add = [&](const std::string& s, const std::string& p,
+                 const std::string& o) {
+    triples.push_back(TermTriple{iri(s), iri(p), iri(o)});
+  };
+  add("Julia", "actedIn", "Seinfeld");
+  add("Julia", "actedIn", "Veep");
+  add("Julia", "actedIn", "CurbYourEnthu");
+  add("Larry", "actedIn", "CurbYourEnthu");
+  add("Jason", "actedIn", "Seinfeld");
+  add("Tina", "actedIn", "30Rock");
+  add("Alec", "actedIn", "30Rock");
+  add("Jerry", "hasFriend", "Julia");
+  add("Jerry", "hasFriend", "Larry");
+  add("Seinfeld", "location", "NewYorkCity");
+  add("30Rock", "location", "NewYorkCity");
+  add("Veep", "location", "D.C.");
+  add("CurbYourEnthu", "location", "LosAngeles");
+  add("Julia", "livesIn", "NewYorkCity");
+  add("Larry", "livesIn", "LosAngeles");
+  add("Tina", "livesIn", "NewYorkCity");
+  add("Jason", "livesIn", "D.C.");
+  add("Julia", "email", "julia_at_example");
+  add("Tina", "email", "tina_at_example");
+  return Graph::FromTriples(triples);
+}
+
+}  // namespace lbr::bench
+
+#endif  // LBR_BENCH_TEST_DATA_H_

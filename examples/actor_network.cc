@@ -1,0 +1,87 @@
+// Actor-network scenario (the introduction's Q1): a contact directory over
+// a generated actor network where email/telephone coverage is partial, so
+// the OPTIONAL group produces genuine NULL rows — the exact use case the
+// paper motivates OPTIONAL patterns with.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bitmat/triple_index.h"
+#include "core/engine.h"
+#include "rdf/graph.h"
+#include "util/rng.h"
+
+namespace {
+
+std::vector<lbr::TermTriple> GenerateActors(int n, uint64_t seed) {
+  using lbr::Term;
+  using lbr::TermTriple;
+  lbr::Rng rng(seed);
+  std::vector<TermTriple> triples;
+  for (int i = 0; i < n; ++i) {
+    std::string actor = "actor/" + std::to_string(i);
+    triples.push_back({Term::Iri(actor), Term::Iri("name"),
+                       Term::Literal("Actor " + std::to_string(i))});
+    triples.push_back({Term::Iri(actor), Term::Iri("address"),
+                       Term::Literal("Street " + std::to_string(i % 97))});
+    // Partial contact info: ~55% have email, ~40% telephone. The OPTIONAL
+    // group binds only when BOTH are present (it is one BGP).
+    if (rng.Chance(0.55)) {
+      triples.push_back({Term::Iri(actor), Term::Iri("email"),
+                         Term::Literal("a" + std::to_string(i) + "@studio")});
+    }
+    if (rng.Chance(0.4)) {
+      triples.push_back({Term::Iri(actor), Term::Iri("telephone"),
+                         Term::Literal("555-" + std::to_string(1000 + i))});
+    }
+  }
+  return triples;
+}
+
+}  // namespace
+
+int main() {
+  using namespace lbr;
+
+  Graph graph = Graph::FromTriples(GenerateActors(2000, 11));
+  TripleIndex index = TripleIndex::Build(graph);
+  Engine engine(&index, &graph.dict());
+
+  QueryStats stats;
+  ResultTable result = engine.ExecuteToTable(
+      "SELECT ?actor ?name ?addr ?email ?tele WHERE {"
+      "  ?actor <name> ?name ."
+      "  ?actor <address> ?addr ."
+      "  OPTIONAL {"
+      "    ?actor <email> ?email ."
+      "    ?actor <telephone> ?tele . } }",
+      &stats);
+
+  size_t with_contact = 0;
+  for (const auto& row : result.rows) {
+    if (row[3].has_value()) ++with_contact;
+  }
+  std::cout << "directory rows:          " << result.rows.size() << "\n"
+            << "with full contact info:  " << with_contact << "\n"
+            << "with NULL contact:       "
+            << (result.rows.size() - with_contact) << "\n"
+            << "T_total: " << stats.t_total_sec << " s (T_init "
+            << stats.t_init_sec << " s, T_prune " << stats.t_prune_sec
+            << " s)\n";
+
+  // Show a few rows of each kind.
+  std::cout << "\nsample rows:\n";
+  int shown_full = 0, shown_null = 0;
+  for (const auto& row : result.rows) {
+    bool full = row[3].has_value();
+    if ((full && shown_full < 2) || (!full && shown_null < 2)) {
+      for (const auto& cell : row) {
+        std::cout << (cell ? cell->ToString() : "NULL") << "  ";
+      }
+      std::cout << "\n";
+      (full ? shown_full : shown_null)++;
+    }
+  }
+  return 0;
+}

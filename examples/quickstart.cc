@@ -1,0 +1,65 @@
+// Quickstart: build a graph, index it, run an OPTIONAL query, print rows.
+//
+// Uses the running example of the paper (Figure 3.2): Jerry's friends and
+// the sitcoms they acted in, where only some sitcoms are located in New
+// York City — so one friend row comes back with a NULL sitcom.
+
+#include <iostream>
+
+#include "bitmat/triple_index.h"
+#include "core/engine.h"
+#include "rdf/graph.h"
+
+int main() {
+  using namespace lbr;
+
+  // 1. Assemble RDF triples (string level). Any N-Triples source works
+  //    too: NTriples::ParseStream + Graph::FromTriples.
+  auto iri = [](const char* v) { return Term::Iri(v); };
+  std::vector<TermTriple> triples = {
+      {iri("Julia"), iri("actedIn"), iri("Seinfeld")},
+      {iri("Julia"), iri("actedIn"), iri("Veep")},
+      {iri("Julia"), iri("actedIn"), iri("NewAdvOldChristine")},
+      {iri("Julia"), iri("actedIn"), iri("CurbYourEnthu")},
+      {iri("Larry"), iri("actedIn"), iri("CurbYourEnthu")},
+      {iri("Jerry"), iri("hasFriend"), iri("Julia")},
+      {iri("Jerry"), iri("hasFriend"), iri("Larry")},
+      {iri("Seinfeld"), iri("location"), iri("NewYorkCity")},
+      {iri("Veep"), iri("location"), iri("D.C.")},
+      {iri("CurbYourEnthu"), iri("location"), iri("LosAngeles")},
+      {iri("NewAdvOldChristine"), iri("location"), iri("Jersey")},
+  };
+
+  // 2. Build the dictionary-encoded graph and the BitMat index.
+  Graph graph = Graph::FromTriples(triples);
+  TripleIndex index = TripleIndex::Build(graph);
+
+  // 3. Run a SPARQL query with an OPTIONAL pattern.
+  Engine engine(&index, &graph.dict());
+  QueryStats stats;
+  ResultTable result = engine.ExecuteToTable(
+      "SELECT ?friend ?sitcom WHERE {"
+      "  <Jerry> <hasFriend> ?friend ."
+      "  OPTIONAL {"
+      "    ?friend <actedIn> ?sitcom ."
+      "    ?sitcom <location> <NewYorkCity> . } }",
+      &stats);
+
+  // 4. Print the rows: (Julia, Seinfeld) and (Larry, NULL).
+  for (const std::string& var : result.var_names) std::cout << var << "\t";
+  std::cout << "\n";
+  for (const auto& row : result.rows) {
+    for (const auto& cell : row) {
+      std::cout << (cell ? cell->ToString() : "NULL") << "\t";
+    }
+    std::cout << "\n";
+  }
+
+  std::cout << "\n" << result.rows.size() << " rows ("
+            << stats.num_results_with_nulls << " with NULLs); "
+            << "triples touched: " << stats.initial_triples << " -> "
+            << stats.triples_after_prune << " after pruning; "
+            << "best-match needed: "
+            << (stats.best_match_used ? "yes" : "no") << "\n";
+  return 0;
+}

@@ -1,0 +1,173 @@
+// Interactive SPARQL shell: load an N-Triples file, a saved .lbr database,
+// or a built-in demo graph, then type queries at the prompt.
+//   EXPLAIN <query>   print the GoSN/GoJ plan instead of executing
+//   .stats            toggle per-query metrics
+//   .format tsv|csv|table   switch the output serialization
+//   .save <path>      persist the loaded data as a single-file database
+//   .quit             exit
+//
+// Usage:  sparql_shell [data.nt | data.lbr]
+//         echo 'SELECT ...' | sparql_shell data.nt
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/database.h"
+#include "core/engine.h"
+#include "core/explain.h"
+#include "core/result_writer.h"
+#include "rdf/graph.h"
+#include "rdf/ntriples.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+std::vector<lbr::TermTriple> DemoTriples() {
+  using lbr::Term;
+  using lbr::TermTriple;
+  auto iri = [](const char* v) { return Term::Iri(v); };
+  return {
+      {iri("Julia"), iri("actedIn"), iri("Seinfeld")},
+      {iri("Julia"), iri("actedIn"), iri("Veep")},
+      {iri("Larry"), iri("actedIn"), iri("CurbYourEnthu")},
+      {iri("Jerry"), iri("hasFriend"), iri("Julia")},
+      {iri("Jerry"), iri("hasFriend"), iri("Larry")},
+      {iri("Seinfeld"), iri("location"), iri("NewYorkCity")},
+      {iri("Veep"), iri("location"), iri("D.C.")},
+      {iri("CurbYourEnthu"), iri("location"), iri("LosAngeles")},
+  };
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool StartsWithWord(const std::string& line, const std::string& word) {
+  if (line.size() < word.size()) return false;
+  for (size_t i = 0; i < word.size(); ++i) {
+    if (std::toupper(static_cast<unsigned char>(line[i])) != word[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lbr;
+
+  EngineOptions options;
+  options.enable_tp_cache = true;  // shell reruns queries: cache pays off
+
+  Database db = [&] {
+    Stopwatch load;
+    if (argc > 1 && EndsWith(argv[1], ".lbr")) {
+      Database opened = Database::Open(argv[1], options);
+      std::cerr << "opened database " << argv[1] << " ("
+                << opened.num_triples() << " triples) in " << load.Seconds()
+                << " s\n";
+      return opened;
+    }
+    if (argc > 1) {
+      Database built = Database::BuildFromNTriples(argv[1], options);
+      std::cerr << "built database from " << argv[1] << " ("
+                << built.num_triples() << " triples) in " << load.Seconds()
+                << " s\n";
+      return built;
+    }
+    std::cerr << "no data file given; using the built-in demo graph\n";
+    return Database::Build(DemoTriples(), options);
+  }();
+  Engine& engine = db.engine();
+
+  bool show_stats = true;
+  std::string format = "table";
+  std::cerr << "enter SPARQL queries (end with a blank line); "
+               "'EXPLAIN <query>' for plans; '.stats', '.format tsv|csv|"
+               "table', '.save <path>', '.quit'\n";
+
+  std::string buffer;
+  std::string line;
+  auto run_buffer = [&]() {
+    if (buffer.empty()) return;
+    std::string text = buffer;
+    buffer.clear();
+    try {
+      if (StartsWithWord(text, "EXPLAIN")) {
+        std::cout << ExplainQuery(db.index(), db.dict(), text.substr(7))
+                  << "\n";
+        return;
+      }
+      if (text == ".stats") {
+        show_stats = !show_stats;
+        std::cout << "stats " << (show_stats ? "on" : "off") << "\n";
+        return;
+      }
+      if (text.rfind(".format ", 0) == 0) {
+        format = text.substr(8);
+        std::cout << "format: " << format << "\n";
+        return;
+      }
+      if (text.rfind(".save ", 0) == 0) {
+        std::string path = text.substr(6);
+        db.Save(path);
+        std::cout << "saved to " << path << "\n";
+        return;
+      }
+      QueryStats stats;
+      ResultTable result = engine.ExecuteToTable(text, &stats);
+      if (format == "csv") {
+        ResultWriter::WriteCsv(result, &std::cout);
+      } else if (format == "tsv") {
+        ResultWriter::WriteTsv(result, &std::cout);
+      } else {
+        for (const std::string& var : result.var_names) {
+          std::cout << "?" << var << "\t";
+        }
+        std::cout << "\n";
+        for (const auto& row : result.rows) {
+          for (const auto& cell : row) {
+            std::cout << (cell ? cell->ToString() : "NULL") << "\t";
+          }
+          std::cout << "\n";
+        }
+      }
+      if (show_stats) {
+        std::cout << "-- " << stats.num_results << " rows ("
+                  << stats.num_results_with_nulls << " with NULLs) in "
+                  << stats.t_total_sec << " s; init " << stats.t_init_sec
+                  << " s, prune " << stats.t_prune_sec
+                  << " s; triples " << stats.initial_triples << " -> "
+                  << stats.triples_after_prune
+                  << (stats.best_match_used ? "; best-match used" : "")
+                  << (stats.aborted_early ? "; aborted early (empty master)"
+                                          : "")
+                  << "\n";
+      }
+    } catch (const std::exception& e) {
+      std::cout << "error: " << e.what() << "\n";
+    }
+  };
+
+  while (std::getline(std::cin, line)) {
+    if (line == ".quit") break;
+    if (line == ".stats" || line.rfind(".format ", 0) == 0 ||
+        line.rfind(".save ", 0) == 0 || StartsWithWord(line, "EXPLAIN")) {
+      buffer = line;
+      run_buffer();
+      continue;
+    }
+    if (line.empty()) {
+      run_buffer();
+      continue;
+    }
+    buffer += line;
+    buffer += '\n';
+  }
+  run_buffer();  // flush a trailing query without a blank line
+  return 0;
+}

@@ -1,0 +1,65 @@
+#ifndef LBR_BASELINE_PAIRWISE_ENGINE_H_
+#define LBR_BASELINE_PAIRWISE_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "bitmat/triple_index.h"
+#include "core/engine.h"  // ResultTable, QueryStats
+#include "core/row.h"
+#include "rdf/dictionary.h"
+#include "sparql/ast.h"
+
+namespace lbr {
+
+/// Column-store-style baseline executor — the stand-in for Virtuoso /
+/// MonetDB in the reproduction (see DESIGN.md, "Substitutions").
+///
+/// Execution model: every triple pattern is scanned into a fully
+/// materialized column of tuples; BGPs are evaluated by pairwise hash joins
+/// (selectivity-ordered, never introducing Cartesian products when
+/// avoidable); OPTIONAL patterns are pairwise left-outer hash joins applied
+/// in the original nesting order; FILTERs are post-selections; UNIONs are
+/// bag concatenation. No semi-join pruning, no compressed-index pushdown —
+/// exactly the cost structure LBR's evaluation compares against.
+///
+/// Joins are null-intolerant (SQL-style): a NULL produced by an outer join
+/// never matches anything, matching how relational RDF stores behave
+/// (Appendix C). On well-designed queries this agrees with SPARQL
+/// semantics.
+class PairwiseEngine {
+ public:
+  PairwiseEngine(const TripleIndex* index, const Dictionary* dict)
+      : index_(index), dict_(dict) {}
+
+  /// Executes a parsed query; fills basic stats (t_total, result counts).
+  ResultTable ExecuteToTable(const ParsedQuery& query,
+                             QueryStats* stats = nullptr);
+
+  /// Intermediate relation: named columns over global IDs (kNullBinding =
+  /// SQL NULL). Exposed for tests.
+  struct Relation {
+    std::vector<std::string> vars;
+    std::vector<RawRow> rows;
+
+    int ColumnOf(const std::string& var) const;
+  };
+
+  /// Evaluates an algebra subtree to a relation. Exposed for tests.
+  Relation Evaluate(const Algebra& node);
+
+ private:
+  Relation ScanTp(const TriplePattern& tp);
+  Relation EvalBgp(const std::vector<TriplePattern>& tps);
+  static Relation HashJoin(const Relation& left, const Relation& right);
+  static Relation LeftOuterHashJoin(const Relation& left,
+                                    const Relation& right);
+  Relation ApplyFilter(const FilterExpr& expr, Relation input);
+
+  const TripleIndex* index_;
+  const Dictionary* dict_;
+};
+
+}  // namespace lbr
+
+#endif  // LBR_BASELINE_PAIRWISE_ENGINE_H_

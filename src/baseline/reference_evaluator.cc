@@ -1,0 +1,140 @@
+#include "baseline/reference_evaluator.h"
+
+#include <algorithm>
+
+#include "sparql/filter_eval.h"
+
+namespace lbr {
+
+bool MappingsCompatible(const Mapping& a, const Mapping& b) {
+  // Iterate the smaller mapping.
+  const Mapping& small = a.size() <= b.size() ? a : b;
+  const Mapping& large = a.size() <= b.size() ? b : a;
+  for (const auto& [var, term] : small) {
+    auto it = large.find(var);
+    if (it != large.end() && !(it->second == term)) return false;
+  }
+  return true;
+}
+
+Mapping MergeMappings(const Mapping& a, const Mapping& b) {
+  Mapping out = a;
+  out.insert(b.begin(), b.end());
+  return out;
+}
+
+std::vector<Mapping> ReferenceEvaluator::MatchTp(
+    const TriplePattern& tp) const {
+  std::vector<Mapping> out;
+  const Dictionary& dict = graph_->dict();
+  for (const Triple& t : graph_->triples()) {
+    TermTriple decoded = dict.Decode(t);
+    Mapping m;
+    bool ok = true;
+    auto bind = [&m, &ok](const PatternTerm& pattern, const Term& value) {
+      if (!ok) return;
+      if (!pattern.is_var) {
+        if (!(pattern.term == value)) ok = false;
+        return;
+      }
+      auto [it, inserted] = m.emplace(pattern.var, value);
+      if (!inserted && !(it->second == value)) ok = false;
+    };
+    bind(tp.s, decoded.s);
+    bind(tp.p, decoded.p);
+    bind(tp.o, decoded.o);
+    if (ok) out.push_back(std::move(m));
+  }
+  return out;
+}
+
+std::vector<Mapping> ReferenceEvaluator::EvalBgp(
+    const std::vector<TriplePattern>& tps) const {
+  std::vector<Mapping> acc{Mapping{}};
+  for (const TriplePattern& tp : tps) {
+    std::vector<Mapping> tp_maps = MatchTp(tp);
+    std::vector<Mapping> next;
+    for (const Mapping& a : acc) {
+      for (const Mapping& b : tp_maps) {
+        if (MappingsCompatible(a, b)) next.push_back(MergeMappings(a, b));
+      }
+    }
+    acc = std::move(next);
+  }
+  return acc;
+}
+
+std::vector<Mapping> ReferenceEvaluator::Evaluate(const Algebra& node) const {
+  switch (node.op) {
+    case Algebra::Op::kBgp:
+      return EvalBgp(node.bgp);
+    case Algebra::Op::kJoin: {
+      std::vector<Mapping> l = Evaluate(*node.left);
+      std::vector<Mapping> r = Evaluate(*node.right);
+      std::vector<Mapping> out;
+      for (const Mapping& a : l) {
+        for (const Mapping& b : r) {
+          if (MappingsCompatible(a, b)) out.push_back(MergeMappings(a, b));
+        }
+      }
+      return out;
+    }
+    case Algebra::Op::kLeftJoin: {
+      std::vector<Mapping> l = Evaluate(*node.left);
+      std::vector<Mapping> r = Evaluate(*node.right);
+      std::vector<Mapping> out;
+      for (const Mapping& a : l) {
+        bool any = false;
+        for (const Mapping& b : r) {
+          if (MappingsCompatible(a, b)) {
+            out.push_back(MergeMappings(a, b));
+            any = true;
+          }
+        }
+        if (!any) out.push_back(a);
+      }
+      return out;
+    }
+    case Algebra::Op::kUnion: {
+      std::vector<Mapping> out = Evaluate(*node.left);
+      std::vector<Mapping> r = Evaluate(*node.right);
+      out.insert(out.end(), r.begin(), r.end());
+      return out;
+    }
+    case Algebra::Op::kFilter: {
+      std::vector<Mapping> child = Evaluate(*node.left);
+      std::vector<Mapping> out;
+      for (const Mapping& m : child) {
+        VarLookup lookup = [&m](const std::string& var) -> std::optional<Term> {
+          auto it = m.find(var);
+          if (it == m.end()) return std::nullopt;
+          return it->second;
+        };
+        if (FilterPasses(node.filter, lookup)) out.push_back(m);
+      }
+      return out;
+    }
+  }
+  return {};
+}
+
+ResultTable ReferenceEvaluator::Execute(const ParsedQuery& query) const {
+  ResultTable table;
+  table.var_names = query.EffectiveProjection();
+  for (const Mapping& m : Evaluate(*query.body)) {
+    std::vector<std::optional<Term>> row;
+    row.reserve(table.var_names.size());
+    for (const std::string& var : table.var_names) {
+      auto it = m.find(var);
+      if (it == m.end()) {
+        row.emplace_back(std::nullopt);
+      } else {
+        row.emplace_back(it->second);
+      }
+    }
+    table.rows.push_back(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace lbr

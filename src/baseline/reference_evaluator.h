@@ -1,0 +1,59 @@
+#ifndef LBR_BASELINE_REFERENCE_EVALUATOR_H_
+#define LBR_BASELINE_REFERENCE_EVALUATOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"  // ResultTable
+#include "rdf/graph.h"
+#include "sparql/ast.h"
+
+namespace lbr {
+
+/// A partial mapping from variable names to terms (the μ of Pérez et al.).
+using Mapping = std::map<std::string, Term>;
+
+/// Direct, deliberately simple implementation of SPARQL mapping semantics —
+/// the correctness oracle the property tests compare the LBR engine and the
+/// pairwise baseline against.
+///
+///   eval(BGP)          = all compatible assignments of the TPs
+///   eval(P1 ⋈ P2)      = { μ1 ∪ μ2 | μ1 ~ μ2 }
+///   eval(P1 ⟕ P2)      = (P1 ⋈ P2) ∪ { μ1 | no compatible μ2 }
+///   eval(P1 ∪ P2)      = bag concatenation
+///   eval(filter(R, P)) = { μ | R(μ) is true }
+///
+/// Two mappings are compatible (μ1 ~ μ2) iff they agree on every variable
+/// bound in both — SPARQL's null-tolerant notion, under which unbound
+/// variables are compatible with anything (Appendix C). Well-designed
+/// queries are insensitive to the SPARQL/SQL divergence, which is why the
+/// oracle can arbitrate for both engines on them.
+///
+/// Complexity is whatever the textbook formulas cost; use it on small data.
+class ReferenceEvaluator {
+ public:
+  explicit ReferenceEvaluator(const Graph* graph) : graph_(graph) {}
+
+  /// Evaluates the algebra, returning the bag of solution mappings.
+  std::vector<Mapping> Evaluate(const Algebra& node) const;
+
+  /// Full query: evaluation plus projection (SELECT * selects every
+  /// variable, sorted). Row order is deterministic but unspecified.
+  ResultTable Execute(const ParsedQuery& query) const;
+
+ private:
+  std::vector<Mapping> EvalBgp(const std::vector<TriplePattern>& tps) const;
+  std::vector<Mapping> MatchTp(const TriplePattern& tp) const;
+
+  const Graph* graph_;
+};
+
+/// True iff the mappings agree on every variable bound in both.
+bool MappingsCompatible(const Mapping& a, const Mapping& b);
+/// Union of two compatible mappings.
+Mapping MergeMappings(const Mapping& a, const Mapping& b);
+
+}  // namespace lbr
+
+#endif  // LBR_BASELINE_REFERENCE_EVALUATOR_H_

@@ -1,0 +1,114 @@
+#include "bitmat/bitmat.h"
+
+#include <cassert>
+#include <istream>
+#include <ostream>
+
+namespace lbr {
+
+BitMat::BitMat(uint32_t num_rows, uint32_t num_cols)
+    : num_rows_(num_rows),
+      num_cols_(num_cols),
+      rows_(num_rows),
+      non_empty_rows_(num_rows) {}
+
+void BitMat::SetRow(uint32_t r, const std::vector<uint32_t>& positions) {
+  SetRow(r, CompressedRow::FromPositions(positions));
+}
+
+void BitMat::SetRow(uint32_t r, CompressedRow row) {
+  assert(r < num_rows_);
+  count_ -= rows_[r].Count();
+  rows_[r] = std::move(row);
+  count_ += rows_[r].Count();
+  non_empty_rows_.Set(r, !rows_[r].IsEmpty());
+}
+
+Bitvector BitMat::Fold(Dim retain) const {
+  if (retain == Dim::kRow) {
+    return non_empty_rows_;
+  }
+  Bitvector out(num_cols_);
+  for (uint32_t r = 0; r < num_rows_; ++r) {
+    rows_[r].OrInto(&out);
+  }
+  return out;
+}
+
+void BitMat::Unfold(const Bitvector& mask, Dim retain) {
+  if (retain == Dim::kRow) {
+    // Clear entire rows whose mask bit is 0.
+    for (uint32_t r = 0; r < num_rows_; ++r) {
+      if (rows_[r].IsEmpty()) continue;
+      if (r >= mask.size() || !mask.Get(r)) {
+        count_ -= rows_[r].Count();
+        rows_[r] = CompressedRow();
+        non_empty_rows_.Set(r, false);
+      }
+    }
+  } else {
+    // AND every row with the mask.
+    for (uint32_t r = 0; r < num_rows_; ++r) {
+      if (rows_[r].IsEmpty()) continue;
+      CompressedRow masked = rows_[r].AndWith(mask);
+      count_ -= rows_[r].Count();
+      count_ += masked.Count();
+      non_empty_rows_.Set(r, !masked.IsEmpty());
+      rows_[r] = std::move(masked);
+    }
+  }
+}
+
+BitMat BitMat::Transposed() const {
+  // Bucket the set bits by column, then compress each bucket.
+  std::vector<std::vector<uint32_t>> cols(num_cols_);
+  ForEachBit([&cols](uint32_t r, uint32_t c) { cols[c].push_back(r); });
+  BitMat t(num_cols_, num_rows_);
+  for (uint32_t c = 0; c < num_cols_; ++c) {
+    if (!cols[c].empty()) t.SetRow(c, cols[c]);
+  }
+  return t;
+}
+
+size_t BitMat::PayloadBytes() const {
+  size_t bytes = 0;
+  for (const CompressedRow& r : rows_) bytes += r.PayloadBytes();
+  return bytes;
+}
+
+void BitMat::WriteTo(std::ostream* out) const {
+  out->write(reinterpret_cast<const char*>(&num_rows_), sizeof(num_rows_));
+  out->write(reinterpret_cast<const char*>(&num_cols_), sizeof(num_cols_));
+  // Only non-empty rows are written: (row_index, row) pairs.
+  uint32_t non_empty = 0;
+  for (uint32_t r = 0; r < num_rows_; ++r) {
+    if (!rows_[r].IsEmpty()) ++non_empty;
+  }
+  out->write(reinterpret_cast<const char*>(&non_empty), sizeof(non_empty));
+  for (uint32_t r = 0; r < num_rows_; ++r) {
+    if (rows_[r].IsEmpty()) continue;
+    out->write(reinterpret_cast<const char*>(&r), sizeof(r));
+    rows_[r].WriteTo(out);
+  }
+}
+
+BitMat BitMat::ReadFrom(std::istream* in) {
+  uint32_t num_rows = 0, num_cols = 0, non_empty = 0;
+  in->read(reinterpret_cast<char*>(&num_rows), sizeof(num_rows));
+  in->read(reinterpret_cast<char*>(&num_cols), sizeof(num_cols));
+  in->read(reinterpret_cast<char*>(&non_empty), sizeof(non_empty));
+  BitMat bm(num_rows, num_cols);
+  for (uint32_t i = 0; i < non_empty; ++i) {
+    uint32_t r = 0;
+    in->read(reinterpret_cast<char*>(&r), sizeof(r));
+    bm.SetRow(r, CompressedRow::ReadFrom(in));
+  }
+  return bm;
+}
+
+bool BitMat::operator==(const BitMat& other) const {
+  return num_rows_ == other.num_rows_ && num_cols_ == other.num_cols_ &&
+         count_ == other.count_ && rows_ == other.rows_;
+}
+
+}  // namespace lbr

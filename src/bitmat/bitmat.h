@@ -1,0 +1,98 @@
+#ifndef LBR_BITMAT_BITMAT_H_
+#define LBR_BITMAT_BITMAT_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "util/bitvector.h"
+#include "util/compressed_row.h"
+
+namespace lbr {
+
+/// Which BitMat dimension to retain in a fold / mask in an unfold.
+enum class Dim : uint8_t {
+  kRow = 0,
+  kCol = 1,
+};
+
+/// A 2-D compressed bit matrix — one slice of the conceptual 3-D bitcube
+/// (Section 4). Rows are hybrid-compressed (CompressedRow); the matrix keeps
+/// a cached triple count and a condensed non-empty-row bit array so that
+/// selectivity checks never scan payload (Appendix D's "meta-information").
+///
+/// The two primitives the whole engine is built on:
+///  - fold(BM, dim)  == project the distinct values of that dimension
+///                      (bitwise OR over the other dimension);
+///  - unfold(BM, mask, dim) == clear every bit whose `dim` coordinate is 0
+///                      in the mask (the semi-join step).
+class BitMat {
+ public:
+  BitMat() = default;
+  /// Creates an empty matrix with the given dimensions.
+  BitMat(uint32_t num_rows, uint32_t num_cols);
+
+  uint32_t num_rows() const { return num_rows_; }
+  uint32_t num_cols() const { return num_cols_; }
+
+  /// Total set bits (== triples represented by this BitMat).
+  uint64_t Count() const { return count_; }
+  bool IsEmpty() const { return count_ == 0; }
+
+  /// Replaces row `r`. `positions` must be sorted, duplicate-free, < cols.
+  void SetRow(uint32_t r, const std::vector<uint32_t>& positions);
+  /// Replaces row `r` with an already-compressed row.
+  void SetRow(uint32_t r, CompressedRow row);
+
+  const CompressedRow& Row(uint32_t r) const { return rows_[r]; }
+
+  /// Bit test at (r, c).
+  bool Test(uint32_t r, uint32_t c) const {
+    return r < num_rows_ && rows_[r].Test(c);
+  }
+
+  /// fold(BM, dim) -> bit array over that dimension (Section 4).
+  Bitvector Fold(Dim retain) const;
+
+  /// unfold(BM, mask, dim): for every 0 in `mask`, clears all bits at that
+  /// coordinate of `retain`. Updates counts and the non-empty-row cache.
+  void Unfold(const Bitvector& mask, Dim retain);
+
+  /// Condensed representation of the non-empty rows (Appendix D metadata);
+  /// equal to Fold(Dim::kRow) but maintained incrementally.
+  const Bitvector& NonEmptyRows() const { return non_empty_rows_; }
+
+  /// Returns the transpose (rows<->cols). Used when the multi-way join needs
+  /// column-keyed access to a TP whose BitMat is row-oriented.
+  BitMat Transposed() const;
+
+  /// Calls fn(row, col) for every set bit in row-major order.
+  template <typename Fn>
+  void ForEachBit(Fn&& fn) const {
+    for (uint32_t r = 0; r < num_rows_; ++r) {
+      rows_[r].ForEachSetBit([&fn, r](uint32_t c) { fn(r, c); });
+    }
+  }
+
+  /// Payload bytes across all rows (index-size accounting).
+  size_t PayloadBytes() const;
+
+  /// Binary serialization.
+  void WriteTo(std::ostream* out) const;
+  static BitMat ReadFrom(std::istream* in);
+
+  bool operator==(const BitMat& other) const;
+
+ private:
+  void RecomputeRowMeta(uint32_t r);
+
+  uint32_t num_rows_ = 0;
+  uint32_t num_cols_ = 0;
+  uint64_t count_ = 0;
+  std::vector<CompressedRow> rows_;
+  Bitvector non_empty_rows_;
+};
+
+}  // namespace lbr
+
+#endif  // LBR_BITMAT_BITMAT_H_

@@ -1,0 +1,133 @@
+#include "bitmat/tp_cache.h"
+
+namespace lbr {
+
+namespace {
+
+// Re-derives the variable name of a cached dimension from its domain kind:
+// the loader maps kSubject dims to the subject variable, kObject to the
+// object variable, kPredicate to the predicate variable.
+std::string VarForKind(const TriplePattern& tp, DomainKind kind) {
+  switch (kind) {
+    case DomainKind::kSubject:
+      return tp.s.is_var ? tp.s.var : std::string();
+    case DomainKind::kObject:
+      return tp.o.is_var ? tp.o.var : std::string();
+    case DomainKind::kPredicate:
+      return tp.p.is_var ? tp.p.var : std::string();
+    case DomainKind::kUnit:
+      return std::string();
+  }
+  return std::string();
+}
+
+}  // namespace
+
+std::string TpCache::KeyFor(const TriplePattern& tp,
+                            bool prefer_subject_rows) {
+  // Variable names do not affect the loaded bits, only the var<->dimension
+  // mapping, which the caller re-derives; normalize them out of the key so
+  // that (?a :p ?b) and (?x :p ?y) share an entry.
+  auto norm = [](const PatternTerm& t, const char* placeholder) {
+    return t.is_var ? std::string(placeholder) : t.term.ToString();
+  };
+  return norm(tp.s, "?s") + "\x1f" + norm(tp.p, "?p") + "\x1f" +
+         norm(tp.o, "?o") + "\x1f" +
+         // Same-variable TPs load a diagonal; they must not share entries
+         // with distinct-variable TPs.
+         ((tp.s.is_var && tp.o.is_var && tp.s.var == tp.o.var) ? "diag"
+                                                               : "full") +
+         "\x1f" + (prefer_subject_rows ? "S" : "O");
+}
+
+TpBitMat TpCache::GetOrLoad(const TripleIndex& index, const Dictionary& dict,
+                            const TriplePattern& tp,
+                            bool prefer_subject_rows) {
+  std::string key = KeyFor(tp, prefer_subject_rows);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    ++hits_;
+    lru_.erase(it->second.lru_it);
+    lru_.push_front(key);
+    it->second.lru_it = lru_.begin();
+    // Return a copy with the caller's variable names re-derived from the
+    // dimension kinds (the key normalizes names away).
+    TpBitMat copy = it->second.mat;
+    copy.row_var = VarForKind(tp, copy.row_kind);
+    copy.col_var = VarForKind(tp, copy.col_kind);
+    return copy;
+  }
+  ++misses_;
+  TpBitMat loaded = LoadTpBitMat(index, dict, tp, prefer_subject_rows);
+  uint64_t cost = loaded.bm.Count();
+  if (cost <= budget_) {
+    lru_.push_front(key);
+    entries_[key] = Entry{loaded, lru_.begin()};
+    held_ += cost;
+    EvictToBudget();
+  }
+  return loaded;
+}
+
+TpBitMat TpCache::GetOrLoadMasked(const TripleIndex& index,
+                                  const Dictionary& dict,
+                                  const TriplePattern& tp,
+                                  bool prefer_subject_rows,
+                                  const ActiveMasks& masks) {
+  if (masks.row_mask == nullptr && masks.col_mask == nullptr) {
+    return GetOrLoad(index, dict, tp, prefer_subject_rows);
+  }
+  std::string key = KeyFor(tp, prefer_subject_rows);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    // Miss: load masked directly (cheapest) and also warm the cache with an
+    // unmasked load only if the budget allows a second load to pay off —
+    // here we simply do the masked load and leave warming to unmasked
+    // queries, avoiding double work on the critical path.
+    ++misses_;
+    return LoadTpBitMat(index, dict, tp, prefer_subject_rows, masks);
+  }
+  ++hits_;
+  lru_.erase(it->second.lru_it);
+  lru_.push_front(key);
+  it->second.lru_it = lru_.begin();
+
+  const TpBitMat& cached = it->second.mat;
+  TpBitMat out;
+  out.row_kind = cached.row_kind;
+  out.col_kind = cached.col_kind;
+  out.row_var = VarForKind(tp, cached.row_kind);
+  out.col_var = VarForKind(tp, cached.col_kind);
+  out.bm = BitMat(cached.bm.num_rows(), cached.bm.num_cols());
+  cached.bm.NonEmptyRows().ForEachSetBit([&](uint32_t r) {
+    if (masks.row_mask != nullptr &&
+        (r >= masks.row_mask->size() || !masks.row_mask->Get(r))) {
+      return;
+    }
+    if (masks.col_mask != nullptr) {
+      CompressedRow masked = cached.bm.Row(r).AndWith(*masks.col_mask);
+      if (!masked.IsEmpty()) out.bm.SetRow(r, std::move(masked));
+    } else {
+      out.bm.SetRow(r, cached.bm.Row(r));
+    }
+  });
+  return out;
+}
+
+void TpCache::EvictToBudget() {
+  while (held_ > budget_ && !lru_.empty()) {
+    const std::string& victim = lru_.back();
+    auto it = entries_.find(victim);
+    held_ -= it->second.mat.bm.Count();
+    entries_.erase(it);
+    lru_.pop_back();
+  }
+}
+
+void TpCache::Clear() {
+  entries_.clear();
+  lru_.clear();
+  held_ = 0;
+}
+
+}  // namespace lbr

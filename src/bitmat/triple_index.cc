@@ -1,0 +1,221 @@
+#include "bitmat/triple_index.h"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+namespace lbr {
+
+namespace {
+const CompressedRow kEmptyRow;
+
+constexpr char kMagic[8] = {'L', 'B', 'R', 'I', 'D', 'X', '0', '1'};
+
+void WriteRows(const std::vector<std::pair<uint32_t, CompressedRow>>& rows,
+               std::ostream* out) {
+  uint32_t n = static_cast<uint32_t>(rows.size());
+  out->write(reinterpret_cast<const char*>(&n), sizeof(n));
+  for (const auto& [id, row] : rows) {
+    out->write(reinterpret_cast<const char*>(&id), sizeof(id));
+    row.WriteTo(out);
+  }
+}
+
+void ReadRows(std::istream* in,
+              std::vector<std::pair<uint32_t, CompressedRow>>* rows) {
+  uint32_t n = 0;
+  in->read(reinterpret_cast<char*>(&n), sizeof(n));
+  rows->clear();
+  rows->reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t id = 0;
+    in->read(reinterpret_cast<char*>(&id), sizeof(id));
+    rows->emplace_back(id, CompressedRow::ReadFrom(in));
+  }
+}
+
+}  // namespace
+
+TripleIndex TripleIndex::Build(const Graph& graph) {
+  TripleIndex idx;
+  const Dictionary& dict = graph.dict();
+  idx.num_subjects_ = dict.num_subjects();
+  idx.num_predicates_ = dict.num_predicates();
+  idx.num_objects_ = dict.num_objects();
+  idx.num_common_ = dict.num_common();
+  idx.num_triples_ = graph.num_triples();
+  idx.pred_counts_.assign(idx.num_predicates_, 0);
+  idx.preds_.resize(idx.num_predicates_);
+
+  // Bucket triples by predicate in both orientations, then compress.
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> by_pred(
+      idx.num_predicates_);
+  for (const Triple& t : graph.triples()) {
+    by_pred[t.p].emplace_back(t.s, t.o);
+    ++idx.pred_counts_[t.p];
+  }
+
+  for (uint32_t p = 0; p < idx.num_predicates_; ++p) {
+    PredSlice& slice = idx.preds_[p];
+    slice.non_empty_s.Resize(idx.num_subjects_);
+    slice.non_empty_o.Resize(idx.num_objects_);
+    auto& pairs = by_pred[p];
+
+    // S-O orientation: group by subject. Input triples are (S,P,O)-sorted,
+    // so pairs are already (s, o)-sorted.
+    std::vector<uint32_t> cols;
+    for (size_t i = 0; i < pairs.size();) {
+      uint32_t s = pairs[i].first;
+      cols.clear();
+      while (i < pairs.size() && pairs[i].first == s) {
+        cols.push_back(pairs[i].second);
+        ++i;
+      }
+      slice.so_rows.emplace_back(s, CompressedRow::FromPositions(cols));
+      slice.non_empty_s.Set(s);
+    }
+
+    // O-S orientation: re-sort by (o, s).
+    std::sort(pairs.begin(), pairs.end(),
+              [](const auto& a, const auto& b) {
+                return a.second != b.second ? a.second < b.second
+                                            : a.first < b.first;
+              });
+    for (size_t i = 0; i < pairs.size();) {
+      uint32_t o = pairs[i].second;
+      cols.clear();
+      while (i < pairs.size() && pairs[i].second == o) {
+        cols.push_back(pairs[i].first);
+        ++i;
+      }
+      slice.os_rows.emplace_back(o, CompressedRow::FromPositions(cols));
+      slice.non_empty_o.Set(o);
+    }
+    pairs.clear();
+    pairs.shrink_to_fit();
+  }
+  return idx;
+}
+
+const CompressedRow& TripleIndex::FindRow(
+    const std::vector<std::pair<uint32_t, CompressedRow>>& rows, uint32_t id) {
+  auto it = std::lower_bound(
+      rows.begin(), rows.end(), id,
+      [](const auto& pair, uint32_t key) { return pair.first < key; });
+  if (it == rows.end() || it->first != id) return kEmptyRow;
+  return it->second;
+}
+
+const CompressedRow& TripleIndex::SoRow(uint32_t p, uint32_t s) const {
+  if (p >= num_predicates_) return kEmptyRow;
+  return FindRow(preds_[p].so_rows, s);
+}
+
+const CompressedRow& TripleIndex::OsRow(uint32_t p, uint32_t o) const {
+  if (p >= num_predicates_) return kEmptyRow;
+  return FindRow(preds_[p].os_rows, o);
+}
+
+BitMat TripleIndex::PoBitMat(uint32_t s) const {
+  BitMat bm(num_predicates_, num_objects_);
+  for (uint32_t p = 0; p < num_predicates_; ++p) {
+    const CompressedRow& row = SoRow(p, s);
+    if (!row.IsEmpty()) bm.SetRow(p, row);
+  }
+  return bm;
+}
+
+BitMat TripleIndex::PsBitMat(uint32_t o) const {
+  BitMat bm(num_predicates_, num_subjects_);
+  for (uint32_t p = 0; p < num_predicates_; ++p) {
+    const CompressedRow& row = OsRow(p, o);
+    if (!row.IsEmpty()) bm.SetRow(p, row);
+  }
+  return bm;
+}
+
+TripleIndex::SizeReport TripleIndex::ComputeSizeReport() const {
+  SizeReport report;
+  uint64_t rle_so = 0, rle_os = 0;
+  for (const PredSlice& slice : preds_) {
+    for (const auto& [id, row] : slice.so_rows) {
+      (void)id;
+      report.so_bytes += row.PayloadBytes();
+      rle_so +=
+          CompressedRow::RleOnlyFromPositions(row.SetBits()).PayloadBytes();
+      ++report.num_rows;
+    }
+    for (const auto& [id, row] : slice.os_rows) {
+      (void)id;
+      report.os_bytes += row.PayloadBytes();
+      rle_os +=
+          CompressedRow::RleOnlyFromPositions(row.SetBits()).PayloadBytes();
+      ++report.num_rows;
+    }
+  }
+  // All four families: SO + OS stored, P-O mirrors SO, P-S mirrors OS.
+  report.hybrid_bytes = 2 * (report.so_bytes + report.os_bytes);
+  report.rle_only_bytes = 2 * (rle_so + rle_os);
+  return report;
+}
+
+void TripleIndex::WriteTo(std::ostream* out) const {
+  out->write(kMagic, sizeof(kMagic));
+  out->write(reinterpret_cast<const char*>(&num_subjects_), 4);
+  out->write(reinterpret_cast<const char*>(&num_predicates_), 4);
+  out->write(reinterpret_cast<const char*>(&num_objects_), 4);
+  out->write(reinterpret_cast<const char*>(&num_common_), 4);
+  out->write(reinterpret_cast<const char*>(&num_triples_), 8);
+  for (uint32_t p = 0; p < num_predicates_; ++p) {
+    out->write(reinterpret_cast<const char*>(&pred_counts_[p]), 8);
+    WriteRows(preds_[p].so_rows, out);
+    WriteRows(preds_[p].os_rows, out);
+  }
+}
+
+TripleIndex TripleIndex::ReadFrom(std::istream* in) {
+  char magic[8];
+  in->read(magic, sizeof(magic));
+  if (!std::equal(magic, magic + 8, kMagic)) {
+    throw std::runtime_error("TripleIndex: bad magic");
+  }
+  TripleIndex idx;
+  in->read(reinterpret_cast<char*>(&idx.num_subjects_), 4);
+  in->read(reinterpret_cast<char*>(&idx.num_predicates_), 4);
+  in->read(reinterpret_cast<char*>(&idx.num_objects_), 4);
+  in->read(reinterpret_cast<char*>(&idx.num_common_), 4);
+  in->read(reinterpret_cast<char*>(&idx.num_triples_), 8);
+  idx.pred_counts_.resize(idx.num_predicates_);
+  idx.preds_.resize(idx.num_predicates_);
+  for (uint32_t p = 0; p < idx.num_predicates_; ++p) {
+    in->read(reinterpret_cast<char*>(&idx.pred_counts_[p]), 8);
+    PredSlice& slice = idx.preds_[p];
+    ReadRows(in, &slice.so_rows);
+    ReadRows(in, &slice.os_rows);
+    slice.non_empty_s.Resize(idx.num_subjects_);
+    slice.non_empty_o.Resize(idx.num_objects_);
+    for (const auto& [id, row] : slice.so_rows) {
+      (void)row;
+      slice.non_empty_s.Set(id);
+    }
+    for (const auto& [id, row] : slice.os_rows) {
+      (void)row;
+      slice.non_empty_o.Set(id);
+    }
+  }
+  return idx;
+}
+
+void TripleIndex::SaveToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("TripleIndex: cannot open " + path);
+  WriteTo(&out);
+}
+
+TripleIndex TripleIndex::LoadFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("TripleIndex: cannot open " + path);
+  return ReadFrom(&in);
+}
+
+}  // namespace lbr

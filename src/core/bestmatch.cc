@@ -1,0 +1,72 @@
+#include "core/bestmatch.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace lbr {
+
+namespace {
+
+uint64_t HashKey(const RawRow& row, const std::vector<int>& cols) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (int c : cols) {
+    h ^= row[c];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+bool KeysEqual(const RawRow& a, const RawRow& b,
+               const std::vector<int>& cols) {
+  for (int c : cols) {
+    if (a[c] != b[c]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<RawRow> BestMatch(std::vector<RawRow> rows,
+                              const std::vector<int>& master_cols) {
+  if (rows.size() < 2) return rows;
+
+  // Bucket rows by the never-null key columns.
+  std::unordered_map<uint64_t, std::vector<size_t>> buckets;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    buckets[HashKey(rows[i], master_cols)].push_back(i);
+  }
+
+  std::vector<bool> removed(rows.size(), false);
+  for (auto& [hash, indexes] : buckets) {
+    (void)hash;
+    if (indexes.size() < 2) continue;
+    // Sort bucket members by descending non-null count: a row can only be
+    // subsumed by a row with strictly more non-nulls, so each row needs to
+    // be checked against earlier (fuller) rows only.
+    std::stable_sort(indexes.begin(), indexes.end(),
+                     [&rows](size_t a, size_t b) {
+                       return CountNulls(rows[a]) < CountNulls(rows[b]);
+                     });
+    for (size_t i = 1; i < indexes.size(); ++i) {
+      const RawRow& candidate = rows[indexes[i]];
+      for (size_t j = 0; j < i; ++j) {
+        if (removed[indexes[j]]) continue;
+        const RawRow& fuller = rows[indexes[j]];
+        if (!KeysEqual(candidate, fuller, master_cols)) continue;  // hash collision
+        if (IsSubsumedBy(candidate, fuller)) {
+          removed[indexes[i]] = true;
+          break;
+        }
+      }
+    }
+  }
+
+  std::vector<RawRow> out;
+  out.reserve(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (!removed[i]) out.push_back(std::move(rows[i]));
+  }
+  return out;
+}
+
+}  // namespace lbr

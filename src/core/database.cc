@@ -1,0 +1,62 @@
+#include "core/database.h"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "rdf/ntriples.h"
+
+namespace lbr {
+
+namespace {
+constexpr char kDbMagic[8] = {'L', 'B', 'R', 'D', 'B', 'F', '0', '1'};
+}  // namespace
+
+void Database::InitEngine(EngineOptions options) {
+  engine_ = std::make_unique<Engine>(index_.get(), dict_.get(), options);
+}
+
+Database Database::Build(const std::vector<TermTriple>& triples,
+                         EngineOptions options) {
+  Graph graph = Graph::FromTriples(triples);
+  Database db;
+  // Copy the finalized dictionary out of the graph; the triple list itself
+  // is not retained (the index is the store).
+  db.dict_ = std::make_unique<Dictionary>(graph.dict());
+  db.index_ = std::make_unique<TripleIndex>(TripleIndex::Build(graph));
+  db.InitEngine(options);
+  return db;
+}
+
+Database Database::BuildFromNTriples(const std::string& path,
+                                     EngineOptions options) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("Database: cannot open " + path);
+  return Build(NTriples::ParseStream(&in), options);
+}
+
+void Database::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("Database: cannot open " + path);
+  out.write(kDbMagic, sizeof(kDbMagic));
+  dict_->WriteTo(&out);
+  index_->WriteTo(&out);
+  if (!out) throw std::runtime_error("Database: write failed for " + path);
+}
+
+Database Database::Open(const std::string& path, EngineOptions options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("Database: cannot open " + path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!std::equal(magic, magic + 8, kDbMagic)) {
+    throw std::runtime_error("Database: " + path + " is not an LBR database");
+  }
+  Database db;
+  db.dict_ = std::make_unique<Dictionary>(Dictionary::ReadFrom(&in));
+  db.index_ = std::make_unique<TripleIndex>(TripleIndex::ReadFrom(&in));
+  if (!in) throw std::runtime_error("Database: truncated file " + path);
+  db.InitEngine(options);
+  return db;
+}
+
+}  // namespace lbr

@@ -1,0 +1,59 @@
+#ifndef LBR_CORE_DATABASE_H_
+#define LBR_CORE_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bitmat/triple_index.h"
+#include "core/engine.h"
+#include "rdf/graph.h"
+
+namespace lbr {
+
+/// The top-level deployment facade: a dictionary + BitMat index pair that
+/// can be built from triples, saved as a single file, and reopened in a
+/// fresh process — no re-parsing of the source data required.
+///
+/// Typical flows:
+///   auto db = Database::Build(triples);      // ingest
+///   db.Save("movies.lbr");                   // persist
+///   ...
+///   auto db = Database::Open("movies.lbr");  // later / elsewhere
+///   db.engine().ExecuteToTable("SELECT ...");
+class Database {
+ public:
+  /// Ingests string-level triples (deduplicated) and builds the index.
+  static Database Build(const std::vector<TermTriple>& triples,
+                        EngineOptions options = {});
+
+  /// Builds from an N-Triples file.
+  static Database BuildFromNTriples(const std::string& path,
+                                    EngineOptions options = {});
+
+  /// Saves dictionary + index as one file.
+  void Save(const std::string& path) const;
+
+  /// Opens a previously saved database.
+  static Database Open(const std::string& path, EngineOptions options = {});
+
+  const Dictionary& dict() const { return *dict_; }
+  const TripleIndex& index() const { return *index_; }
+  Engine& engine() { return *engine_; }
+  const Engine& engine() const { return *engine_; }
+
+  uint64_t num_triples() const { return index_->num_triples(); }
+
+ private:
+  Database() = default;
+  void InitEngine(EngineOptions options);
+
+  // Heap-held so Database stays movable while Engine keeps stable pointers.
+  std::unique_ptr<Dictionary> dict_;
+  std::unique_ptr<TripleIndex> index_;
+  std::unique_ptr<Engine> engine_;
+};
+
+}  // namespace lbr
+
+#endif  // LBR_CORE_DATABASE_H_

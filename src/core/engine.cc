@@ -1,0 +1,449 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "core/bestmatch.h"
+#include "core/global_ids.h"
+#include "core/goj.h"
+#include "core/gosn.h"
+#include "core/jvar_order.h"
+#include "core/multiway_join.h"
+#include "core/prune.h"
+#include "core/selectivity.h"
+#include "core/tp_state.h"
+#include "sparql/parser.h"
+#include "sparql/rewrite.h"
+#include "util/stopwatch.h"
+
+namespace lbr {
+
+namespace {
+
+// Rejects joins between a predicate-position variable and an S/O-position
+// variable (Section 5 limitation).
+void ValidateVarPositions(const std::vector<TriplePattern>& tps) {
+  std::map<std::string, uint8_t> positions;  // bit0 = S/O, bit1 = P
+  for (const TriplePattern& tp : tps) {
+    if (tp.s.is_var) positions[tp.s.var] |= 1;
+    if (tp.o.is_var) positions[tp.o.var] |= 1;
+    if (tp.p.is_var) positions[tp.p.var] |= 2;
+  }
+  for (const auto& [var, mask] : positions) {
+    if (mask == 3) {
+      throw UnsupportedQueryError(
+          "variable ?" + var +
+          " joins a predicate position with a subject/object position");
+    }
+  }
+}
+
+}  // namespace
+
+struct Engine::BranchResult {
+  std::vector<RawRow> rows;        // projected onto the query projection
+  bool needs_best_match = false;   // within-branch flag (already applied)
+};
+
+Engine::Engine(const TripleIndex* index, const Dictionary* dict,
+               EngineOptions options)
+    : index_(index),
+      dict_(dict),
+      options_(options),
+      tp_cache_(options.tp_cache_budget) {}
+
+Engine::BranchResult Engine::ExecuteBranch(
+    const Algebra& branch, const std::vector<std::string>& projection,
+    QueryStats* stats) {
+  BranchResult result;
+
+  // --- GoSN / GoJ (Alg 5.1 lines 1-2).
+  Gosn gosn = Gosn::Build(branch);
+  const std::vector<TriplePattern>& tps = gosn.tps();
+  if (tps.empty()) {
+    // Empty pattern: one empty mapping.
+    result.rows.emplace_back(projection.size(), kNullBinding);
+    return result;
+  }
+  ValidateVarPositions(tps);
+  if (!Goj::IsConnectedQuery(tps)) {
+    throw UnsupportedQueryError(
+        "query contains a Cartesian product (disconnected GoT); LBR "
+        "requires ×-free patterns (Section 5.2)");
+  }
+
+  // Non-well-designed branch: Appendix B conversion of the violating OPT
+  // edges into inner joins (null-intolerant interpretation).
+  std::vector<std::pair<int, int>> violations = gosn.ComputeWdViolationPairs();
+  if (!violations.empty()) {
+    if (stats != nullptr) stats->well_designed = false;
+    gosn.ConvertViolationPairs(violations);
+  }
+
+  Goj goj = Goj::Build(tps);
+  if (stats != nullptr) {
+    stats->goj_cyclic = stats->goj_cyclic || goj.IsCyclic();
+    stats->num_supernodes += gosn.num_supernodes();
+  }
+
+  // --- decide-best-match-reqd (Alg 5.1 line 5 / Lemma 3.4): needed for a
+  // cyclic GoJ where some slave supernode holds more than one jvar. The
+  // ablation knobs that break Lemma 3.3's preconditions (pruning disabled,
+  // greedy order on an acyclic GoJ) also force it, since minimality is then
+  // not guaranteed.
+  bool nb_reqd = !options_.enable_prune ||
+                 options_.order_strategy == JvarOrderStrategy::kGreedy;
+  if (goj.IsCyclic()) {
+    for (int sn : gosn.SlaveSupernodes()) {
+      std::set<int> jvars_in_sn;
+      for (int tp_id : gosn.supernode(sn).tp_ids) {
+        for (const std::string& v : tps[tp_id].Vars()) {
+          int j = goj.JvarIndex(v);
+          if (j >= 0) jvars_in_sn.insert(j);
+        }
+      }
+      if (jvars_in_sn.size() > 1) {
+        nb_reqd = true;
+        break;
+      }
+    }
+  }
+
+  // --- Selectivity estimates from index metadata.
+  std::vector<uint64_t> cards(tps.size());
+  uint64_t initial_total = 0;
+  for (size_t i = 0; i < tps.size(); ++i) {
+    cards[i] = EstimateTpCardinality(*index_, *dict_, tps[i]);
+    initial_total += cards[i];
+  }
+  if (stats != nullptr) stats->initial_triples += initial_total;
+
+  // --- get_jvar_order (Alg 3.1 / ablation strategies).
+  JvarOrder order;
+  switch (options_.order_strategy) {
+    case JvarOrderStrategy::kPaper:
+      order = GetJvarOrder(gosn, goj, cards);
+      break;
+    case JvarOrderStrategy::kNaiveBottomUp:
+      order = GetNaiveJvarOrder(gosn, goj, cards);
+      break;
+    case JvarOrderStrategy::kGreedy:
+      order = GetGreedyJvarOrder(goj, cards);
+      break;
+  }
+
+  GlobalIds ids = GlobalIds::FromDictionary(*dict_);
+
+  // --- init (Alg 5.1 lines 3-4): load per-TP BitMats in query order with
+  // active pruning from already-loaded master/peer TPs.
+  Stopwatch init_watch;
+  std::vector<TpState> states(tps.size());
+  bool empty_master = false;
+  for (size_t i = 0; i < tps.size() && !empty_master; ++i) {
+    TpState& st = states[i];
+    st.tp = tps[i];
+    st.tp_id = static_cast<int>(i);
+    st.sn_id = gosn.SupernodeOf(st.tp_id);
+    st.estimated_count = cards[i];
+
+    // Orientation: for (?a :p ?b) load S-O iff ?a precedes ?b in order_bu.
+    bool prefer_subject_rows = true;
+    if (tps[i].s.is_var && tps[i].o.is_var && !tps[i].p.is_var) {
+      int js = goj.JvarIndex(tps[i].s.var);
+      int jo = goj.JvarIndex(tps[i].o.var);
+      if (js >= 0 && jo < 0) {
+        prefer_subject_rows = true;
+      } else if (js < 0 && jo >= 0) {
+        prefer_subject_rows = false;
+      } else if (js >= 0 && jo >= 0) {
+        prefer_subject_rows = FirstIndexOf(order.order_bu, js) <=
+                              FirstIndexOf(order.order_bu, jo);
+      }
+    }
+
+    // Active pruning masks from already-loaded TPs that are masters or
+    // peers of this one.
+    Bitvector row_mask, col_mask;
+    ActiveMasks masks;
+    if (options_.enable_active_pruning) {
+      auto build_mask = [&](const std::string& var, DomainKind kind,
+                            uint32_t size, Bitvector* mask) -> bool {
+        bool restricted = false;
+        for (size_t j = 0; j < i; ++j) {
+          const TpState& prev = states[j];
+          if (!prev.mat.HasVar(var)) continue;
+          bool can_restrict =
+              gosn.TpIsMasterOf(prev.tp_id, st.tp_id) ||
+              gosn.TpIsPeer(prev.tp_id, st.tp_id);
+          if (!can_restrict) continue;
+          Bitvector fold = prev.mat.bm.Fold(prev.mat.DimOf(var));
+          Bitvector aligned = AlignMask(fold, prev.mat.KindOf(var), kind,
+                                        index_->num_common(), size);
+          if (!restricted) {
+            *mask = std::move(aligned);
+            restricted = true;
+          } else {
+            mask->And(aligned);
+          }
+        }
+        return restricted;
+      };
+      // Pre-compute this TP's dimension layout without loading, mirroring
+      // the loader's case analysis: probe with a dry call is overkill, so
+      // derive kinds/vars directly.
+      TriplePattern& tp = st.tp;
+      std::string rvar, cvar;
+      DomainKind rkind = DomainKind::kUnit, ckind = DomainKind::kUnit;
+      uint32_t rsize = 1, csize = 1;
+      if (!tp.p.is_var) {
+        if (tp.s.is_var && tp.o.is_var) {
+          if (prefer_subject_rows) {
+            rvar = tp.s.var; rkind = DomainKind::kSubject;
+            rsize = index_->num_subjects();
+            cvar = tp.o.var; ckind = DomainKind::kObject;
+            csize = index_->num_objects();
+          } else {
+            rvar = tp.o.var; rkind = DomainKind::kObject;
+            rsize = index_->num_objects();
+            cvar = tp.s.var; ckind = DomainKind::kSubject;
+            csize = index_->num_subjects();
+          }
+        } else if (tp.s.is_var) {
+          rvar = tp.s.var; rkind = DomainKind::kSubject;
+          rsize = index_->num_subjects();
+        } else if (tp.o.is_var) {
+          rvar = tp.o.var; rkind = DomainKind::kObject;
+          rsize = index_->num_objects();
+        }
+      } else {
+        rvar = tp.p.var; rkind = DomainKind::kPredicate;
+        rsize = index_->num_predicates();
+        if (!tp.s.is_var && tp.o.is_var) {
+          cvar = tp.o.var; ckind = DomainKind::kObject;
+          csize = index_->num_objects();
+        } else if (tp.s.is_var && !tp.o.is_var) {
+          cvar = tp.s.var; ckind = DomainKind::kSubject;
+          csize = index_->num_subjects();
+        }
+      }
+      if (!rvar.empty() && rkind != DomainKind::kPredicate &&
+          build_mask(rvar, rkind, rsize, &row_mask)) {
+        masks.row_mask = &row_mask;
+      }
+      if (!cvar.empty() && ckind != DomainKind::kPredicate &&
+          build_mask(cvar, ckind, csize, &col_mask)) {
+        masks.col_mask = &col_mask;
+      }
+    }
+
+    if (options_.enable_tp_cache) {
+      // Cache path: fetch the unmasked BitMat and apply active-pruning
+      // masks while copying out of the cache.
+      st.mat = tp_cache_.GetOrLoadMasked(*index_, *dict_, tps[i],
+                                         prefer_subject_rows, masks);
+    } else {
+      st.mat =
+          LoadTpBitMat(*index_, *dict_, tps[i], prefer_subject_rows, masks);
+    }
+    st.initial_count = st.mat.bm.Count();
+
+    // Simple optimization (Section 5): an empty absolute-master TP means an
+    // empty result.
+    if (st.mat.bm.IsEmpty() && gosn.IsAbsoluteMaster(st.sn_id)) {
+      empty_master = true;
+    }
+  }
+  if (stats != nullptr) stats->t_init_sec += init_watch.Seconds();
+  if (empty_master) {
+    if (stats != nullptr) stats->aborted_early = true;
+    return result;
+  }
+
+  // --- prune_triples (Alg 3.2).
+  Stopwatch prune_watch;
+  if (options_.enable_prune) {
+    PruneTriples(order, gosn, goj, index_->num_common(), &states);
+  }
+  if (stats != nullptr) stats->t_prune_sec += prune_watch.Seconds();
+
+  uint64_t after_prune = 0;
+  for (const TpState& st : states) {
+    after_prune += st.CurrentCount();
+    if (st.mat.bm.IsEmpty() && gosn.IsAbsoluteMaster(st.sn_id)) {
+      empty_master = true;
+    }
+  }
+  if (stats != nullptr) stats->triples_after_prune += after_prune;
+  if (empty_master) {
+    if (stats != nullptr) stats->aborted_early = true;
+    return result;
+  }
+
+  // --- stps sort (Alg 5.1 line 8): absolute-master TPs first, ascending
+  // triple count; then descending master-slave hierarchy (masters and their
+  // peers before slaves), selective first among peers.
+  std::vector<int> stps(tps.size());
+  for (size_t i = 0; i < tps.size(); ++i) stps[i] = static_cast<int>(i);
+  std::stable_sort(stps.begin(), stps.end(), [&](int a, int b) {
+    bool am_a = gosn.IsAbsoluteMaster(states[a].sn_id);
+    bool am_b = gosn.IsAbsoluteMaster(states[b].sn_id);
+    if (am_a != am_b) return am_a;
+    if (!am_a) {
+      if (gosn.TpIsMasterOf(a, b)) return true;
+      if (gosn.TpIsMasterOf(b, a)) return false;
+      int da = gosn.MasterDepth(states[a].sn_id);
+      int db = gosn.MasterDepth(states[b].sn_id);
+      if (da != db) return da < db;
+    }
+    return states[a].CurrentCount() < states[b].CurrentCount();
+  });
+
+  // --- multi-way pipelined join (Alg 5.4) with FaN filters.
+  MultiwayJoin::Options join_options;
+  join_options.nullification = nb_reqd;
+  join_options.filters = gosn.filters();
+  MultiwayJoin join(gosn, ids, *dict_, &states, stps, join_options);
+
+  // Collect FULL rows (every branch variable) so that phantom-row cleanup
+  // and best-match see pre-projection granularity; project afterwards.
+  std::vector<RawRow> full_rows;
+  std::set<RawRow> seen_nulled;  // dedup key for nulled phantom rows
+  bool any_nulled = false;
+  join.Run([&](const RawRow& row, bool nulled) {
+    if (nulled) {
+      any_nulled = true;
+      // A nulled row is one enumeration attempt of a slave group that
+      // failed under the original join order; all attempts collapse to the
+      // same nulled row — keep one (Rao et al.'s minimum union).
+      if (!seen_nulled.insert(row).second) return;
+    }
+    full_rows.push_back(row);
+  });
+
+  // --- best-match (Alg 5.1 lines 10-13), needed when the query is cyclic
+  // with multi-jvar slaves, or when FaN/nullification nulled some group.
+  if (nb_reqd || join.nulling_applied() || any_nulled) {
+    if (stats != nullptr) stats->best_match_used = true;
+    full_rows = BestMatch(std::move(full_rows), join.MasterColumns());
+  }
+
+  // Project onto the query projection.
+  std::vector<int> col_of_projection(projection.size(), -1);
+  for (size_t i = 0; i < projection.size(); ++i) {
+    col_of_projection[i] = join.VarIndex(projection[i]);
+  }
+  result.rows.reserve(full_rows.size());
+  for (const RawRow& row : full_rows) {
+    RawRow projected(projection.size(), kNullBinding);
+    for (size_t i = 0; i < projection.size(); ++i) {
+      if (col_of_projection[i] >= 0) projected[i] = row[col_of_projection[i]];
+    }
+    result.rows.push_back(std::move(projected));
+  }
+  return result;
+}
+
+uint64_t Engine::Execute(const ParsedQuery& query, const RowSink& sink,
+                         QueryStats* stats) {
+  Stopwatch total_watch;
+  QueryStats local_stats;
+  QueryStats* st = stats ? stats : &local_stats;
+  *st = QueryStats{};
+
+  std::vector<std::string> projection = query.EffectiveProjection();
+
+  // Cheap filter optimization, then UNF rewrite (Section 5.2).
+  std::unique_ptr<Algebra> body = EliminateVarEqualities(*query.body);
+  UnfResult unf = ToUnionNormalForm(*body);
+  st->num_union_branches = static_cast<int>(unf.branches.size());
+
+  std::vector<RawRow> all_rows;
+  for (const auto& branch : unf.branches) {
+    BranchResult br = ExecuteBranch(*branch, projection, st);
+    for (RawRow& row : br.rows) all_rows.push_back(std::move(row));
+  }
+
+  // Rule-3 UNION rewrites can introduce spurious results across branches
+  // (footnote 6 of the paper): rows subsumed by another branch's fuller
+  // match, and unmatched rows duplicated once per union arm. Remove the
+  // first kind with a final best-match; fix the second by dividing the
+  // multiplicity of fully-unmatched rows by the arm count.
+  if (unf.may_have_spurious && unf.branches.size() > 1) {
+    st->best_match_used = true;
+    all_rows = BestMatch(std::move(all_rows), {});
+    for (const UnfResult::Rule3Info& info : unf.rule3) {
+      if (info.arm_count < 2 || info.exclusive_vars.empty()) continue;
+      // Projection columns of the OPT pattern's exclusive variables. If any
+      // exclusive var is not projected, unmatched rows cannot be identified
+      // reliably; skip (exact for SELECT *, the paper's operating mode).
+      std::vector<int> cols;
+      bool all_projected = true;
+      for (const std::string& v : info.exclusive_vars) {
+        auto it = std::find(projection.begin(), projection.end(), v);
+        if (it == projection.end()) {
+          all_projected = false;
+          break;
+        }
+        cols.push_back(static_cast<int>(it - projection.begin()));
+      }
+      if (!all_projected) continue;
+      // Keep ceil(count / arm_count) copies of each distinct unmatched row
+      // (the rewrite emitted arm_count copies per original row).
+      std::map<RawRow, int> kept;
+      std::vector<RawRow> filtered;
+      filtered.reserve(all_rows.size());
+      for (RawRow& row : all_rows) {
+        bool unmatched = true;
+        for (int c : cols) {
+          if (row[c] != kNullBinding) {
+            unmatched = false;
+            break;
+          }
+        }
+        if (!unmatched) {
+          filtered.push_back(std::move(row));
+          continue;
+        }
+        if (++kept[row] % info.arm_count == 1 || info.arm_count == 1) {
+          filtered.push_back(std::move(row));
+        }
+      }
+      all_rows = std::move(filtered);
+    }
+  }
+
+  st->num_results = all_rows.size();
+  for (const RawRow& row : all_rows) {
+    if (CountNulls(row) > 0) ++st->num_results_with_nulls;
+    sink(row);
+  }
+  st->t_total_sec = total_watch.Seconds();
+  return st->num_results;
+}
+
+ResultTable Engine::ExecuteToTable(const ParsedQuery& query,
+                                   QueryStats* stats) {
+  ResultTable table;
+  table.var_names = query.EffectiveProjection();
+  GlobalIds ids = GlobalIds::FromDictionary(*dict_);
+  Execute(
+      query,
+      [&](const RawRow& row) {
+        std::vector<std::optional<Term>> decoded(row.size());
+        for (size_t i = 0; i < row.size(); ++i) {
+          if (row[i] != kNullBinding) decoded[i] = ids.Decode(*dict_, row[i]);
+        }
+        table.rows.push_back(std::move(decoded));
+      },
+      stats);
+  return table;
+}
+
+ResultTable Engine::ExecuteToTable(const std::string& sparql,
+                                   QueryStats* stats) {
+  ParsedQuery q = Parser::Parse(sparql);
+  return ExecuteToTable(q, stats);
+}
+
+}  // namespace lbr

@@ -1,0 +1,327 @@
+#include "core/multiway_join.h"
+
+#include <algorithm>
+#include <set>
+
+#include "core/nullification.h"
+#include "sparql/filter_eval.h"
+
+namespace lbr {
+
+MultiwayJoin::MultiwayJoin(const Gosn& gosn, const GlobalIds& ids,
+                           const Dictionary& dict, std::vector<TpState>* tps,
+                           std::vector<int> stps_order, Options options)
+    : gosn_(gosn),
+      ids_(ids),
+      dict_(dict),
+      tps_(tps),
+      stps_(std::move(stps_order)),
+      options_(std::move(options)) {
+  // Variable table: every variable of every TP plus filter variables,
+  // sorted for a deterministic column order.
+  std::set<std::string> vars;
+  for (const TpState& tp : *tps_) {
+    for (const std::string& v : tp.tp.Vars()) vars.insert(v);
+  }
+  for (const ScopedFilter& f : options_.filters) {
+    f.expr.CollectVars(&vars);
+  }
+  for (const std::string& v : vars) {
+    var_index_[v] = static_cast<int>(var_names_.size());
+    var_names_.push_back(v);
+  }
+
+  row_var_of_tp_.assign(tps_->size(), -1);
+  col_var_of_tp_.assign(tps_->size(), -1);
+  for (size_t i = 0; i < tps_->size(); ++i) {
+    const TpBitMat& mat = (*tps_)[i].mat;
+    if (!mat.row_var.empty()) row_var_of_tp_[i] = var_index_[mat.row_var];
+    if (!mat.col_var.empty()) col_var_of_tp_[i] = var_index_[mat.col_var];
+  }
+
+  vmap_.assign(var_names_.size(), {});
+  visited_.assign(tps_->size(), false);
+  transpose_cache_.resize(tps_->size());
+  has_transpose_.assign(tps_->size(), false);
+}
+
+int MultiwayJoin::VarIndex(const std::string& name) const {
+  auto it = var_index_.find(name);
+  return it == var_index_.end() ? -1 : it->second;
+}
+
+const MultiwayJoin::Entry* MultiwayJoin::FirstEntry(int var) const {
+  if (var < 0 || vmap_[var].empty()) return nullptr;
+  return &vmap_[var].front();
+}
+
+const BitMat& MultiwayJoin::TransposeOf(int tp_id) {
+  if (!has_transpose_[tp_id]) {
+    transpose_cache_[tp_id] = (*tps_)[tp_id].mat.bm.Transposed();
+    has_transpose_[tp_id] = true;
+  }
+  return transpose_cache_[tp_id];
+}
+
+uint64_t MultiwayJoin::Run(const Sink& sink) {
+  sink_ = sink;
+  emitted_ = 0;
+  if (!tps_->empty()) Recurse(0);
+  return emitted_;
+}
+
+std::vector<int> MultiwayJoin::MasterColumns() const {
+  std::vector<int> cols;
+  for (size_t i = 0; i < var_names_.size(); ++i) {
+    bool in_master = false;
+    for (const TpState& tp : *tps_) {
+      if (gosn_.IsAbsoluteMaster(tp.sn_id) &&
+          tp.tp.UsesVar(var_names_[i])) {
+        in_master = true;
+        break;
+      }
+    }
+    if (in_master) cols.push_back(static_cast<int>(i));
+  }
+  return cols;
+}
+
+void MultiwayJoin::VisitWith(const TpState& tp, uint64_t row_value,
+                             uint64_t col_value, size_t visited_count) {
+  int rv = row_var_of_tp_[tp.tp_id];
+  int cv = col_var_of_tp_[tp.tp_id];
+  size_t pushed = 0;
+  if (rv >= 0) {
+    vmap_[rv].push_back(Entry{tp.tp_id, row_value});
+    ++pushed;
+  }
+  if (cv >= 0 && cv != rv) {
+    vmap_[cv].push_back(Entry{tp.tp_id, col_value});
+    ++pushed;
+  }
+  visited_[tp.tp_id] = true;
+  Recurse(visited_count + 1);
+  visited_[tp.tp_id] = false;
+  if (rv >= 0) vmap_[rv].pop_back();
+  if (cv >= 0 && cv != rv) vmap_[cv].pop_back();
+  (void)pushed;
+}
+
+void MultiwayJoin::VisitNull(const TpState& tp, size_t visited_count) {
+  int rv = row_var_of_tp_[tp.tp_id];
+  int cv = col_var_of_tp_[tp.tp_id];
+  if (rv >= 0) vmap_[rv].push_back(Entry{tp.tp_id, kNullBinding});
+  if (cv >= 0 && cv != rv) vmap_[cv].push_back(Entry{tp.tp_id, kNullBinding});
+  visited_[tp.tp_id] = true;
+  Recurse(visited_count + 1);
+  visited_[tp.tp_id] = false;
+  if (rv >= 0) vmap_[rv].pop_back();
+  if (cv >= 0 && cv != rv) vmap_[cv].pop_back();
+}
+
+void MultiwayJoin::Recurse(size_t visited_count) {
+  if (visited_count == stps_.size()) {
+    Emit();
+    return;
+  }
+
+  // Pick the first non-visited TP (in stps order) with at least one bound
+  // variable; variable-free TPs qualify immediately; with nothing bound yet
+  // (the very first call) the first TP is taken (Alg 5.4 lines 6-11).
+  int chosen = -1;
+  int fallback = -1;
+  for (int tp_id : stps_) {
+    if (visited_[tp_id]) continue;
+    if (fallback == -1) fallback = tp_id;
+    int rv = row_var_of_tp_[tp_id];
+    int cv = col_var_of_tp_[tp_id];
+    if (rv < 0 && cv < 0) {
+      chosen = tp_id;  // existence guard
+      break;
+    }
+    if ((rv >= 0 && FirstEntry(rv) != nullptr) ||
+        (cv >= 0 && FirstEntry(cv) != nullptr)) {
+      chosen = tp_id;
+      break;
+    }
+  }
+  if (chosen == -1) chosen = fallback;
+  const TpState& tp = (*tps_)[chosen];
+  const bool is_abs_master = gosn_.IsAbsoluteMaster(tp.sn_id);
+  int rv = row_var_of_tp_[chosen];
+  int cv = col_var_of_tp_[chosen];
+
+  // Resolve the constraints on this TP's dimensions. A binding is either
+  // absent (enumerate), a concrete local id, NULL (no triple can match), or
+  // incompatible with the dimension's domain (no triple can match).
+  enum class Constraint { kFree, kLocal, kImpossible };
+  auto resolve = [&](int var, DomainKind kind,
+                     uint32_t* local) -> Constraint {
+    if (var < 0) return Constraint::kFree;
+    const Entry* e = FirstEntry(var);
+    if (e == nullptr) return Constraint::kFree;
+    if (e->value == kNullBinding) return Constraint::kImpossible;
+    std::optional<uint32_t> l = ids_.ToLocal(kind, e->value);
+    if (!l) return Constraint::kImpossible;
+    *local = *l;
+    return Constraint::kLocal;
+  };
+
+  uint32_t row_local = 0, col_local = 0;
+  Constraint rc = resolve(rv, tp.mat.row_kind, &row_local);
+  Constraint cc = resolve(cv, tp.mat.col_kind, &col_local);
+
+  bool matched = false;
+  const BitMat& bm = tp.mat.bm;
+  const bool diagonal = (rv >= 0 && rv == cv);
+
+  auto global_row = [&](uint32_t r) { return ids_.ToGlobal(tp.mat.row_kind, r); };
+  auto global_col = [&](uint32_t c) { return ids_.ToGlobal(tp.mat.col_kind, c); };
+
+  if (rc == Constraint::kImpossible || cc == Constraint::kImpossible) {
+    // fallthrough: no triple matches.
+  } else if (rv < 0 && cv < 0) {
+    // Variable-free TP: pure existence check.
+    if (!bm.IsEmpty()) {
+      matched = true;
+      VisitWith(tp, 0, 0, visited_count);
+    }
+  } else if (cv < 0) {
+    // Single-variable TP: bits live at (row, 0).
+    if (rc == Constraint::kLocal) {
+      if (bm.Test(row_local, 0)) {
+        matched = true;
+        VisitWith(tp, global_row(row_local), 0, visited_count);
+      }
+    } else {
+      bm.NonEmptyRows().ForEachSetBit([&](uint32_t r) {
+        matched = true;
+        VisitWith(tp, global_row(r), 0, visited_count);
+      });
+    }
+  } else if (diagonal) {
+    // (?x p ?x): the diagonal was enforced at load time; enumerate rows.
+    if (rc == Constraint::kLocal) {
+      if (bm.Test(row_local, row_local)) {
+        matched = true;
+        VisitWith(tp, global_row(row_local), global_col(row_local),
+                  visited_count);
+      }
+    } else {
+      bm.NonEmptyRows().ForEachSetBit([&](uint32_t r) {
+        if (bm.Test(r, r)) {
+          matched = true;
+          VisitWith(tp, global_row(r), global_col(r), visited_count);
+        }
+      });
+    }
+  } else if (rc == Constraint::kLocal && cc == Constraint::kLocal) {
+    if (bm.Test(row_local, col_local)) {
+      matched = true;
+      VisitWith(tp, global_row(row_local), global_col(col_local),
+                visited_count);
+    }
+  } else if (rc == Constraint::kLocal) {
+    bm.Row(row_local).ForEachSetBit([&](uint32_t c) {
+      matched = true;
+      VisitWith(tp, global_row(row_local), global_col(c), visited_count);
+    });
+  } else if (cc == Constraint::kLocal) {
+    const BitMat& t = TransposeOf(chosen);
+    t.Row(col_local).ForEachSetBit([&](uint32_t r) {
+      matched = true;
+      VisitWith(tp, global_row(r), global_col(col_local), visited_count);
+    });
+  } else {
+    // Neither dimension bound: enumerate every triple (first TP, or a TP
+    // whose connections were all nulled).
+    bm.ForEachBit([&](uint32_t r, uint32_t c) {
+      matched = true;
+      VisitWith(tp, global_row(r), global_col(c), visited_count);
+    });
+  }
+
+  if (!matched) {
+    if (is_abs_master) return;  // Alg 5.4 line 27-28: rollback.
+    VisitNull(tp, visited_count);
+  }
+}
+
+void MultiwayJoin::Emit() {
+  // Per-supernode nulled state for this row.
+  std::vector<bool> sn_nulled(gosn_.num_supernodes(), false);
+
+  bool row_nulled = false;
+
+  // --- Nullification (cyclic queries, Lemma 3.4): a slave supernode whose
+  // TP entries are partially NULL is inconsistent; NULL the whole group and
+  // cascade through the failure closure.
+  if (options_.nullification) {
+    std::vector<int> seeds;
+    for (int sn = 0; sn < gosn_.num_supernodes(); ++sn) {
+      if (gosn_.IsAbsoluteMaster(sn)) continue;
+      bool any_null = false, any_bound = false;
+      for (int tp_id : gosn_.supernode(sn).tp_ids) {
+        int rv = row_var_of_tp_[tp_id];
+        int cv = col_var_of_tp_[tp_id];
+        for (int var : {rv, cv}) {
+          if (var < 0) continue;
+          for (const Entry& e : vmap_[var]) {
+            if (e.tp_id != tp_id) continue;
+            (e.value == kNullBinding ? any_null : any_bound) = true;
+          }
+        }
+      }
+      if (any_null && any_bound) seeds.push_back(sn);
+    }
+    if (!seeds.empty()) {
+      for (int sn : FailureClosure(gosn_, seeds)) sn_nulled[sn] = true;
+      nulling_applied_ = true;
+      row_nulled = true;
+    }
+  }
+
+  // Effective binding of a variable: the first (master-most) entry whose TP
+  // is not in a nulled supernode.
+  auto effective = [&](int var) -> uint64_t {
+    for (const Entry& e : vmap_[var]) {
+      if (sn_nulled[gosn_.SupernodeOf(e.tp_id)]) continue;
+      return e.value;
+    }
+    return kNullBinding;
+  };
+
+  // --- FaN: apply scoped filters innermost-first (Section 5.2).
+  for (const ScopedFilter& filter : options_.filters) {
+    VarLookup lookup = [&](const std::string& name) -> std::optional<Term> {
+      int var = VarIndex(name);
+      if (var < 0) return std::nullopt;
+      uint64_t v = effective(var);
+      if (v == kNullBinding) return std::nullopt;
+      return ids_.Decode(dict_, v);
+    };
+    if (FilterPasses(filter.expr, lookup)) continue;
+    bool touches_abs_master = false;
+    for (int sn : filter.scope_supernodes) {
+      if (gosn_.IsAbsoluteMaster(sn)) {
+        touches_abs_master = true;
+        break;
+      }
+    }
+    if (touches_abs_master) return;  // Drop the row.
+    for (int sn : FailureClosure(gosn_, filter.scope_supernodes)) {
+      sn_nulled[sn] = true;
+    }
+    nulling_applied_ = true;
+    row_nulled = true;
+  }
+
+  RawRow row(var_names_.size(), kNullBinding);
+  for (size_t i = 0; i < var_names_.size(); ++i) {
+    row[i] = effective(static_cast<int>(i));
+  }
+  ++emitted_;
+  sink_(row, row_nulled);
+}
+
+}  // namespace lbr

@@ -1,0 +1,111 @@
+#ifndef LBR_CORE_MULTIWAY_JOIN_H_
+#define LBR_CORE_MULTIWAY_JOIN_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bitmat/bitmat.h"
+#include "core/global_ids.h"
+#include "core/gosn.h"
+#include "core/row.h"
+#include "core/tp_state.h"
+#include "rdf/dictionary.h"
+
+namespace lbr {
+
+/// The multi-way pipelined join of Algorithm 5.4.
+///
+/// TPs are processed in the stps order (selective absolute masters first,
+/// then the master-slave hierarchy); variable bindings live in vmap (one
+/// entry stack per variable, tagged by the binding TP); no intermediate
+/// tables or hash joins are built. Unmatched slave TPs produce NULL
+/// bindings; unmatched absolute-master TPs roll the branch back.
+///
+/// At emission time the engine's decision flags drive:
+///  - nullification: repair of partially-NULL slave groups (required for
+///    cyclic queries with more than one jvar per slave — Lemma 3.4);
+///  - FaN (filter-and-nullification, Section 5.2): each scoped filter either
+///    drops the row (scope touches an absolute master) or NULLs its scope's
+///    supernode closure.
+class MultiwayJoin {
+ public:
+  /// Receives each result row plus whether nullification/FaN nulled part of
+  /// it. Nulled rows are phantoms of reordered enumeration: the engine must
+  /// deduplicate them (at full-row granularity) and run best-match.
+  using Sink = std::function<void(const RawRow&, bool nulled)>;
+
+  struct Options {
+    /// Run the nullification repair at emit time.
+    bool nullification = false;
+    /// Scoped filters to apply FaN-style (innermost first).
+    std::vector<ScopedFilter> filters;
+  };
+
+  MultiwayJoin(const Gosn& gosn, const GlobalIds& ids, const Dictionary& dict,
+               std::vector<TpState>* tps, std::vector<int> stps_order,
+               Options options);
+
+  /// Variable table: dense column indexes for every query variable, in a
+  /// deterministic (sorted) order.
+  const std::vector<std::string>& var_names() const { return var_names_; }
+  int VarIndex(const std::string& name) const;
+
+  /// Runs the join, emitting each final row to `sink`. Returns the number
+  /// of rows emitted.
+  uint64_t Run(const Sink& sink);
+
+  /// True if any row needed nullification repair or FaN nulling — the
+  /// engine must then run best-match over the emitted rows.
+  bool nulling_applied() const { return nulling_applied_; }
+
+  /// Column indexes of variables bound by absolute-master TPs (never NULL);
+  /// used as the best-match grouping key.
+  std::vector<int> MasterColumns() const;
+
+ private:
+  struct Entry {
+    int tp_id;
+    uint64_t value;  // kNullBinding for NULL.
+  };
+
+  void Recurse(size_t visited_count);
+  void Emit();
+
+  // Pushes an entry for every variable of `tp` and recurses; pops after.
+  void VisitWith(const TpState& tp, uint64_t row_value, uint64_t col_value,
+                 size_t visited_count);
+  void VisitNull(const TpState& tp, size_t visited_count);
+
+  // First entry (master-most binding) for a variable; nullptr if no entry.
+  const Entry* FirstEntry(int var) const;
+
+  const BitMat& TransposeOf(int tp_id);
+
+  const Gosn& gosn_;
+  GlobalIds ids_;
+  const Dictionary& dict_;
+  std::vector<TpState>* tps_;
+  std::vector<int> stps_;
+  Options options_;
+
+  std::vector<std::string> var_names_;
+  std::map<std::string, int> var_index_;
+  // Per-TP: variable column of the row/col dimension (-1 if unit).
+  std::vector<int> row_var_of_tp_;
+  std::vector<int> col_var_of_tp_;
+
+  std::vector<std::vector<Entry>> vmap_;  // per var column
+  std::vector<bool> visited_;
+  std::vector<BitMat> transpose_cache_;
+  std::vector<bool> has_transpose_;
+
+  Sink sink_;
+  uint64_t emitted_ = 0;
+  bool nulling_applied_ = false;
+};
+
+}  // namespace lbr
+
+#endif  // LBR_CORE_MULTIWAY_JOIN_H_

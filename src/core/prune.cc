@@ -1,0 +1,133 @@
+#include "core/prune.h"
+
+#include <map>
+#include <set>
+
+namespace lbr {
+
+namespace {
+
+// fold(BM_tp, dim_j) aligned to the domain of `target_kind`/`target_size`.
+Bitvector AlignedFold(const TpState& tp, const std::string& jvar,
+                      DomainKind target_kind, uint32_t target_size,
+                      uint32_t num_common) {
+  Dim dim = tp.mat.DimOf(jvar);
+  DomainKind kind = tp.mat.KindOf(jvar);
+  Bitvector fold = tp.mat.bm.Fold(dim);
+  if (kind == target_kind && fold.size() == target_size) return fold;
+  return AlignMask(fold, kind, target_kind, num_common, target_size);
+}
+
+uint32_t DimSize(const TpState& tp, const std::string& jvar) {
+  return tp.mat.DimOf(jvar) == Dim::kRow ? tp.mat.bm.num_rows()
+                                         : tp.mat.bm.num_cols();
+}
+
+}  // namespace
+
+void SemiJoin(const std::string& jvar, TpState* slave, const TpState& master,
+              uint32_t num_common) {
+  DomainKind slave_kind = slave->mat.KindOf(jvar);
+  uint32_t slave_size = DimSize(*slave, jvar);
+
+  Bitvector beta = slave->mat.bm.Fold(slave->mat.DimOf(jvar));
+  size_t before = beta.Count();
+  Bitvector master_fold =
+      AlignedFold(master, jvar, slave_kind, slave_size, num_common);
+  beta.And(master_fold);
+  // Cross-domain folds are already truncated at Vso by AlignMask; when the
+  // kinds differ the slave-side fold must be truncated too.
+  if (master.mat.KindOf(jvar) != slave_kind &&
+      slave_kind != DomainKind::kPredicate) {
+    beta.TruncateBitsFrom(num_common);
+  }
+  // Unfold only when the intersection actually removed bindings (beta is a
+  // subset of the slave's fold, so equal counts mean equal sets).
+  if (beta.Count() != before) {
+    slave->mat.bm.Unfold(beta, slave->mat.DimOf(jvar));
+  }
+}
+
+void ClusteredSemiJoin(const std::string& jvar,
+                       const std::vector<TpState*>& cluster,
+                       uint32_t num_common) {
+  if (cluster.size() < 2) return;
+  // Fold every member once; alignment to each target is a cheap word copy.
+  std::vector<Bitvector> folds;
+  std::vector<DomainKind> kinds;
+  folds.reserve(cluster.size());
+  kinds.reserve(cluster.size());
+  for (const TpState* member : cluster) {
+    folds.push_back(member->mat.bm.Fold(member->mat.DimOf(jvar)));
+    kinds.push_back(member->mat.KindOf(jvar));
+  }
+  for (size_t i = 0; i < cluster.size(); ++i) {
+    TpState* target = cluster[i];
+    DomainKind kind = kinds[i];
+    uint32_t size = DimSize(*target, jvar);
+    Bitvector beta = folds[i];
+    size_t before = beta.Count();
+    bool cross_domain = false;
+    for (size_t j = 0; j < cluster.size(); ++j) {
+      if (j == i) continue;
+      if (kinds[j] == kind && folds[j].size() == size) {
+        beta.And(folds[j]);
+      } else {
+        beta.And(AlignMask(folds[j], kinds[j], kind, num_common, size));
+        if (kinds[j] != kind) cross_domain = true;
+      }
+    }
+    if (cross_domain && kind != DomainKind::kPredicate) {
+      beta.TruncateBitsFrom(num_common);
+    }
+    if (beta.Count() != before) {
+      target->mat.bm.Unfold(beta, target->mat.DimOf(jvar));
+    }
+  }
+}
+
+void PruneTriples(const JvarOrder& order, const Gosn& gosn, const Goj& goj,
+                  uint32_t num_common, std::vector<TpState>* tps) {
+  auto pass = [&](const std::vector<int>& jvar_order) {
+    for (int j : jvar_order) {
+      const std::string& jvar = goj.jvars()[j];
+      const std::vector<int>& holders = goj.tps_of_jvar()[j];
+
+      // Master -> slave semi-joins (Alg 3.2 lines 2-5): every slave TP takes
+      // the master TP's restrictions on the jvar.
+      for (int master_id : holders) {
+        for (int slave_id : holders) {
+          if (master_id == slave_id) continue;
+          if (!gosn.TpIsMasterOf(master_id, slave_id)) continue;
+          SemiJoin(jvar, &(*tps)[slave_id], (*tps)[master_id], num_common);
+        }
+      }
+
+      // Clustered semi-joins per peer group (lines 6-8): TPs holding the
+      // jvar whose supernodes are the same or peers.
+      std::set<int> done_groups;
+      for (int tp_id : holders) {
+        int group = gosn.SupernodeOf(tp_id);
+        // Normalize to the smallest peer supernode id as group key.
+        for (int sn = 0; sn < gosn.num_supernodes(); ++sn) {
+          if (gosn.IsPeer(sn, group)) {
+            group = sn;
+            break;
+          }
+        }
+        if (!done_groups.insert(group).second) continue;
+        std::vector<TpState*> cluster;
+        for (int other : holders) {
+          if (gosn.IsPeer(gosn.SupernodeOf(other), group)) {
+            cluster.push_back(&(*tps)[other]);
+          }
+        }
+        ClusteredSemiJoin(jvar, cluster, num_common);
+      }
+    }
+  };
+  pass(order.order_bu);
+  pass(order.order_td);
+}
+
+}  // namespace lbr

@@ -1,0 +1,37 @@
+#ifndef LBR_SPARQL_PARSER_H_
+#define LBR_SPARQL_PARSER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "sparql/ast.h"
+
+namespace lbr {
+
+/// Recursive-descent parser for the SPARQL subset the paper works with:
+/// PREFIX declarations, SELECT (* or variable list), group graph patterns
+/// with triple patterns, nested groups, OPTIONAL, UNION, and FILTER with
+/// comparison / BOUND constraints.
+///
+/// The group-to-algebra translation follows the SPARQL 1.1 specification:
+/// each contiguous triples block becomes one BGP leaf; OPTIONAL left-joins
+/// the pattern accumulated so far with its group; a nested group or UNION
+/// chain joins with the accumulated pattern; FILTERs collected in a group
+/// apply to the whole group's result.
+class Parser {
+ public:
+  /// Parses a full query. Throws std::invalid_argument with location info on
+  /// syntax errors.
+  static ParsedQuery Parse(std::string_view text);
+
+  /// Parses a query body only (a group graph pattern, starting at '{'),
+  /// with the given prefix table. Useful for tests.
+  static std::unique_ptr<Algebra> ParseGroup(
+      std::string_view text, const std::map<std::string, std::string>& prefixes);
+};
+
+}  // namespace lbr
+
+#endif  // LBR_SPARQL_PARSER_H_

@@ -1,0 +1,149 @@
+#include "util/bitvector.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lbr {
+
+namespace {
+constexpr size_t WordsFor(size_t bits) { return (bits + 63) >> 6; }
+}  // namespace
+
+Bitvector::Bitvector(size_t n, bool value)
+    : size_(n), words_(WordsFor(n), value ? ~uint64_t{0} : 0) {
+  ZeroTail();
+}
+
+void Bitvector::Resize(size_t n) {
+  size_ = n;
+  words_.resize(WordsFor(n), 0);
+  ZeroTail();
+}
+
+void Bitvector::Clear() {
+  std::fill(words_.begin(), words_.end(), 0);
+}
+
+void Bitvector::Fill() {
+  std::fill(words_.begin(), words_.end(), ~uint64_t{0});
+  ZeroTail();
+}
+
+size_t Bitvector::Count() const {
+  size_t c = 0;
+  for (uint64_t w : words_) c += static_cast<size_t>(__builtin_popcountll(w));
+  return c;
+}
+
+bool Bitvector::None() const {
+  for (uint64_t w : words_) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+bool Bitvector::All() const {
+  if (size_ == 0) return true;
+  size_t full_words = size_ >> 6;
+  for (size_t i = 0; i < full_words; ++i) {
+    if (words_[i] != ~uint64_t{0}) return false;
+  }
+  size_t rem = size_ & 63;
+  if (rem != 0) {
+    uint64_t mask = (uint64_t{1} << rem) - 1;
+    if ((words_[full_words] & mask) != mask) return false;
+  }
+  return true;
+}
+
+size_t Bitvector::FindFirst() const {
+  for (size_t w = 0; w < words_.size(); ++w) {
+    if (words_[w] != 0) {
+      return (w << 6) + static_cast<size_t>(__builtin_ctzll(words_[w]));
+    }
+  }
+  return size_;
+}
+
+size_t Bitvector::FindNext(size_t i) const {
+  ++i;
+  if (i >= size_) return size_;
+  size_t w = i >> 6;
+  uint64_t word = words_[w] >> (i & 63);
+  if (word != 0) return i + static_cast<size_t>(__builtin_ctzll(word));
+  for (++w; w < words_.size(); ++w) {
+    if (words_[w] != 0) {
+      return (w << 6) + static_cast<size_t>(__builtin_ctzll(words_[w]));
+    }
+  }
+  return size_;
+}
+
+void Bitvector::And(const Bitvector& other) {
+  assert(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+}
+
+void Bitvector::Or(const Bitvector& other) {
+  assert(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+}
+
+void Bitvector::AndNot(const Bitvector& other) {
+  assert(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+}
+
+void Bitvector::Not() {
+  for (uint64_t& w : words_) w = ~w;
+  ZeroTail();
+}
+
+void Bitvector::TruncateBitsFrom(size_t n) {
+  if (n >= size_) return;
+  size_t w = n >> 6;
+  size_t rem = n & 63;
+  if (rem != 0) {
+    words_[w] &= (uint64_t{1} << rem) - 1;
+    ++w;
+  }
+  for (; w < words_.size(); ++w) words_[w] = 0;
+}
+
+Bitvector Bitvector::Resized(size_t n) const {
+  Bitvector out;
+  out.size_ = n;
+  out.words_.assign(WordsFor(n), 0);
+  size_t copy_words = std::min(out.words_.size(), words_.size());
+  std::copy(words_.begin(), words_.begin() + static_cast<long>(copy_words),
+            out.words_.begin());
+  out.ZeroTail();
+  if (n < size_) {
+    // Already handled by word truncation + ZeroTail.
+  }
+  return out;
+}
+
+void Bitvector::AppendSetBits(std::vector<uint32_t>* out) const {
+  ForEachSetBit([out](uint32_t i) { out->push_back(i); });
+}
+
+std::vector<uint32_t> Bitvector::SetBits() const {
+  std::vector<uint32_t> out;
+  out.reserve(Count());
+  AppendSetBits(&out);
+  return out;
+}
+
+bool Bitvector::operator==(const Bitvector& other) const {
+  return size_ == other.size_ && words_ == other.words_;
+}
+
+void Bitvector::ZeroTail() {
+  size_t rem = size_ & 63;
+  if (rem != 0 && !words_.empty()) {
+    words_.back() &= (uint64_t{1} << rem) - 1;
+  }
+}
+
+}  // namespace lbr

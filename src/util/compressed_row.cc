@@ -1,0 +1,196 @@
+#include "util/compressed_row.h"
+
+#include <algorithm>
+#include <cassert>
+#include <istream>
+#include <ostream>
+
+namespace lbr {
+
+namespace {
+
+// Number of runs in the RLE form of a row whose set bits are `positions`,
+// given that trailing zeros are not encoded (the row is self-delimiting).
+// Also reports whether the row starts with a 1-run.
+size_t CountRuns(const std::vector<uint32_t>& positions, bool* first_bit) {
+  if (positions.empty()) {
+    *first_bit = false;
+    return 0;
+  }
+  *first_bit = (positions[0] == 0);
+  size_t runs = (positions[0] == 0) ? 1 : 2;  // leading 0-run (if any) + 1-run
+  for (size_t i = 1; i < positions.size(); ++i) {
+    if (positions[i] == positions[i - 1] + 1) continue;  // same 1-run
+    runs += 2;  // a 0-gap and the next 1-run
+  }
+  return runs;
+}
+
+void BuildRuns(const std::vector<uint32_t>& positions,
+               std::vector<uint32_t>* runs) {
+  runs->clear();
+  if (positions.empty()) return;
+  if (positions[0] != 0) runs->push_back(positions[0]);  // leading 0-run
+  uint32_t run_len = 1;
+  for (size_t i = 1; i < positions.size(); ++i) {
+    if (positions[i] == positions[i - 1] + 1) {
+      ++run_len;
+    } else {
+      runs->push_back(run_len);                          // 1-run
+      runs->push_back(positions[i] - positions[i - 1] - 1);  // 0-gap
+      run_len = 1;
+    }
+  }
+  runs->push_back(run_len);  // final 1-run; trailing zeros are implicit
+}
+
+}  // namespace
+
+CompressedRow CompressedRow::EncodeOptimal(
+    const std::vector<uint32_t>& positions, bool allow_positions) {
+  CompressedRow row;
+  if (positions.empty()) return row;
+  row.count_ = static_cast<uint32_t>(positions.size());
+  bool first_bit = false;
+  size_t run_ints = CountRuns(positions, &first_bit);
+  if (allow_positions && positions.size() < run_ints) {
+    row.encoding_ = Encoding::kPositions;
+    row.payload_ = positions;
+  } else {
+    row.encoding_ = Encoding::kRuns;
+    row.first_bit_ = first_bit;
+    BuildRuns(positions, &row.payload_);
+    // BuildRuns never emits a leading 0-run of length 0; first_bit_ tells the
+    // decoder whether payload_[0] is a 1-run or a 0-run.
+  }
+  return row;
+}
+
+CompressedRow CompressedRow::FromBitvector(const Bitvector& bits) {
+  return FromPositions(bits.SetBits());
+}
+
+CompressedRow CompressedRow::FromPositions(
+    const std::vector<uint32_t>& positions) {
+  assert(std::is_sorted(positions.begin(), positions.end()));
+  return EncodeOptimal(positions, /*allow_positions=*/true);
+}
+
+CompressedRow CompressedRow::RleOnlyFromPositions(
+    const std::vector<uint32_t>& positions) {
+  assert(std::is_sorted(positions.begin(), positions.end()));
+  return EncodeOptimal(positions, /*allow_positions=*/false);
+}
+
+bool CompressedRow::Test(uint32_t pos) const {
+  switch (encoding_) {
+    case Encoding::kEmpty:
+      return false;
+    case Encoding::kPositions:
+      return std::binary_search(payload_.begin(), payload_.end(), pos);
+    case Encoding::kRuns: {
+      uint32_t cur = 0;
+      bool bit = first_bit_;
+      for (uint32_t run : payload_) {
+        if (pos < cur + run) return bit;
+        cur += run;
+        bit = !bit;
+      }
+      return false;  // trailing zeros
+    }
+  }
+  return false;
+}
+
+void CompressedRow::OrInto(Bitvector* out) const {
+  ForEachSetBit([out](uint32_t p) { out->Set(p); });
+}
+
+CompressedRow CompressedRow::AndWith(const Bitvector& mask) const {
+  std::vector<uint32_t> kept;
+  kept.reserve(count_);
+  ForEachSetBit([&](uint32_t p) {
+    if (p < mask.size() && mask.Get(p)) kept.push_back(p);
+  });
+  return FromPositions(kept);
+}
+
+bool CompressedRow::IntersectsWith(const Bitvector& mask) const {
+  switch (encoding_) {
+    case Encoding::kEmpty:
+      return false;
+    case Encoding::kPositions: {
+      for (uint32_t p : payload_) {
+        if (p < mask.size() && mask.Get(p)) return true;
+      }
+      return false;
+    }
+    case Encoding::kRuns: {
+      uint32_t pos = 0;
+      bool bit = first_bit_;
+      for (uint32_t run : payload_) {
+        if (bit) {
+          uint32_t end = std::min<uint64_t>(pos + run, mask.size());
+          for (uint32_t i = pos; i < end; ++i) {
+            if (mask.Get(i)) return true;
+          }
+        }
+        pos += run;
+        bit = !bit;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+void CompressedRow::AppendSetBits(std::vector<uint32_t>* out) const {
+  ForEachSetBit([out](uint32_t p) { out->push_back(p); });
+}
+
+std::vector<uint32_t> CompressedRow::SetBits() const {
+  std::vector<uint32_t> out;
+  out.reserve(count_);
+  AppendSetBits(&out);
+  return out;
+}
+
+bool CompressedRow::operator==(const CompressedRow& other) const {
+  // Canonical encodings: equal rows encode identically.
+  return encoding_ == other.encoding_ && first_bit_ == other.first_bit_ &&
+         count_ == other.count_ && payload_ == other.payload_;
+}
+
+void CompressedRow::WriteTo(std::ostream* out) const {
+  uint8_t tag = static_cast<uint8_t>(encoding_);
+  uint8_t fb = first_bit_ ? 1 : 0;
+  uint32_t n = static_cast<uint32_t>(payload_.size());
+  out->write(reinterpret_cast<const char*>(&tag), 1);
+  out->write(reinterpret_cast<const char*>(&fb), 1);
+  out->write(reinterpret_cast<const char*>(&count_), sizeof(count_));
+  out->write(reinterpret_cast<const char*>(&n), sizeof(n));
+  if (n > 0) {
+    out->write(reinterpret_cast<const char*>(payload_.data()),
+               n * sizeof(uint32_t));
+  }
+}
+
+CompressedRow CompressedRow::ReadFrom(std::istream* in) {
+  CompressedRow row;
+  uint8_t tag = 0, fb = 0;
+  uint32_t n = 0;
+  in->read(reinterpret_cast<char*>(&tag), 1);
+  in->read(reinterpret_cast<char*>(&fb), 1);
+  in->read(reinterpret_cast<char*>(&row.count_), sizeof(row.count_));
+  in->read(reinterpret_cast<char*>(&n), sizeof(n));
+  row.encoding_ = static_cast<Encoding>(tag);
+  row.first_bit_ = (fb != 0);
+  row.payload_.resize(n);
+  if (n > 0) {
+    in->read(reinterpret_cast<char*>(row.payload_.data()),
+             n * sizeof(uint32_t));
+  }
+  return row;
+}
+
+}  // namespace lbr

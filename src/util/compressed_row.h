@@ -1,0 +1,117 @@
+#ifndef LBR_UTIL_COMPRESSED_ROW_H_
+#define LBR_UTIL_COMPRESSED_ROW_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "util/bitvector.h"
+
+namespace lbr {
+
+/// One compressed row of a BitMat (Section 4 of the paper).
+///
+/// The paper's hybrid compression stores each bit-row either as
+///  - run-length encoding: a leading bit value plus run lengths
+///    ("1110011110" -> [1] 3 2 4 1), or
+///  - the explicit sorted positions of the set bits ("0010010000" -> 3 6),
+/// whichever uses fewer 4-byte integers. The hybrid fetches ~40% index-size
+/// reduction over pure RLE on sparse rows.
+///
+/// All operations (`Test`, `OrInto`, `AndWith`, iteration) work directly on
+/// the compressed form; a row is never expanded to an uncompressed bit
+/// buffer.
+class CompressedRow {
+ public:
+  enum class Encoding : uint8_t {
+    kEmpty = 0,      ///< No set bits; zero payload.
+    kPositions = 1,  ///< Payload is sorted set-bit positions.
+    kRuns = 2,       ///< Payload is run lengths; `first_bit` gives run 0's value.
+  };
+
+  CompressedRow() = default;
+
+  /// Builds the optimal (smallest) encoding from an uncompressed bit vector.
+  static CompressedRow FromBitvector(const Bitvector& bits);
+  /// Builds the optimal encoding from sorted, duplicate-free positions.
+  static CompressedRow FromPositions(const std::vector<uint32_t>& positions);
+  /// Builds a pure run-length encoding (no hybrid fallback). Used by the
+  /// index-size ablation to quantify the hybrid's savings.
+  static CompressedRow RleOnlyFromPositions(
+      const std::vector<uint32_t>& positions);
+
+  Encoding encoding() const { return encoding_; }
+  bool IsEmpty() const { return encoding_ == Encoding::kEmpty; }
+
+  /// Number of set bits.
+  uint32_t Count() const { return count_; }
+
+  /// Returns true iff bit `pos` is set.
+  bool Test(uint32_t pos) const;
+
+  /// ORs this row into `*out` (out->size() must cover every set position).
+  void OrInto(Bitvector* out) const;
+
+  /// Returns this row ANDed with `mask`: only set bits whose position is set
+  /// in `mask` survive. Positions >= mask.size() are dropped.
+  CompressedRow AndWith(const Bitvector& mask) const;
+
+  /// True iff the intersection with `mask` is non-empty (no allocation).
+  bool IntersectsWith(const Bitvector& mask) const;
+
+  /// Appends all set-bit positions (ascending) to `*out`.
+  void AppendSetBits(std::vector<uint32_t>* out) const;
+  std::vector<uint32_t> SetBits() const;
+
+  /// Calls `fn(pos)` for every set bit, ascending.
+  template <typename Fn>
+  void ForEachSetBit(Fn&& fn) const {
+    switch (encoding_) {
+      case Encoding::kEmpty:
+        return;
+      case Encoding::kPositions:
+        for (uint32_t p : payload_) fn(p);
+        return;
+      case Encoding::kRuns: {
+        uint32_t pos = 0;
+        bool bit = first_bit_;
+        for (uint32_t run : payload_) {
+          if (bit) {
+            for (uint32_t i = 0; i < run; ++i) fn(pos + i);
+          }
+          pos += run;
+          bit = !bit;
+        }
+        return;
+      }
+    }
+  }
+
+  /// Bytes used by the payload (the 4-byte integers of the paper's scheme),
+  /// for index-size accounting.
+  size_t PayloadBytes() const { return payload_.size() * sizeof(uint32_t); }
+  /// Number of payload integers.
+  size_t PayloadInts() const { return payload_.size(); }
+
+  bool operator==(const CompressedRow& other) const;
+  bool operator!=(const CompressedRow& other) const {
+    return !(*this == other);
+  }
+
+  /// Binary serialization (little-endian, self-delimiting).
+  void WriteTo(std::ostream* out) const;
+  static CompressedRow ReadFrom(std::istream* in);
+
+ private:
+  static CompressedRow EncodeOptimal(const std::vector<uint32_t>& positions,
+                                     bool allow_positions);
+
+  Encoding encoding_ = Encoding::kEmpty;
+  bool first_bit_ = false;       // Only meaningful for kRuns.
+  uint32_t count_ = 0;           // Cached set-bit count.
+  std::vector<uint32_t> payload_;
+};
+
+}  // namespace lbr
+
+#endif  // LBR_UTIL_COMPRESSED_ROW_H_

@@ -1,0 +1,146 @@
+#include "workload/dbpedia_gen.h"
+
+#include <string>
+
+#include "util/rng.h"
+
+namespace lbr {
+
+namespace {
+
+std::string Res(const std::string& kind, uint32_t i) {
+  return std::string(dbp::kNs) + "resource/" + kind + std::to_string(i);
+}
+
+}  // namespace
+
+std::vector<TermTriple> GenerateDbpedia(const DbpediaConfig& cfg) {
+  std::vector<TermTriple> out;
+  Rng rng(cfg.seed);
+
+  auto add = [&out](const std::string& s, const std::string& p,
+                    const std::string& o) {
+    out.push_back(TermTriple{Term::Iri(s), Term::Iri(p), Term::Iri(o)});
+  };
+  auto add_lit = [&out](const std::string& s, const std::string& p,
+                        const std::string& o) {
+    out.push_back(TermTriple{Term::Iri(s), Term::Iri(p), Term::Literal(o)});
+  };
+
+  // --- Populated places (E.3 Q1: mandatory abstract/label/lat/long with a
+  // cascade of OPTIONAL depiction/homepage/population/thumbnail).
+  for (uint32_t i = 0; i < cfg.num_places; ++i) {
+    const std::string place = Res("Place", i);
+    add(place, dbp::kType, dbp::kPopulatedPlace);
+    add_lit(place, dbp::kAbstract, "abstract of place " + std::to_string(i));
+    add_lit(place, dbp::kLabel, "Place " + std::to_string(i));
+    add_lit(place, dbp::kLat, std::to_string(rng.Uniform(180)));
+    add_lit(place, dbp::kLong, std::to_string(rng.Uniform(360)));
+    if (rng.Chance(0.5)) add(place, dbp::kDepiction, Res("Image", i));
+    if (rng.Chance(0.3)) add(place, dbp::kHomepage, Res("Site", i));
+    if (rng.Chance(0.6)) {
+      add_lit(place, dbp::kPopulationTotal,
+              std::to_string(1000 + rng.Uniform(1000000)));
+    }
+    if (rng.Chance(0.45)) add(place, dbp::kThumbnail, Res("Thumb", i));
+    if (rng.Chance(0.4)) {
+      add_lit(place, dbp::kGeorssPoint, std::to_string(rng.Uniform(100)));
+    }
+  }
+
+  // --- Persons (Q3 wants thumbnail+label+page persons; the generator never
+  // gives a thumbnail-holder a foaf:page, so Q3 is empty as in Table 6.4).
+  for (uint32_t i = 0; i < cfg.num_persons; ++i) {
+    const std::string person = Res("Person", i);
+    add(person, dbp::kType, dbp::kPerson);
+    add_lit(person, dbp::kLabel, "Person " + std::to_string(i));
+    bool has_thumb = rng.Chance(0.3);
+    if (has_thumb) {
+      add(person, dbp::kThumbnail, Res("Thumb", 100000 + i));
+    } else {
+      add(person, dbp::kPage, Res("Wiki", i));
+    }
+    if (rng.Chance(0.25)) add(person, dbp::kHomepage, Res("Site", 50000 + i));
+    if (rng.Chance(0.5)) {
+      add_lit(person, dbp::kComment, "comment " + std::to_string(i));
+    }
+    if (rng.Chance(0.6)) add(person, dbp::kSkosSubject, Res("Category", i % 64));
+    if (rng.Chance(0.7)) {
+      add_lit(person, dbp::kFoafName, "Name " + std::to_string(i));
+    }
+  }
+
+  // --- Soccer players (Q2: position+clubs mandatory; clubs never carry a
+  // capacity, keeping Q2 empty as the paper reports).
+  for (uint32_t i = 0; i < cfg.num_soccer_players; ++i) {
+    const std::string player = Res("SoccerPlayer", i);
+    add(player, dbp::kType, dbp::kSoccerPlayer);
+    add(player, dbp::kPage, Res("Wiki", 200000 + i));
+    add_lit(player, dbp::kPosition,
+            (i % 4 == 0) ? "goalkeeper" : "midfielder");
+    add(player, dbp::kClubs, Res("Club", i % 80));
+    add(player, dbp::kBirthPlace, Res("Place", static_cast<uint32_t>(
+                                                   rng.Uniform(cfg.num_places))));
+    if (rng.Chance(0.5)) {
+      add_lit(player, dbp::kNumber, std::to_string(1 + rng.Uniform(30)));
+    }
+  }
+
+  // --- Settlements + airports (Q4).
+  for (uint32_t i = 0; i < cfg.num_settlements; ++i) {
+    const std::string town = Res("Settlement", i);
+    add(town, dbp::kType, dbp::kSettlement);
+    add_lit(town, dbp::kLabel, "Settlement " + std::to_string(i));
+  }
+  for (uint32_t i = 0; i < cfg.num_airports; ++i) {
+    const std::string airport = Res("Airport", i);
+    add(airport, dbp::kType, dbp::kAirport);
+    add(airport, dbp::kCity,
+        Res("Settlement", static_cast<uint32_t>(
+                              rng.Uniform(cfg.num_settlements))));
+    add_lit(airport, dbp::kIata, "IA" + std::to_string(i));
+    if (rng.Chance(0.4)) add(airport, dbp::kHomepage, Res("Site", 90000 + i));
+    if (rng.Chance(0.5)) {
+      add_lit(airport, dbp::kNativeName, "Native " + std::to_string(i));
+    }
+  }
+
+  // --- Companies (Q6's wide OPTIONAL fan: every attribute partial).
+  for (uint32_t i = 0; i < cfg.num_companies; ++i) {
+    const std::string company = Res("Company", i);
+    add_lit(company, dbp::kComment, "company comment " + std::to_string(i));
+    add(company, dbp::kPage, Res("Wiki", 300000 + i));
+    if (rng.Chance(0.5)) add(company, dbp::kSkosSubject, Res("Category", i % 64));
+    if (rng.Chance(0.4)) {
+      add_lit(company, dbp::kIndustry, "industry" + std::to_string(i % 12));
+    }
+    if (rng.Chance(0.35)) add(company, dbp::kLocation, Res("Place", i % cfg.num_places));
+    if (rng.Chance(0.3)) {
+      add(company, dbp::kLocationCountry, Res("Country", i % 40));
+    }
+    if (rng.Chance(0.25)) {
+      add(company, dbp::kLocationCity, Res("Place", (i * 7) % cfg.num_places));
+      // A product manufactured by this company (the join inside the OPT).
+      add(Res("Product", i), dbp::kManufacturer, company);
+    }
+    if (rng.Chance(0.2)) {
+      add_lit(company, dbp::kProducts, "product line " + std::to_string(i));
+      add(Res("Vehicle", i), dbp::kModel, company);
+    }
+    if (rng.Chance(0.3)) {
+      add_lit(company, dbp::kGeorssPoint, std::to_string(rng.Uniform(100)));
+    }
+    if (rng.Chance(0.5)) add(company, dbp::kType, Res("Class", i % 32));
+  }
+
+  // --- Long-tail noise predicates (DBPedia's 57k-predicate shape).
+  for (uint32_t t = 0; t < cfg.num_noise_triples; ++t) {
+    uint32_t p = static_cast<uint32_t>(rng.Zipf(cfg.num_noise_predicates));
+    add_lit(Res("Misc", static_cast<uint32_t>(rng.Uniform(5000))),
+            std::string(dbp::kNs) + "property/noise" + std::to_string(p),
+            "v" + std::to_string(rng.Uniform(1000)));
+  }
+  return out;
+}
+
+}  // namespace lbr

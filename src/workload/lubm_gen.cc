@@ -1,0 +1,164 @@
+#include "workload/lubm_gen.h"
+
+#include <string>
+
+#include "util/rng.h"
+
+namespace lbr {
+
+namespace {
+
+std::string UnivIri(uint32_t u) {
+  return std::string(lubm::kNs) + "University" + std::to_string(u);
+}
+std::string DeptIri(uint32_t u, uint32_t d) {
+  return std::string(lubm::kNs) + "Department" + std::to_string(d) +
+         ".University" + std::to_string(u);
+}
+std::string ProfIri(uint32_t u, uint32_t d, uint32_t i) {
+  return DeptIri(u, d) + "/Professor" + std::to_string(i);
+}
+std::string GradIri(uint32_t u, uint32_t d, uint32_t i) {
+  return DeptIri(u, d) + "/GradStudent" + std::to_string(i);
+}
+std::string UndergradIri(uint32_t u, uint32_t d, uint32_t i) {
+  return DeptIri(u, d) + "/Undergrad" + std::to_string(i);
+}
+std::string CourseIri(uint32_t u, uint32_t d, uint32_t i) {
+  return DeptIri(u, d) + "/Course" + std::to_string(i);
+}
+std::string PubIri(uint32_t u, uint32_t d, uint32_t p, uint32_t i) {
+  return DeptIri(u, d) + "/Professor" + std::to_string(p) + "/Pub" +
+         std::to_string(i);
+}
+
+}  // namespace
+
+std::string LubmDepartmentIri(uint32_t university, uint32_t department) {
+  return DeptIri(university, department);
+}
+
+std::vector<TermTriple> GenerateLubm(const LubmConfig& cfg) {
+  std::vector<TermTriple> out;
+  Rng rng(cfg.seed);
+
+  auto add = [&out](const std::string& s, const std::string& p,
+                    const std::string& o) {
+    out.push_back(TermTriple{Term::Iri(s), Term::Iri(p), Term::Iri(o)});
+  };
+  auto add_lit = [&out](const std::string& s, const std::string& p,
+                        const std::string& o) {
+    out.push_back(TermTriple{Term::Iri(s), Term::Iri(p), Term::Literal(o)});
+  };
+
+  const char* interests[] = {"databases",  "graphics",  "systems",
+                             "networking", "theory",    "ml",
+                             "security",   "hci"};
+
+  for (uint32_t u = 0; u < cfg.num_universities; ++u) {
+    for (uint32_t d = 0; d < cfg.departments_per_university; ++d) {
+      const std::string dept = DeptIri(u, d);
+      add(dept, lubm::kSubOrganizationOf, UnivIri(u));
+
+      // Professors. Professor 0 heads the department.
+      for (uint32_t i = 0; i < cfg.professors_per_department; ++i) {
+        const std::string prof = ProfIri(u, d, i);
+        add(prof, lubm::kWorksFor, dept);
+        // Roughly half are full professors (Q4-Q6 select on this class).
+        if (i % 2 == 0) add(prof, lubm::kType, lubm::kFullProfessor);
+        if (i == 0) add(prof, lubm::kHeadOf, dept);
+        // Doctoral degree from a random university.
+        add(prof, lubm::kDoctoralDegreeFrom,
+            UnivIri(static_cast<uint32_t>(
+                rng.Uniform(cfg.num_universities))));
+        if (rng.Chance(cfg.research_interest_rate)) {
+          add_lit(prof, lubm::kResearchInterest,
+                  interests[rng.Uniform(std::size(interests))]);
+        }
+        if (rng.Chance(cfg.email_rate)) {
+          add_lit(prof, lubm::kEmailAddress, prof + "@lubm.edu");
+        }
+        if (rng.Chance(cfg.telephone_rate)) {
+          add_lit(prof, lubm::kTelephone,
+                  "555-" + std::to_string(rng.Uniform(10000)));
+        }
+        if (rng.Chance(cfg.name_rate)) {
+          add_lit(prof, lubm::kName, "Professor" + std::to_string(i));
+        }
+        // Courses taught: 1-3 per professor.
+        uint32_t teaches = 1 + static_cast<uint32_t>(rng.Uniform(3));
+        for (uint32_t c = 0; c < teaches; ++c) {
+          add(prof, lubm::kTeacherOf,
+              CourseIri(u, d,
+                        static_cast<uint32_t>(
+                            rng.Uniform(cfg.courses_per_department))));
+        }
+        // Publications.
+        for (uint32_t pub = 0; pub < cfg.publications_per_professor; ++pub) {
+          const std::string pub_iri = PubIri(u, d, i, pub);
+          add(pub_iri, lubm::kType, lubm::kPublication);
+          add(pub_iri, lubm::kPublicationAuthor, prof);
+        }
+      }
+
+      // Graduate students.
+      for (uint32_t i = 0; i < cfg.grad_students_per_department; ++i) {
+        const std::string grad = GradIri(u, d, i);
+        add(grad, lubm::kType, lubm::kGraduateStudent);
+        add(grad, lubm::kMemberOf, dept);
+        const uint32_t advisor_idx =
+            static_cast<uint32_t>(rng.Uniform(cfg.professors_per_department));
+        const std::string advisor = ProfIri(u, d, advisor_idx);
+        add(grad, lubm::kAdvisor, advisor);
+        add(grad, lubm::kUndergraduateDegreeFrom,
+            UnivIri(static_cast<uint32_t>(
+                rng.Uniform(cfg.num_universities))));
+        // Courses taken; ~40% TA the course they take (closing the Q4/Q5
+        // advisor-teacherOf-takesCourse triangle for some students).
+        uint32_t takes = 1 + static_cast<uint32_t>(rng.Uniform(3));
+        for (uint32_t c = 0; c < takes; ++c) {
+          const std::string course = CourseIri(
+              u, d,
+              static_cast<uint32_t>(rng.Uniform(cfg.courses_per_department)));
+          add(grad, lubm::kTakesCourse, course);
+          if (c == 0 && rng.Chance(0.4)) {
+            add(grad, lubm::kTeachingAssistantOf, course);
+          }
+        }
+        // Some grad students co-author their advisor's publications.
+        if (rng.Chance(0.5)) {
+          add(PubIri(u, d, advisor_idx, 0), lubm::kPublicationAuthor, grad);
+        }
+        if (rng.Chance(cfg.email_rate)) {
+          add_lit(grad, lubm::kEmailAddress, grad + "@lubm.edu");
+        }
+        if (rng.Chance(cfg.telephone_rate)) {
+          add_lit(grad, lubm::kTelephone,
+                  "555-" + std::to_string(rng.Uniform(10000)));
+        }
+        if (rng.Chance(cfg.name_rate)) {
+          add_lit(grad, lubm::kName, "Grad" + std::to_string(i));
+        }
+      }
+
+      // Undergraduates: bulk of the data, low per-entity fan-out.
+      for (uint32_t i = 0; i < cfg.undergrad_students_per_department; ++i) {
+        const std::string ug = UndergradIri(u, d, i);
+        add(ug, lubm::kMemberOf, dept);
+        uint32_t takes = 1 + static_cast<uint32_t>(rng.Uniform(4));
+        for (uint32_t c = 0; c < takes; ++c) {
+          add(ug, lubm::kTakesCourse,
+              CourseIri(u, d,
+                        static_cast<uint32_t>(
+                            rng.Uniform(cfg.courses_per_department))));
+        }
+        if (rng.Chance(cfg.name_rate)) {
+          add_lit(ug, lubm::kName, "Undergrad" + std::to_string(i));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace lbr

@@ -1,0 +1,72 @@
+#ifndef LBR_WORKLOAD_LUBM_GEN_H_
+#define LBR_WORKLOAD_LUBM_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rdf/term.h"
+
+namespace lbr {
+
+/// Configuration for the LUBM-like university-domain generator.
+///
+/// Mirrors the Lehigh University Benchmark schema closely enough that the
+/// paper's Appendix E.1 queries (with OPTIONAL patterns added the way the
+/// paper added them) are meaningful: partial attributes (email, telephone,
+/// research interest) create genuine OPTIONAL misses, and the advisor /
+/// takesCourse / teacherOf triangle creates the cyclic-GoJ queries Q4/Q5.
+struct LubmConfig {
+  uint32_t num_universities = 20;
+  uint32_t departments_per_university = 4;
+  uint32_t professors_per_department = 6;
+  uint32_t grad_students_per_department = 20;
+  uint32_t undergrad_students_per_department = 40;
+  uint32_t courses_per_department = 10;
+  uint32_t publications_per_professor = 3;
+  /// Probability that an entity carries the optional attributes.
+  double email_rate = 0.6;
+  double telephone_rate = 0.5;
+  double research_interest_rate = 0.7;
+  double name_rate = 0.95;
+  uint64_t seed = 42;
+};
+
+/// The vocabulary (IRIs) the generator emits and the E.1 queries reference.
+namespace lubm {
+inline constexpr char kNs[] = "http://lubm/";
+// Classes.
+inline constexpr char kFullProfessor[] = "http://lubm/FullProfessor";
+inline constexpr char kGraduateStudent[] = "http://lubm/GraduateStudent";
+inline constexpr char kPublication[] = "http://lubm/Publication";
+// Predicates.
+inline constexpr char kType[] =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+inline constexpr char kTeachingAssistantOf[] =
+    "http://lubm/teachingAssistantOf";
+inline constexpr char kTakesCourse[] = "http://lubm/takesCourse";
+inline constexpr char kPublicationAuthor[] = "http://lubm/publicationAuthor";
+inline constexpr char kTeacherOf[] = "http://lubm/teacherOf";
+inline constexpr char kAdvisor[] = "http://lubm/advisor";
+inline constexpr char kResearchInterest[] = "http://lubm/researchInterest";
+inline constexpr char kEmailAddress[] = "http://lubm/emailAddress";
+inline constexpr char kTelephone[] = "http://lubm/telephone";
+inline constexpr char kUndergraduateDegreeFrom[] =
+    "http://lubm/undergraduateDegreeFrom";
+inline constexpr char kDoctoralDegreeFrom[] = "http://lubm/doctoralDegreeFrom";
+inline constexpr char kSubOrganizationOf[] = "http://lubm/subOrganizationOf";
+inline constexpr char kHeadOf[] = "http://lubm/headOf";
+inline constexpr char kWorksFor[] = "http://lubm/worksFor";
+inline constexpr char kMemberOf[] = "http://lubm/memberOf";
+inline constexpr char kName[] = "http://lubm/name";
+}  // namespace lubm
+
+/// Generates the LUBM-like dataset. Deterministic for a given config.
+std::vector<TermTriple> GenerateLubm(const LubmConfig& config);
+
+/// IRI of department `d` of university `u`, for selective test queries
+/// (the paper's Q4-Q6 fix a department).
+std::string LubmDepartmentIri(uint32_t university, uint32_t department);
+
+}  // namespace lbr
+
+#endif  // LBR_WORKLOAD_LUBM_GEN_H_

@@ -1,0 +1,262 @@
+#include "workload/query_sets.h"
+
+namespace lbr {
+
+namespace {
+constexpr char kLubmPrefix[] =
+    "PREFIX ub: <http://lubm/>\n"
+    "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n";
+constexpr char kUniPrefix[] =
+    "PREFIX uni: <http://uniprot/>\n"
+    "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n"
+    "PREFIX schema: <http://www.w3.org/2000/01/rdf-schema#>\n";
+constexpr char kDbpPrefix[] =
+    "PREFIX dbpowl: <http://dbpedia/ontology/>\n"
+    "PREFIX dbpprop: <http://dbpedia/property/>\n"
+    "PREFIX dbpres: <http://dbpedia/resource/>\n"
+    "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n"
+    "PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>\n"
+    "PREFIX foaf: <http://foaf/>\n"
+    "PREFIX geo: <http://geo/>\n"
+    "PREFIX skos: <http://skos/>\n"
+    "PREFIX georss: <http://georss/>\n";
+}  // namespace
+
+std::vector<BenchQuery> LubmQueries() {
+  std::vector<BenchQuery> qs;
+  // E.1 Q1: two peer blocks each with an inner OPT; cyclic GoJ via
+  // st/course/prof, one jvar per slave supernode.
+  qs.push_back({"Q1",
+                std::string(kLubmPrefix) +
+                    "SELECT * WHERE {"
+                    "{ ?st ub:teachingAssistantOf ?course ."
+                    "  OPTIONAL { ?st ub:takesCourse ?course2 ."
+                    "             ?pub1 ub:publicationAuthor ?st . } }"
+                    "{ ?prof ub:teacherOf ?course ."
+                    "  ?st ub:advisor ?prof ."
+                    "  OPTIONAL { ?prof ub:researchInterest ?resint ."
+                    "             ?pub2 ub:publicationAuthor ?prof . } } }",
+                "low selectivity, 2 OPT blocks, cyclic GoJ, 1 jvar/slave"});
+  // E.1 Q2: three peer blocks, each with an OPT.
+  qs.push_back(
+      {"Q2",
+       std::string(kLubmPrefix) +
+           "SELECT * WHERE {"
+           "{ ?pub rdf:type ub:Publication ."
+           "  ?pub ub:publicationAuthor ?st ."
+           "  ?pub ub:publicationAuthor ?prof ."
+           "  OPTIONAL { ?st ub:emailAddress ?ste . ?st ub:telephone ?sttel . } }"
+           "{ ?st ub:undergraduateDegreeFrom ?univ ."
+           "  ?dept ub:subOrganizationOf ?univ ."
+           "  OPTIONAL { ?head ub:headOf ?dept . ?others ub:worksFor ?dept . } }"
+           "{ ?st ub:memberOf ?dept ."
+           "  ?prof ub:worksFor ?dept ."
+           "  OPTIONAL { ?prof ub:doctoralDegreeFrom ?univ1 ."
+           "             ?prof ub:researchInterest ?resint1 . } } }",
+       "13 TPs, 3 OPT blocks, low selectivity"});
+  // E.1 Q3.
+  qs.push_back(
+      {"Q3",
+       std::string(kLubmPrefix) +
+           "SELECT * WHERE {"
+           "{ ?pub ub:publicationAuthor ?st ."
+           "  ?pub ub:publicationAuthor ?prof ."
+           "  ?st rdf:type ub:GraduateStudent ."
+           "  OPTIONAL { ?st ub:undergraduateDegreeFrom ?univ1 ."
+           "             ?st ub:telephone ?sttel . } }"
+           "{ ?st ub:advisor ?prof ."
+           "  OPTIONAL { ?prof ub:doctoralDegreeFrom ?univ ."
+           "             ?prof ub:researchInterest ?resint . } }"
+           "{ ?st ub:memberOf ?dept ."
+           "  ?prof ub:worksFor ?dept ."
+           "  ?prof rdf:type ub:FullProfessor ."
+           "  OPTIONAL { ?head ub:headOf ?dept ."
+           "             ?others ub:worksFor ?dept . } } }",
+       "grad-student/advisor network, 3 OPT blocks"});
+  // E.1 Q4: selective master (fixed department), cyclic slave triangle with
+  // >1 jvar per slave -> needs nullification+best-match.
+  qs.push_back({"Q4",
+                std::string(kLubmPrefix) +
+                    "SELECT * WHERE {"
+                    "  ?x ub:worksFor <http://lubm/Department1.University9> ."
+                    "  ?x rdf:type ub:FullProfessor ."
+                    "  OPTIONAL { ?y ub:advisor ?x ."
+                    "             ?x ub:teacherOf ?z ."
+                    "             ?y ub:takesCourse ?z . } }",
+                "highly selective master; cyclic slave; best-match required"});
+  // E.1 Q5: same shape, different department.
+  qs.push_back({"Q5",
+                std::string(kLubmPrefix) +
+                    "SELECT * WHERE {"
+                    "  ?x ub:worksFor <http://lubm/Department0.University12> ."
+                    "  ?x rdf:type ub:FullProfessor ."
+                    "  OPTIONAL { ?y ub:advisor ?x ."
+                    "             ?x ub:teacherOf ?z ."
+                    "             ?y ub:takesCourse ?z . } }",
+                "highly selective master; cyclic slave; best-match required"});
+  // E.1 Q6: selective star with an attribute OPT (acyclic).
+  qs.push_back({"Q6",
+                std::string(kLubmPrefix) +
+                    "SELECT * WHERE {"
+                    "  ?x ub:worksFor <http://lubm/Department0.University12> ."
+                    "  ?x rdf:type ub:FullProfessor ."
+                    "  OPTIONAL { ?x ub:emailAddress ?y1 ."
+                    "             ?x ub:telephone ?y2 ."
+                    "             ?x ub:name ?y3 . } }",
+                "highly selective; attribute OPT; acyclic"});
+  return qs;
+}
+
+std::vector<BenchQuery> UniprotQueries() {
+  std::vector<BenchQuery> qs;
+  qs.push_back({"Q1",
+                std::string(kUniPrefix) +
+                    "SELECT * WHERE {"
+                    "{ ?protein rdf:type uni:Protein ."
+                    "  ?protein uni:recommendedName ?rn ."
+                    "  OPTIONAL { ?rn uni:fullName ?name ."
+                    "             ?rn rdf:type ?rntype . } }"
+                    "{ ?protein uni:encodedBy ?gene ."
+                    "  OPTIONAL { ?gene uni:name ?gn ."
+                    "             ?gene rdf:type ?gtype . } }"
+                    "{ ?protein uni:sequence ?seq . ?seq rdf:type ?stype . } }",
+                "3 peer blocks, 2 OPTs, low selectivity"});
+  qs.push_back({"Q2",
+                std::string(kUniPrefix) +
+                    "SELECT * WHERE {"
+                    "{ ?a rdf:subject ?b ."
+                    "  ?a uni:encodedBy ?vo ."
+                    "  OPTIONAL { ?a schema:seeAlso ?x } }"
+                    "{ ?b rdf:type uni:Protein ."
+                    "  ?b uni:sequence ?z ."
+                    "  OPTIONAL { ?b uni:replaces ?c . } }"
+                    "{ ?z rdf:type uni:Simple_Sequence ."
+                    "  OPTIONAL { ?z uni:version ?v . } }}",
+                "empty result detected early by active pruning"});
+  qs.push_back({"Q3",
+                std::string(kUniPrefix) +
+                    "SELECT * WHERE {"
+                    "{ ?protein rdf:type uni:Protein ."
+                    "  ?protein uni:organism <http://uniprot/taxonomy/9606> ."
+                    "  OPTIONAL { ?protein uni:encodedBy ?gene ."
+                    "             ?gene uni:name ?gname . } }"
+                    "{ ?protein uni:annotation ?an ."
+                    "  OPTIONAL { ?an rdf:type uni:Disease_Annotation ."
+                    "             ?an schema:comment ?text . } } }",
+                "human proteins; nested OPTs"});
+  qs.push_back({"Q4",
+                std::string(kUniPrefix) +
+                    "SELECT * WHERE {"
+                    "  ?s uni:encodedBy ?seq ."
+                    "  OPTIONAL { ?seq uni:context ?m ."
+                    "             ?m schema:label ?b . } }",
+                "semi-join empties the slave side entirely"});
+  qs.push_back({"Q5",
+                std::string(kUniPrefix) +
+                    "SELECT * WHERE {"
+                    "{ ?a uni:replaces ?b ."
+                    "  OPTIONAL { ?a uni:encodedBy ?gene ."
+                    "             ?gene uni:name ?name ."
+                    "             ?gene rdf:type uni:Gene . } }"
+                    "{ ?b rdf:type uni:Protein ."
+                    "  ?b uni:modified \"2008-01-15\" ."
+                    "  OPTIONAL { ?b uni:sequence ?seq ."
+                    "             ?seq uni:memberOf ?m . } } }",
+                "selective date predicate"});
+  qs.push_back({"Q6",
+                std::string(kUniPrefix) +
+                    "SELECT * WHERE {"
+                    "{ ?protein rdf:type uni:Protein ."
+                    "  ?protein uni:organism <http://uniprot/taxonomy/9606> ."
+                    "  OPTIONAL { ?protein uni:annotation ?an ."
+                    "             ?an rdf:type uni:Natural_Variant_Annotation ."
+                    "             ?an schema:comment ?text . } }"
+                    "{ ?protein uni:sequence ?seq ."
+                    "  ?seq rdf:value ?val . } }",
+                "human proteins with variant annotations"});
+  qs.push_back({"Q7",
+                std::string(kUniPrefix) +
+                    "SELECT * WHERE {"
+                    "  ?protein rdf:type uni:Protein ."
+                    "  ?protein uni:annotation ?an ."
+                    "  ?an rdf:type uni:Transmembrane_Annotation ."
+                    "  OPTIONAL { ?an uni:range ?range ."
+                    "             ?range uni:begin ?begin ."
+                    "             ?range uni:end ?end . } }",
+                "transmembrane ranges; chain OPT"});
+  return qs;
+}
+
+std::vector<BenchQuery> DbpediaQueries() {
+  std::vector<BenchQuery> qs;
+  qs.push_back({"Q1",
+                std::string(kDbpPrefix) +
+                    "SELECT * WHERE {"
+                    "{ ?v6 rdf:type dbpowl:PopulatedPlace ."
+                    "  ?v6 dbpowl:abstract ?v1 ."
+                    "  ?v6 rdfs:label ?v2 ."
+                    "  ?v6 geo:lat ?v3 ."
+                    "  ?v6 geo:long ?v4 ."
+                    "  OPTIONAL { ?v6 foaf:depiction ?v8 . } }"
+                    "OPTIONAL { ?v6 foaf:homepage ?v10 . }"
+                    "OPTIONAL { ?v6 dbpowl:populationTotal ?v12 . }"
+                    "OPTIONAL { ?v6 dbpowl:thumbnail ?v14 . } }",
+                "place star with 4 OPTs, low selectivity"});
+  qs.push_back({"Q2",
+                std::string(kDbpPrefix) +
+                    "SELECT * WHERE {"
+                    "  ?v3 foaf:page ?v0 ."
+                    "  ?v3 rdf:type dbpowl:SoccerPlayer ."
+                    "  ?v3 dbpprop:position ?v6 ."
+                    "  ?v3 dbpprop:clubs ?v8 ."
+                    "  ?v8 dbpowl:capacity ?v1 ."
+                    "  ?v3 dbpowl:birthPlace ?v5 ."
+                    "  OPTIONAL { ?v3 dbpowl:number ?v9 . } }",
+                "empty (no club capacities); early detection"});
+  qs.push_back({"Q3",
+                std::string(kDbpPrefix) +
+                    "SELECT * WHERE {"
+                    "  ?v5 dbpowl:thumbnail ?v4 ."
+                    "  ?v5 rdf:type dbpowl:Person ."
+                    "  ?v5 rdfs:label ?v ."
+                    "  ?v5 foaf:page ?v8 ."
+                    "  OPTIONAL { ?v5 foaf:homepage ?v10 . } }",
+                "empty (thumbnail implies no page); early detection"});
+  qs.push_back({"Q4",
+                std::string(kDbpPrefix) +
+                    "SELECT * WHERE {"
+                    "{ ?v2 rdf:type dbpowl:Settlement ."
+                    "  ?v2 rdfs:label ?v ."
+                    "  ?v6 rdf:type dbpowl:Airport ."
+                    "  ?v6 dbpowl:city ?v2 ."
+                    "  ?v6 dbpprop:iata ?v5 ."
+                    "  OPTIONAL { ?v6 foaf:homepage ?v7 . } }"
+                    "OPTIONAL { ?v6 dbpprop:nativename ?v8 . } }",
+                "settlement-airport join with 2 OPTs"});
+  qs.push_back({"Q5",
+                std::string(kDbpPrefix) +
+                    "SELECT * WHERE {"
+                    "  ?v4 skos:subject ?v ."
+                    "  ?v4 foaf:name ?v6 ."
+                    "  OPTIONAL { ?v4 rdfs:comment ?v8 . } }",
+                "short star with one OPT"});
+  qs.push_back({"Q6",
+                std::string(kDbpPrefix) +
+                    "SELECT * WHERE {"
+                    "  ?v0 rdfs:comment ?v1 ."
+                    "  ?v0 foaf:page ?v ."
+                    "  OPTIONAL { ?v0 skos:subject ?v6 . }"
+                    "  OPTIONAL { ?v0 dbpprop:industry ?v5 . }"
+                    "  OPTIONAL { ?v0 dbpprop:location ?v2 . }"
+                    "  OPTIONAL { ?v0 dbpprop:locationCountry ?v3 . }"
+                    "  OPTIONAL { ?v0 dbpprop:locationCity ?v9 ."
+                    "             ?a dbpprop:manufacturer ?v0 . }"
+                    "  OPTIONAL { ?v0 dbpprop:products ?v11 ."
+                    "             ?b dbpprop:model ?v0 . }"
+                    "  OPTIONAL { ?v0 georss:point ?v10 . }"
+                    "  OPTIONAL { ?v0 rdf:type ?v7 . } }",
+                "company star with 8 OPTs (the paper's widest OPT fan)"});
+  return qs;
+}
+
+}  // namespace lbr

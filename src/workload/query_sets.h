@@ -1,0 +1,31 @@
+#ifndef LBR_WORKLOAD_QUERY_SETS_H_
+#define LBR_WORKLOAD_QUERY_SETS_H_
+
+#include <string>
+#include <vector>
+
+namespace lbr {
+
+/// A benchmark query: the id used in the paper's tables plus SPARQL text
+/// targeting the corresponding synthetic generator's vocabulary.
+struct BenchQuery {
+  std::string id;      ///< "Q1" .. "Qn" as in Tables 6.2-6.4.
+  std::string sparql;
+  std::string note;    ///< What the paper says about this query's shape.
+};
+
+/// The E.1 LUBM query set (Q1-Q6): Q1-Q3 are low-selectivity multi-OPT
+/// queries with cyclic GoJ but one jvar per slave; Q4/Q5 are selective
+/// cyclic queries needing nullification/best-match; Q6 is a selective
+/// star with one OPT.
+std::vector<BenchQuery> LubmQueries();
+
+/// The E.2 UniProt query set (Q1-Q7), all acyclic; Q2 is empty by data.
+std::vector<BenchQuery> UniprotQueries();
+
+/// The E.3 DBPedia query set (Q1-Q6), all acyclic; Q2/Q3 empty by data.
+std::vector<BenchQuery> DbpediaQueries();
+
+}  // namespace lbr
+
+#endif  // LBR_WORKLOAD_QUERY_SETS_H_

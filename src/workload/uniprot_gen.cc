@@ -1,0 +1,153 @@
+#include "workload/uniprot_gen.h"
+
+#include <string>
+
+#include "util/rng.h"
+
+namespace lbr {
+
+namespace {
+
+std::string ProteinIri(uint32_t i) {
+  return std::string(uniprot::kNs) + "protein/P" + std::to_string(i);
+}
+std::string GeneIri(uint32_t i) {
+  return std::string(uniprot::kNs) + "gene/G" + std::to_string(i);
+}
+std::string SeqIri(uint32_t i) {
+  return std::string(uniprot::kNs) + "sequence/S" + std::to_string(i);
+}
+std::string NameIri(uint32_t i) {
+  return std::string(uniprot::kNs) + "name/N" + std::to_string(i);
+}
+std::string AnnIri(uint32_t protein, uint32_t i) {
+  return std::string(uniprot::kNs) + "annotation/P" + std::to_string(protein) +
+         "_A" + std::to_string(i);
+}
+std::string RangeIri(uint32_t protein, uint32_t i) {
+  return std::string(uniprot::kNs) + "range/P" + std::to_string(protein) +
+         "_R" + std::to_string(i);
+}
+std::string ClusterIri(uint32_t i) {
+  return std::string(uniprot::kNs) + "cluster/C" + std::to_string(i % 50);
+}
+std::string TaxonIri(uint32_t i) {
+  return std::string(uniprot::kNs) + "taxonomy/" + std::to_string(10000 + i);
+}
+
+}  // namespace
+
+std::vector<TermTriple> GenerateUniprot(const UniprotConfig& cfg) {
+  std::vector<TermTriple> out;
+  Rng rng(cfg.seed);
+
+  auto add = [&out](const std::string& s, const std::string& p,
+                    const std::string& o) {
+    out.push_back(TermTriple{Term::Iri(s), Term::Iri(p), Term::Iri(o)});
+  };
+  auto add_lit = [&out](const std::string& s, const std::string& p,
+                        const std::string& o) {
+    out.push_back(TermTriple{Term::Iri(s), Term::Iri(p), Term::Literal(o)});
+  };
+
+  for (uint32_t i = 0; i < cfg.num_proteins; ++i) {
+    const std::string protein = ProteinIri(i);
+    add(protein, uniprot::kType, uniprot::kProtein);
+
+    // Organism: a share are human (9606), the rest spread over taxa.
+    if (rng.Chance(cfg.human_rate)) {
+      add(protein, uniprot::kOrganism, uniprot::kHumanTaxon);
+    } else {
+      add(protein, uniprot::kOrganism,
+          TaxonIri(static_cast<uint32_t>(rng.Uniform(200))));
+    }
+
+    // Recommended name node (partial fullName / type — Q1's inner OPT).
+    const std::string name = NameIri(i);
+    add(protein, uniprot::kRecommendedName, name);
+    if (rng.Chance(cfg.fullname_rate)) {
+      add_lit(name, uniprot::kFullName, "Protein full name " +
+                                            std::to_string(i));
+      add(name, uniprot::kType, uniprot::kStructuredName);
+    }
+
+    // Encoding gene (Q1/Q3/Q4/Q5 OPT chains hang off it).
+    if (rng.Chance(cfg.gene_rate)) {
+      const std::string gene = GeneIri(i);
+      add(protein, uniprot::kEncodedBy, gene);
+      if (rng.Chance(cfg.gene_name_rate)) {
+        add_lit(gene, uniprot::kName, "GENE" + std::to_string(i));
+        add(gene, uniprot::kType, uniprot::kGene);
+      }
+      // Q4's OPTIONAL { ?seq uni:context ?m . ?m schema:label ?b }: emitted
+      // for NO gene, so the semi-join empties the slave side as the paper
+      // observed on real UniProt.
+    }
+
+    // Sequence node.
+    const std::string seq = SeqIri(i);
+    add(protein, uniprot::kSequence, seq);
+    add(seq, uniprot::kType, uniprot::kSimpleSequence);
+    add_lit(seq, uniprot::kValue, "MSEQ" + std::to_string(i));
+    if (rng.Chance(0.8)) {
+      add_lit(seq, uniprot::kVersion, std::to_string(1 + rng.Uniform(5)));
+    }
+    if (rng.Chance(0.5)) {
+      add(seq, uniprot::kMemberOf,
+          ClusterIri(static_cast<uint32_t>(rng.Uniform(1000))));
+    }
+
+    // Replacement chain (Q5): ?a replaces ?b, with ?b modified on a fixed
+    // date for a small selective subset.
+    if (i > 0 && rng.Chance(cfg.replaces_rate)) {
+      add(protein, uniprot::kReplaces, ProteinIri(i - 1));
+    }
+    add_lit(protein, uniprot::kModified,
+            rng.Chance(0.05) ? "2008-01-15"
+                             : "20" + std::to_string(10 + rng.Uniform(10)) +
+                                   "-06-01");
+
+    if (rng.Chance(cfg.see_also_rate)) {
+      add(protein, uniprot::kSeeAlso,
+          std::string(uniprot::kNs) + "citations/" +
+              std::to_string(rng.Uniform(500)));
+    }
+
+    // Annotations: typed, with comments; transmembrane ones optionally have
+    // begin/end ranges (Q7).
+    if (rng.Chance(cfg.annotation_rate)) {
+      uint32_t n = 1 + static_cast<uint32_t>(rng.Uniform(3));
+      for (uint32_t a = 0; a < n; ++a) {
+        const std::string ann = AnnIri(i, a);
+        add(protein, uniprot::kAnnotation, ann);
+        uint64_t kind = rng.Uniform(3);
+        if (kind == 0) {
+          add(ann, uniprot::kType, uniprot::kDiseaseAnnotation);
+          add_lit(ann, uniprot::kComment, "disease comment " +
+                                              std::to_string(i));
+        } else if (kind == 1) {
+          add(ann, uniprot::kType, uniprot::kVariantAnnotation);
+          if (rng.Chance(0.7)) {
+            add_lit(ann, uniprot::kComment,
+                    "variant comment " + std::to_string(i));
+          }
+        } else {
+          add(ann, uniprot::kType, uniprot::kTransmembraneAnnotation);
+          if (rng.Chance(cfg.range_rate)) {
+            const std::string range = RangeIri(i, a);
+            add(ann, uniprot::kRange, range);
+            uint32_t begin = static_cast<uint32_t>(rng.Uniform(500));
+            add_lit(range, uniprot::kBegin, std::to_string(begin));
+            add_lit(range, uniprot::kEnd,
+                    std::to_string(begin + 5 + rng.Uniform(40)));
+          }
+        }
+      }
+    }
+  }
+  // Note: no rdf:subject triples are generated, so E.2 Q2 is empty, matching
+  // the paper's Table 6.3 (0 results, detected early by active pruning).
+  return out;
+}
+
+}  // namespace lbr

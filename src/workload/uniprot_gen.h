@@ -1,0 +1,83 @@
+#ifndef LBR_WORKLOAD_UNIPROT_GEN_H_
+#define LBR_WORKLOAD_UNIPROT_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rdf/term.h"
+
+namespace lbr {
+
+/// Configuration for the UniProt-like protein-network generator.
+///
+/// Mirrors the entities the paper's E.2 queries touch: proteins with
+/// recommended-name nodes, encoding genes, sequences, typed annotations
+/// (disease / natural-variant / transmembrane with ranges), organisms, and
+/// replacement chains. Optional attributes are emitted with partial rates so
+/// the OPTIONAL patterns produce genuine NULL rows. The generator keeps E.2
+/// Q2 empty (no entity carries both rdf:subject and encodedBy edges), as the
+/// paper's Table 6.3 reports 0 results for it.
+struct UniprotConfig {
+  uint32_t num_proteins = 5000;
+  /// Fraction of proteins from the "human" organism taxonomy node.
+  double human_rate = 0.3;
+  double gene_rate = 0.8;        ///< Protein has an encoding gene.
+  double gene_name_rate = 0.7;   ///< Gene has a name (OPT in Q1/Q3/Q5).
+  double fullname_rate = 0.75;   ///< Name node has a fullName.
+  double replaces_rate = 0.1;
+  double see_also_rate = 0.4;
+  double annotation_rate = 0.9;  ///< Protein has >=1 annotation.
+  double range_rate = 0.6;       ///< Transmembrane annotation has a range.
+  uint64_t seed = 7;
+};
+
+namespace uniprot {
+inline constexpr char kNs[] = "http://uniprot/";
+inline constexpr char kType[] =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+// Classes.
+inline constexpr char kProtein[] = "http://uniprot/Protein";
+inline constexpr char kGene[] = "http://uniprot/Gene";
+inline constexpr char kSimpleSequence[] = "http://uniprot/Simple_Sequence";
+inline constexpr char kStructuredName[] = "http://uniprot/Structured_Name";
+inline constexpr char kDiseaseAnnotation[] =
+    "http://uniprot/Disease_Annotation";
+inline constexpr char kVariantAnnotation[] =
+    "http://uniprot/Natural_Variant_Annotation";
+inline constexpr char kTransmembraneAnnotation[] =
+    "http://uniprot/Transmembrane_Annotation";
+// Predicates.
+inline constexpr char kRecommendedName[] = "http://uniprot/recommendedName";
+inline constexpr char kFullName[] = "http://uniprot/fullName";
+inline constexpr char kEncodedBy[] = "http://uniprot/encodedBy";
+inline constexpr char kName[] = "http://uniprot/name";
+inline constexpr char kSequence[] = "http://uniprot/sequence";
+inline constexpr char kVersion[] = "http://uniprot/version";
+inline constexpr char kValue[] =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#value";
+inline constexpr char kOrganism[] = "http://uniprot/organism";
+inline constexpr char kAnnotation[] = "http://uniprot/annotation";
+inline constexpr char kComment[] =
+    "http://www.w3.org/2000/01/rdf-schema#comment";
+inline constexpr char kReplaces[] = "http://uniprot/replaces";
+inline constexpr char kModified[] = "http://uniprot/modified";
+inline constexpr char kMemberOf[] = "http://uniprot/memberOf";
+inline constexpr char kContext[] = "http://uniprot/context";
+inline constexpr char kLabel[] = "http://www.w3.org/2000/01/rdf-schema#label";
+inline constexpr char kSeeAlso[] =
+    "http://www.w3.org/2000/01/rdf-schema#seeAlso";
+inline constexpr char kSubject[] =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#subject";
+inline constexpr char kRange[] = "http://uniprot/range";
+inline constexpr char kBegin[] = "http://uniprot/begin";
+inline constexpr char kEnd[] = "http://uniprot/end";
+// Fixed objects.
+inline constexpr char kHumanTaxon[] = "http://uniprot/taxonomy/9606";
+}  // namespace uniprot
+
+/// Generates the UniProt-like dataset. Deterministic for a given config.
+std::vector<TermTriple> GenerateUniprot(const UniprotConfig& config);
+
+}  // namespace lbr
+
+#endif  // LBR_WORKLOAD_UNIPROT_GEN_H_

@@ -1,0 +1,88 @@
+#include "sparql/ast.h"
+
+#include <gtest/gtest.h>
+
+#include "sparql/parser.h"
+
+namespace lbr {
+namespace {
+
+std::unique_ptr<Algebra> Body(const std::string& group) {
+  return Parser::ParseGroup(group, {});
+}
+
+TEST(AlgebraTest, VarsCollectsAcrossTree) {
+  auto g = Body("{ ?a <p> ?b . OPTIONAL { ?b <q> ?c . FILTER (?d = ?c) } }");
+  std::set<std::string> vars = g->Vars();
+  EXPECT_EQ(vars, (std::set<std::string>{"a", "b", "c", "d"}));
+}
+
+TEST(AlgebraTest, CollectTriplePatternsLeftToRight) {
+  auto g = Body("{ ?a <p> ?b . OPTIONAL { ?b <q> ?c . ?c <r> ?d . } }");
+  std::vector<const TriplePattern*> tps;
+  g->CollectTriplePatterns(&tps);
+  ASSERT_EQ(tps.size(), 3u);
+  EXPECT_EQ(tps[0]->ToString(), "?a <p> ?b");
+  EXPECT_EQ(tps[2]->ToString(), "?c <r> ?d");
+}
+
+TEST(AlgebraTest, IsOptFree) {
+  EXPECT_TRUE(Body("{ ?a <p> ?b . ?b <q> ?c . }")->IsOptFree());
+  EXPECT_FALSE(Body("{ ?a <p> ?b . OPTIONAL { ?b <q> ?c . } }")->IsOptFree());
+}
+
+TEST(AlgebraTest, HasUnionAndFilter) {
+  auto g = Body("{ { ?a <p> ?b . } UNION { ?a <q> ?b . } }");
+  EXPECT_TRUE(g->HasUnion());
+  EXPECT_FALSE(g->HasFilter());
+  auto f = Body("{ ?a <p> ?b . FILTER (?b != <x>) }");
+  EXPECT_TRUE(f->HasFilter());
+  EXPECT_FALSE(f->HasUnion());
+}
+
+TEST(AlgebraTest, CloneIsDeepAndEqualSerialized) {
+  auto g = Body(
+      "{ ?a <p> ?b . OPTIONAL { ?b <q> ?c . } FILTER (?a != <x>) }");
+  auto copy = g->Clone();
+  EXPECT_EQ(g->ToString(), copy->ToString());
+  // Mutating the copy must not affect the original.
+  copy->left->left->bgp[0].s.var = "zzz";
+  EXPECT_NE(g->ToString(), copy->ToString());
+}
+
+TEST(AlgebraTest, ToStringSerializedForm) {
+  auto g = Body("{ ?a <p> ?b . OPTIONAL { ?b <q> ?c . } }");
+  EXPECT_EQ(g->ToString(), "((?a <p> ?b) leftjoin (?b <q> ?c))");
+}
+
+TEST(AlgebraTest, TriplePatternVarsDeduplicated) {
+  TriplePattern tp(PatternTerm::Var("x"), PatternTerm::Var("p"),
+                   PatternTerm::Var("x"));
+  EXPECT_EQ(tp.Vars(), (std::vector<std::string>{"x", "p"}));
+  EXPECT_TRUE(tp.UsesVar("x"));
+  EXPECT_FALSE(tp.UsesVar("y"));
+}
+
+TEST(AlgebraTest, FilterExprToString) {
+  FilterExpr e = FilterExpr::And(
+      FilterExpr::Compare(CompareOp::kGt, PatternTerm::Var("x"),
+                          PatternTerm::Fixed(Term::Literal("3"))),
+      FilterExpr::Not(FilterExpr::Bound("y")));
+  EXPECT_EQ(e.ToString(), "(?x > \"3\" && !(bound(?y)))");
+}
+
+TEST(AlgebraTest, BuildersProduceExpectedOps) {
+  auto bgp = Algebra::Bgp({});
+  EXPECT_EQ(bgp->op, Algebra::Op::kBgp);
+  auto join = Algebra::Join(Algebra::Bgp({}), Algebra::Bgp({}));
+  EXPECT_EQ(join->op, Algebra::Op::kJoin);
+  auto lj = Algebra::LeftJoin(Algebra::Bgp({}), Algebra::Bgp({}));
+  EXPECT_EQ(lj->op, Algebra::Op::kLeftJoin);
+  auto un = Algebra::Union(Algebra::Bgp({}), Algebra::Bgp({}));
+  EXPECT_EQ(un->op, Algebra::Op::kUnion);
+  auto fl = Algebra::Filter(FilterExpr::True(), Algebra::Bgp({}));
+  EXPECT_EQ(fl->op, Algebra::Op::kFilter);
+}
+
+}  // namespace
+}  // namespace lbr

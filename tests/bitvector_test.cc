@@ -1,0 +1,196 @@
+#include "util/bitvector.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace lbr {
+namespace {
+
+TEST(BitvectorTest, StartsEmpty) {
+  Bitvector b;
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_TRUE(b.empty());
+  EXPECT_TRUE(b.None());
+  EXPECT_TRUE(b.All());  // vacuously
+}
+
+TEST(BitvectorTest, ConstructAllZero) {
+  Bitvector b(100);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_TRUE(b.None());
+  EXPECT_EQ(b.Count(), 0u);
+  for (size_t i = 0; i < 100; ++i) EXPECT_FALSE(b.Get(i));
+}
+
+TEST(BitvectorTest, ConstructAllOne) {
+  Bitvector b(70, true);
+  EXPECT_TRUE(b.All());
+  EXPECT_EQ(b.Count(), 70u);
+  // The tail of the last word must be zeroed (invariant).
+  EXPECT_EQ(b.words().back() >> (70 - 64), 0u);
+}
+
+TEST(BitvectorTest, SetAndGet) {
+  Bitvector b(130);
+  b.Set(0);
+  b.Set(63);
+  b.Set(64);
+  b.Set(129);
+  EXPECT_TRUE(b.Get(0));
+  EXPECT_TRUE(b.Get(63));
+  EXPECT_TRUE(b.Get(64));
+  EXPECT_TRUE(b.Get(129));
+  EXPECT_FALSE(b.Get(1));
+  EXPECT_EQ(b.Count(), 4u);
+  b.Set(63, false);
+  EXPECT_FALSE(b.Get(63));
+  EXPECT_EQ(b.Count(), 3u);
+}
+
+TEST(BitvectorTest, ResizeGrowsWithZeros) {
+  Bitvector b(10, true);
+  b.Resize(80);
+  EXPECT_EQ(b.size(), 80u);
+  EXPECT_EQ(b.Count(), 10u);
+  EXPECT_FALSE(b.Get(40));
+}
+
+TEST(BitvectorTest, ResizeShrinkClearsTail) {
+  Bitvector b(80, true);
+  b.Resize(10);
+  b.Resize(80);
+  EXPECT_EQ(b.Count(), 10u);
+}
+
+TEST(BitvectorTest, ClearAndFill) {
+  Bitvector b(65);
+  b.Fill();
+  EXPECT_EQ(b.Count(), 65u);
+  b.Clear();
+  EXPECT_TRUE(b.None());
+}
+
+TEST(BitvectorTest, FindFirstAndNext) {
+  Bitvector b(200);
+  EXPECT_EQ(b.FindFirst(), 200u);
+  b.Set(5);
+  b.Set(64);
+  b.Set(199);
+  EXPECT_EQ(b.FindFirst(), 5u);
+  EXPECT_EQ(b.FindNext(5), 64u);
+  EXPECT_EQ(b.FindNext(64), 199u);
+  EXPECT_EQ(b.FindNext(199), 200u);
+  EXPECT_EQ(b.FindNext(0), 5u);
+}
+
+TEST(BitvectorTest, AndOrAndNot) {
+  Bitvector a(100), b(100);
+  a.Set(1);
+  a.Set(50);
+  a.Set(99);
+  b.Set(50);
+  b.Set(60);
+
+  Bitvector a_and = a;
+  a_and.And(b);
+  EXPECT_EQ(a_and.SetBits(), (std::vector<uint32_t>{50}));
+
+  Bitvector a_or = a;
+  a_or.Or(b);
+  EXPECT_EQ(a_or.SetBits(), (std::vector<uint32_t>{1, 50, 60, 99}));
+
+  Bitvector a_diff = a;
+  a_diff.AndNot(b);
+  EXPECT_EQ(a_diff.SetBits(), (std::vector<uint32_t>{1, 99}));
+}
+
+TEST(BitvectorTest, NotKeepsTailZero) {
+  Bitvector b(70);
+  b.Set(0);
+  b.Not();
+  EXPECT_EQ(b.Count(), 69u);
+  EXPECT_FALSE(b.Get(0));
+  EXPECT_TRUE(b.Get(69));
+}
+
+TEST(BitvectorTest, TruncateBitsFrom) {
+  Bitvector b(128, true);
+  b.TruncateBitsFrom(70);
+  EXPECT_EQ(b.Count(), 70u);
+  EXPECT_TRUE(b.Get(69));
+  EXPECT_FALSE(b.Get(70));
+  EXPECT_FALSE(b.Get(127));
+  // Truncation beyond size is a no-op.
+  b.TruncateBitsFrom(1000);
+  EXPECT_EQ(b.Count(), 70u);
+  // Truncation at a word boundary.
+  Bitvector c(128, true);
+  c.TruncateBitsFrom(64);
+  EXPECT_EQ(c.Count(), 64u);
+}
+
+TEST(BitvectorTest, ForEachSetBitAscending) {
+  Bitvector b(300);
+  std::vector<uint32_t> expected{0, 63, 64, 65, 128, 299};
+  for (uint32_t i : expected) b.Set(i);
+  std::vector<uint32_t> got;
+  b.ForEachSetBit([&got](uint32_t i) { got.push_back(i); });
+  EXPECT_EQ(got, expected);
+}
+
+TEST(BitvectorTest, Equality) {
+  Bitvector a(64), b(64);
+  EXPECT_EQ(a, b);
+  a.Set(10);
+  EXPECT_NE(a, b);
+  b.Set(10);
+  EXPECT_EQ(a, b);
+  Bitvector c(65);
+  c.Set(10);
+  EXPECT_NE(a, c);  // different sizes
+}
+
+TEST(BitvectorTest, ResizedCopiesPrefix) {
+  Bitvector b(100);
+  b.Set(0);
+  b.Set(64);
+  b.Set(99);
+  Bitvector grown = b.Resized(200);
+  EXPECT_EQ(grown.size(), 200u);
+  EXPECT_EQ(grown.SetBits(), (std::vector<uint32_t>{0, 64, 99}));
+  Bitvector shrunk = b.Resized(65);
+  EXPECT_EQ(shrunk.size(), 65u);
+  EXPECT_EQ(shrunk.SetBits(), (std::vector<uint32_t>{0, 64}));
+  Bitvector word_cut = b.Resized(64);
+  EXPECT_EQ(word_cut.SetBits(), (std::vector<uint32_t>{0}));
+  // The original is untouched.
+  EXPECT_EQ(b.Count(), 3u);
+}
+
+TEST(BitvectorTest, ResizedToZeroAndSame) {
+  Bitvector b(70, true);
+  EXPECT_EQ(b.Resized(0).size(), 0u);
+  Bitvector same = b.Resized(70);
+  EXPECT_EQ(same, b);
+}
+
+// Property sweep: Count equals the number of indexes reported by
+// ForEachSetBit for regular stride patterns crossing word boundaries.
+class BitvectorPatternTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitvectorPatternTest, CountMatchesIteration) {
+  int stride = GetParam();
+  Bitvector b(1000);
+  for (size_t i = 0; i < 1000; i += stride) b.Set(i);
+  size_t n = 0;
+  b.ForEachSetBit([&n](uint32_t) { ++n; });
+  EXPECT_EQ(n, b.Count());
+  EXPECT_EQ(n, (1000 + stride - 1) / static_cast<size_t>(stride));
+}
+
+INSTANTIATE_TEST_SUITE_P(Strides, BitvectorPatternTest,
+                         ::testing::Values(1, 2, 3, 7, 13, 63, 64, 65, 999));
+
+}  // namespace
+}  // namespace lbr

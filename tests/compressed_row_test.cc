@@ -1,0 +1,168 @@
+#include "util/compressed_row.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace lbr {
+namespace {
+
+CompressedRow FromBits(const std::vector<uint32_t>& positions) {
+  return CompressedRow::FromPositions(positions);
+}
+
+TEST(CompressedRowTest, EmptyRow) {
+  CompressedRow r;
+  EXPECT_TRUE(r.IsEmpty());
+  EXPECT_EQ(r.Count(), 0u);
+  EXPECT_FALSE(r.Test(0));
+  EXPECT_EQ(r.encoding(), CompressedRow::Encoding::kEmpty);
+}
+
+TEST(CompressedRowTest, DenseRowUsesRuns) {
+  // "1110011110": 7 set bits in 2 runs — RLE is smaller than positions.
+  CompressedRow r = FromBits({0, 1, 2, 5, 6, 7, 8});
+  EXPECT_EQ(r.encoding(), CompressedRow::Encoding::kRuns);
+  EXPECT_EQ(r.Count(), 7u);
+  EXPECT_EQ(r.SetBits(), (std::vector<uint32_t>{0, 1, 2, 5, 6, 7, 8}));
+}
+
+TEST(CompressedRowTest, SparseRowUsesPositions) {
+  // "0010010000": RLE needs more integers than the 2 set bits, so the
+  // hybrid stores positions — the paper's motivating case for the hybrid.
+  CompressedRow r = FromBits({2, 5});
+  EXPECT_EQ(r.encoding(), CompressedRow::Encoding::kPositions);
+  EXPECT_EQ(r.PayloadInts(), 2u);
+  CompressedRow rle = CompressedRow::RleOnlyFromPositions({2, 5});
+  EXPECT_EQ(rle.encoding(), CompressedRow::Encoding::kRuns);
+  EXPECT_GT(rle.PayloadInts(), r.PayloadInts());
+  EXPECT_EQ(rle.SetBits(), r.SetBits());
+}
+
+TEST(CompressedRowTest, TestBit) {
+  CompressedRow r = FromBits({3, 6, 100, 101, 102});
+  for (uint32_t p : {3u, 6u, 100u, 101u, 102u}) EXPECT_TRUE(r.Test(p));
+  for (uint32_t p : {0u, 4u, 99u, 103u, 100000u}) EXPECT_FALSE(r.Test(p));
+}
+
+TEST(CompressedRowTest, OrInto) {
+  Bitvector acc(128);
+  acc.Set(1);
+  FromBits({0, 64, 127}).OrInto(&acc);
+  EXPECT_EQ(acc.SetBits(), (std::vector<uint32_t>{0, 1, 64, 127}));
+}
+
+TEST(CompressedRowTest, AndWithMask) {
+  CompressedRow r = FromBits({1, 5, 9, 64, 70});
+  Bitvector mask(128);
+  mask.Set(5);
+  mask.Set(64);
+  mask.Set(100);
+  CompressedRow masked = r.AndWith(mask);
+  EXPECT_EQ(masked.SetBits(), (std::vector<uint32_t>{5, 64}));
+}
+
+TEST(CompressedRowTest, AndWithShortMaskDropsOutOfRange) {
+  CompressedRow r = FromBits({1, 200});
+  Bitvector mask(100, true);
+  CompressedRow masked = r.AndWith(mask);
+  EXPECT_EQ(masked.SetBits(), (std::vector<uint32_t>{1}));
+}
+
+TEST(CompressedRowTest, IntersectsWith) {
+  CompressedRow r = FromBits({10, 20, 30});
+  Bitvector mask(64);
+  EXPECT_FALSE(r.IntersectsWith(mask));
+  mask.Set(20);
+  EXPECT_TRUE(r.IntersectsWith(mask));
+  Bitvector small(5, true);
+  EXPECT_FALSE(r.IntersectsWith(small));
+}
+
+TEST(CompressedRowTest, RoundTripThroughBitvector) {
+  Bitvector bits(500);
+  for (size_t i = 0; i < 500; i += 7) bits.Set(i);
+  CompressedRow r = CompressedRow::FromBitvector(bits);
+  Bitvector back(500);
+  r.OrInto(&back);
+  EXPECT_EQ(back, bits);
+}
+
+TEST(CompressedRowTest, SerializationRoundTrip) {
+  for (const auto& positions :
+       std::vector<std::vector<uint32_t>>{{},
+                                          {0},
+                                          {2, 5},
+                                          {0, 1, 2, 5, 6, 7, 8},
+                                          {1000000, 2000000}}) {
+    CompressedRow r = FromBits(positions);
+    std::stringstream ss;
+    r.WriteTo(&ss);
+    CompressedRow back = CompressedRow::ReadFrom(&ss);
+    EXPECT_EQ(back, r);
+    EXPECT_EQ(back.SetBits(), positions);
+  }
+}
+
+TEST(CompressedRowTest, HybridNeverLargerThanRle) {
+  Rng rng(3);
+  for (int iter = 0; iter < 50; ++iter) {
+    std::vector<uint32_t> positions;
+    uint32_t pos = 0;
+    int n = 1 + static_cast<int>(rng.Uniform(40));
+    for (int i = 0; i < n; ++i) {
+      pos += 1 + static_cast<uint32_t>(rng.Uniform(20));
+      positions.push_back(pos);
+    }
+    CompressedRow hybrid = FromBits(positions);
+    CompressedRow rle = CompressedRow::RleOnlyFromPositions(positions);
+    EXPECT_LE(hybrid.PayloadInts(), rle.PayloadInts());
+    EXPECT_EQ(hybrid.SetBits(), rle.SetBits());
+  }
+}
+
+TEST(CompressedRowTest, SingleLeadingBit) {
+  CompressedRow r = FromBits({0});
+  EXPECT_EQ(r.Count(), 1u);
+  EXPECT_TRUE(r.Test(0));
+  EXPECT_FALSE(r.Test(1));
+}
+
+// Parameterized sweep: random rows agree with an uncompressed reference on
+// every operation.
+class CompressedRowSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CompressedRowSweep, OperationsAgreeWithBitvector) {
+  Rng rng(GetParam());
+  const size_t width = 300;
+  Bitvector reference(width);
+  std::vector<uint32_t> positions;
+  for (size_t i = 0; i < width; ++i) {
+    if (rng.Chance(0.2)) {
+      reference.Set(i);
+      positions.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  CompressedRow row = FromBits(positions);
+  EXPECT_EQ(row.Count(), reference.Count());
+  for (size_t i = 0; i < width; ++i) {
+    EXPECT_EQ(row.Test(static_cast<uint32_t>(i)), reference.Get(i)) << i;
+  }
+  Bitvector mask(width);
+  for (size_t i = 0; i < width; ++i) {
+    if (rng.Chance(0.5)) mask.Set(i);
+  }
+  Bitvector expected = reference;
+  expected.And(mask);
+  EXPECT_EQ(row.AndWith(mask).SetBits(), expected.SetBits());
+  EXPECT_EQ(row.IntersectsWith(mask), !expected.None());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompressedRowSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace lbr

@@ -1,0 +1,82 @@
+// Read-path thread-safety: the TripleIndex and Dictionary are immutable
+// after construction, so any number of Engine instances (each with its own
+// per-query state) may evaluate concurrently over one shared index. This is
+// the deployment mode a server would use and must stay data-race free —
+// each thread gets its own Engine; the shared structures are only read.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "bitmat/triple_index.h"
+#include "core/engine.h"
+#include "test_util.h"
+#include "workload/lubm_gen.h"
+#include "workload/query_sets.h"
+
+namespace lbr {
+namespace {
+
+TEST(ConcurrencyTest, ParallelEnginesOverSharedIndex) {
+  LubmConfig cfg;
+  cfg.num_universities = 2;
+  Graph graph = Graph::FromTriples(GenerateLubm(cfg));
+  TripleIndex index = TripleIndex::Build(graph);
+
+  const std::string query =
+      "PREFIX ub: <http://lubm/> SELECT * WHERE { ?x ub:worksFor ?d . "
+      "OPTIONAL { ?x ub:emailAddress ?e . } }";
+
+  // Reference answer from a single-threaded run.
+  Engine reference_engine(&index, &graph.dict());
+  std::vector<std::string> expected =
+      testing::Canonicalize(reference_engine.ExecuteToTable(query));
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&index, &graph, &query, &expected, &mismatches] {
+      Engine engine(&index, &graph.dict());
+      for (int i = 0; i < 5; ++i) {
+        ResultTable result = engine.ExecuteToTable(query);
+        if (testing::Canonicalize(result) != expected) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(ConcurrencyTest, DistinctQueriesInParallel) {
+  LubmConfig cfg;
+  cfg.num_universities = 2;
+  Graph graph = Graph::FromTriples(GenerateLubm(cfg));
+  TripleIndex index = TripleIndex::Build(graph);
+
+  auto queries = LubmQueries();
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    threads.emplace_back([&index, &graph, &queries, qi, &failures] {
+      try {
+        Engine engine(&index, &graph.dict());
+        QueryStats stats;
+        engine.ExecuteToTable(queries[qi].sparql, &stats);
+        if (stats.num_results_with_nulls > stats.num_results) {
+          failures.fetch_add(1);
+        }
+      } catch (const std::exception&) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace lbr

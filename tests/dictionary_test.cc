@@ -1,0 +1,142 @@
+#include "rdf/dictionary.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace lbr {
+namespace {
+
+using testing::T;
+
+TEST(DictionaryTest, VsoMappingSharesLowIds) {
+  // b and c occur as both subject and object (Vso); a is subject-only;
+  // d is object-only.
+  Dictionary dict;
+  dict.Add(T("a", "p", "b"));
+  dict.Add(T("b", "p", "c"));
+  dict.Add(T("c", "p", "d"));
+  dict.Finalize();
+
+  EXPECT_EQ(dict.num_common(), 2u);    // {b, c}
+  EXPECT_EQ(dict.num_subjects(), 3u);  // {a, b, c}
+  EXPECT_EQ(dict.num_objects(), 3u);   // {b, c, d}
+  EXPECT_EQ(dict.num_predicates(), 1u);
+
+  // Common values get the same ID on both dimensions, below |Vso|.
+  for (const char* name : {"b", "c"}) {
+    auto s = dict.SubjectId(Term::Iri(name));
+    auto o = dict.ObjectId(Term::Iri(name));
+    ASSERT_TRUE(s && o);
+    EXPECT_EQ(*s, *o);
+    EXPECT_LT(*s, dict.num_common());
+  }
+  // Subject-only and object-only values sit above the Vso range.
+  EXPECT_GE(*dict.SubjectId(Term::Iri("a")), dict.num_common());
+  EXPECT_GE(*dict.ObjectId(Term::Iri("d")), dict.num_common());
+}
+
+TEST(DictionaryTest, UnknownTermsReturnNullopt) {
+  Dictionary dict;
+  dict.Add(T("a", "p", "b"));
+  dict.Finalize();
+  EXPECT_FALSE(dict.SubjectId(Term::Iri("zzz")).has_value());
+  EXPECT_FALSE(dict.PredicateId(Term::Iri("zzz")).has_value());
+  EXPECT_FALSE(dict.ObjectId(Term::Iri("zzz")).has_value());
+  // "b" never occurs as a subject.
+  EXPECT_FALSE(dict.SubjectId(Term::Iri("b")).has_value());
+  // "a" never occurs as an object.
+  EXPECT_FALSE(dict.ObjectId(Term::Iri("a")).has_value());
+}
+
+TEST(DictionaryTest, EncodeDecodeRoundTrip) {
+  Dictionary dict;
+  TermTriple t1 = T("s1", "p1", "\"lit\"");
+  TermTriple t2 = T("s1", "p2", "s1");  // s1 in Vso
+  dict.Add(t1);
+  dict.Add(t2);
+  dict.Finalize();
+
+  for (const TermTriple& t : {t1, t2}) {
+    Triple enc = dict.Encode(t);
+    TermTriple dec = dict.Decode(enc);
+    EXPECT_EQ(dec, t);
+  }
+}
+
+TEST(DictionaryTest, EncodeThrowsOnUnknown) {
+  Dictionary dict;
+  dict.Add(T("a", "p", "b"));
+  dict.Finalize();
+  EXPECT_THROW(dict.Encode(T("nope", "p", "b")), std::invalid_argument);
+}
+
+TEST(DictionaryTest, LiteralsAndIrisAreDistinctTerms) {
+  // The literal "x" and the IRI x must get different object IDs.
+  Dictionary dict;
+  dict.Add(T("s", "p", "\"x\""));
+  dict.Add(T("s", "p", "x"));
+  dict.Finalize();
+  auto lit = dict.ObjectId(Term::Literal("x"));
+  auto iri = dict.ObjectId(Term::Iri("x"));
+  ASSERT_TRUE(lit && iri);
+  EXPECT_NE(*lit, *iri);
+}
+
+TEST(DictionaryTest, BlankNodesAreEntities) {
+  // Blank nodes join like IRIs (Section 2.2: they are not NULLs).
+  Dictionary dict;
+  dict.Add(T("_:b0", "p", "o"));
+  dict.Add(T("s", "p", "_:b0"));
+  dict.Finalize();
+  auto s = dict.SubjectId(Term::Blank("b0"));
+  auto o = dict.ObjectId(Term::Blank("b0"));
+  ASSERT_TRUE(s && o);
+  EXPECT_EQ(*s, *o);  // _:b0 is in Vso
+  EXPECT_LT(*s, dict.num_common());
+}
+
+TEST(DictionaryTest, DeterministicAcrossInsertionOrders) {
+  Dictionary d1, d2;
+  TermTriple a = T("x", "p", "y");
+  TermTriple b = T("y", "q", "z");
+  d1.Add(a);
+  d1.Add(b);
+  d2.Add(b);
+  d2.Add(a);
+  d1.Finalize();
+  d2.Finalize();
+  EXPECT_EQ(d1.SubjectId(Term::Iri("x")), d2.SubjectId(Term::Iri("x")));
+  EXPECT_EQ(d1.ObjectId(Term::Iri("z")), d2.ObjectId(Term::Iri("z")));
+  EXPECT_EQ(d1.PredicateId(Term::Iri("q")), d2.PredicateId(Term::Iri("q")));
+}
+
+TEST(DictionaryTest, PredicatesGetDenseIds) {
+  Dictionary dict;
+  dict.Add(T("a", "p1", "b"));
+  dict.Add(T("a", "p2", "b"));
+  dict.Add(T("a", "p3", "b"));
+  dict.Finalize();
+  std::set<uint32_t> ids;
+  for (const char* p : {"p1", "p2", "p3"}) {
+    auto id = dict.PredicateId(Term::Iri(p));
+    ASSERT_TRUE(id.has_value());
+    EXPECT_LT(*id, 3u);
+    ids.insert(*id);
+  }
+  EXPECT_EQ(ids.size(), 3u);
+}
+
+TEST(DictionaryTest, PredicateAlsoUsableAsSubjectOrObject) {
+  // The same term may occur as predicate and as an entity; the spaces are
+  // independent.
+  Dictionary dict;
+  dict.Add(T("a", "knows", "b"));
+  dict.Add(T("knows", "type", "Property"));
+  dict.Finalize();
+  EXPECT_TRUE(dict.PredicateId(Term::Iri("knows")).has_value());
+  EXPECT_TRUE(dict.SubjectId(Term::Iri("knows")).has_value());
+}
+
+}  // namespace
+}  // namespace lbr

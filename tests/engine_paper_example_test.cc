@@ -1,0 +1,118 @@
+// End-to-end checks on the paper's running example (Figure 3.2): the
+// Jerry / Julia / Larry sitcom data and the query
+//   tp1 leftjoin (tp2 join tp3)
+// whose expected answers the paper spells out: (Larry, NULL) and
+// (Julia, Seinfeld), with no nullification/best-match needed (acyclic GoJ).
+
+#include <gtest/gtest.h>
+
+#include "baseline/pairwise_engine.h"
+#include "baseline/reference_evaluator.h"
+#include "bitmat/triple_index.h"
+#include "core/engine.h"
+#include "sparql/parser.h"
+#include "test_util.h"
+
+namespace lbr {
+namespace {
+
+using testing::Canonicalize;
+using testing::CanonicalizeProjected;
+using testing::SitcomGraph;
+using testing::SitcomQuery;
+
+class PaperExampleTest : public ::testing::Test {
+ protected:
+  PaperExampleTest()
+      : graph_(SitcomGraph()),
+        index_(TripleIndex::Build(graph_)),
+        engine_(&index_, &graph_.dict()) {}
+
+  Graph graph_;
+  TripleIndex index_;
+  Engine engine_;
+};
+
+TEST_F(PaperExampleTest, Figure32ExpectedResults) {
+  QueryStats stats;
+  ResultTable table = engine_.ExecuteToTable(SitcomQuery(), &stats);
+
+  std::vector<std::string> got = Canonicalize(table);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], "friend=<Julia>|sitcom=<Seinfeld>|");
+  EXPECT_EQ(got[1], "friend=<Larry>|sitcom=NULL|");
+}
+
+TEST_F(PaperExampleTest, AcyclicQueryAvoidsBestMatch) {
+  QueryStats stats;
+  engine_.ExecuteToTable(SitcomQuery(), &stats);
+  EXPECT_FALSE(stats.goj_cyclic);
+  EXPECT_TRUE(stats.well_designed);
+  EXPECT_FALSE(stats.best_match_used);
+}
+
+TEST_F(PaperExampleTest, StatsCountNullRows) {
+  QueryStats stats;
+  engine_.ExecuteToTable(SitcomQuery(), &stats);
+  EXPECT_EQ(stats.num_results, 2u);
+  EXPECT_EQ(stats.num_results_with_nulls, 1u);  // (Larry, NULL)
+}
+
+TEST_F(PaperExampleTest, PruningReachesMinimalTriples) {
+  // Lemma 3.3: after prune_triples each TP holds a minimal set of triples.
+  // tp1 keeps its 2 triples; tp2 keeps only (Julia actedIn Seinfeld); tp3
+  // keeps only (Seinfeld location NewYorkCity).
+  QueryStats stats;
+  engine_.ExecuteToTable(SitcomQuery(), &stats);
+  EXPECT_EQ(stats.triples_after_prune, 4u);  // 2 + 1 + 1
+  EXPECT_GT(stats.initial_triples, stats.triples_after_prune);
+}
+
+TEST_F(PaperExampleTest, MatchesReferenceEvaluator) {
+  ParsedQuery q = Parser::Parse(SitcomQuery());
+  ReferenceEvaluator oracle(&graph_);
+  ResultTable expected = oracle.Execute(q);
+  ResultTable got = engine_.ExecuteToTable(q);
+  EXPECT_EQ(CanonicalizeProjected(got, expected.var_names),
+            Canonicalize(expected));
+}
+
+TEST_F(PaperExampleTest, MatchesPairwiseBaseline) {
+  ParsedQuery q = Parser::Parse(SitcomQuery());
+  PairwiseEngine baseline(&index_, &graph_.dict());
+  ResultTable expected = baseline.ExecuteToTable(q);
+  ResultTable got = engine_.ExecuteToTable(q);
+  EXPECT_EQ(CanonicalizeProjected(got, expected.var_names),
+            Canonicalize(expected));
+}
+
+TEST_F(PaperExampleTest, IntroductionQ1ContactInfo) {
+  // Q1 of the introduction: actors with optional contact info.
+  Graph g = testing::MakeGraph({
+      {"ActorA", "name", "\"A\""},
+      {"ActorA", "address", "\"addrA\""},
+      {"ActorA", "email", "\"a@x\""},
+      {"ActorA", "telephone", "\"111\""},
+      {"ActorB", "name", "\"B\""},
+      {"ActorB", "address", "\"addrB\""},
+      // ActorB has no contact info -> NULL email/tele.
+      {"ActorC", "name", "\"C\""},
+      {"ActorC", "address", "\"addrC\""},
+      {"ActorC", "email", "\"c@x\""},
+      // ActorC has email but no telephone: the OPT group fails as a whole.
+  });
+  TripleIndex idx = TripleIndex::Build(g);
+  Engine engine(&idx, &g.dict());
+  const std::string query =
+      "SELECT * WHERE { ?actor <name> ?name . ?actor <address> ?addr ."
+      " OPTIONAL { ?actor <email> ?email . ?actor <telephone> ?tele . } }";
+  ResultTable table = engine.ExecuteToTable(query);
+  ReferenceEvaluator oracle(&g);
+  ResultTable expected = oracle.Execute(Parser::Parse(query));
+  EXPECT_EQ(CanonicalizeProjected(table, expected.var_names),
+            Canonicalize(expected));
+  EXPECT_EQ(table.rows.size(), 3u);
+}
+
+}  // namespace
+}  // namespace lbr

@@ -1,0 +1,272 @@
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/reference_evaluator.h"
+#include "bitmat/tp_loader.h"
+#include "bitmat/triple_index.h"
+#include "sparql/parser.h"
+#include "test_util.h"
+
+namespace lbr {
+namespace {
+
+using testing::Canonicalize;
+using testing::CanonicalizeProjected;
+using testing::MakeGraph;
+
+struct EngineFixture {
+  Graph graph;
+  TripleIndex index;
+  Engine engine;
+
+  EngineFixture(Graph g, EngineOptions options = {})
+      : graph(std::move(g)),
+        index(TripleIndex::Build(graph)),
+        engine(&index, &graph.dict(), options) {}
+
+  ResultTable Run(const std::string& query, QueryStats* stats = nullptr) {
+    return engine.ExecuteToTable(query, stats);
+  }
+
+  void ExpectMatchesOracle(const std::string& query) {
+    ParsedQuery q = Parser::Parse(query);
+    ReferenceEvaluator oracle(&graph);
+    ResultTable expected = oracle.Execute(q);
+    ResultTable got = engine.ExecuteToTable(q);
+    EXPECT_EQ(CanonicalizeProjected(got, expected.var_names),
+              Canonicalize(expected))
+        << query;
+  }
+};
+
+TEST(EngineTest, BgpOnlyQuery) {
+  EngineFixture f(MakeGraph({
+      {"a", "p", "b"},
+      {"b", "q", "c"},
+      {"x", "p", "y"},
+  }));
+  ResultTable t = f.Run("SELECT * WHERE { ?s <p> ?t . ?t <q> ?u . }");
+  ASSERT_EQ(t.rows.size(), 1u);
+  f.ExpectMatchesOracle("SELECT * WHERE { ?s <p> ?t . ?t <q> ?u . }");
+}
+
+TEST(EngineTest, ProjectionSelectsSubset) {
+  EngineFixture f(MakeGraph({{"a", "p", "b"}, {"a", "p", "c"}}));
+  ResultTable t = f.Run("SELECT ?s WHERE { ?s <p> ?o . }");
+  ASSERT_EQ(t.var_names, (std::vector<std::string>{"s"}));
+  // Bag semantics: the two bindings of ?o produce two identical ?s rows.
+  EXPECT_EQ(t.rows.size(), 2u);
+}
+
+TEST(EngineTest, EmptyAbsoluteMasterAbortsEarly) {
+  EngineFixture f(MakeGraph({{"a", "p", "b"}}));
+  QueryStats stats;
+  ResultTable t =
+      f.Run("SELECT * WHERE { ?s <nosuch> ?o . OPTIONAL { ?o <p> ?x . } }",
+            &stats);
+  EXPECT_TRUE(t.rows.empty());
+  EXPECT_TRUE(stats.aborted_early);
+}
+
+TEST(EngineTest, SlaveGroupFailsAsUnit) {
+  // ActorC pattern: email present, telephone missing -> both NULL.
+  EngineFixture f(MakeGraph({
+      {"c", "name", "\"C\""},
+      {"c", "email", "\"c@x\""},
+  }));
+  ResultTable t = f.Run(
+      "SELECT * WHERE { ?a <name> ?n . "
+      "OPTIONAL { ?a <email> ?e . ?a <telephone> ?t . } }");
+  ASSERT_EQ(t.rows.size(), 1u);
+  int e_col = 1;  // projection sorted: a, e, n, t
+  ASSERT_EQ(t.var_names,
+            (std::vector<std::string>{"a", "e", "n", "t"}));
+  EXPECT_FALSE(t.rows[0][e_col].has_value());
+  EXPECT_FALSE(t.rows[0][3].has_value());
+}
+
+TEST(EngineTest, CyclicQueryUsesBestMatch) {
+  // Triangle in the slave with 2+ jvars: Lemma 3.4 does not apply.
+  EngineFixture f(MakeGraph({
+      {"x1", "worksFor", "d"},
+      {"y1", "advisor", "x1"},
+      {"x1", "teacherOf", "z1"},
+      {"y1", "takesCourse", "z1"},
+      {"y2", "advisor", "x1"},
+      {"y2", "takesCourse", "z9"},  // y2 takes an unrelated course
+  }));
+  const std::string query =
+      "SELECT * WHERE { ?x <worksFor> <d> . "
+      "OPTIONAL { ?y <advisor> ?x . ?x <teacherOf> ?z . "
+      "?y <takesCourse> ?z . } }";
+  QueryStats stats;
+  ResultTable t = f.Run(query, &stats);
+  EXPECT_TRUE(stats.goj_cyclic);
+  EXPECT_TRUE(stats.best_match_used);
+  f.ExpectMatchesOracle(query);
+  // Exactly one result: (x1, y1, z1); the y2 attempt is subsumed.
+  ASSERT_EQ(t.rows.size(), 1u);
+}
+
+TEST(EngineTest, CyclicOneJvarPerSlaveSkipsBestMatch) {
+  // Lemma 3.4's escape hatch: cyclic GoJ but each slave supernode has only
+  // one join variable.
+  EngineFixture f(MakeGraph({
+      {"a", "p", "b"},
+      {"b", "q", "a"},
+      {"a", "r", "x"},
+  }));
+  const std::string query =
+      "SELECT * WHERE { ?s <p> ?t . ?t <q> ?s . OPTIONAL { ?s <r> ?w . } }";
+  QueryStats stats;
+  f.Run(query, &stats);
+  EXPECT_TRUE(stats.goj_cyclic);
+  EXPECT_FALSE(stats.best_match_used);
+  f.ExpectMatchesOracle(query);
+}
+
+TEST(EngineTest, NonWellDesignedTakesAppendixBPath) {
+  EngineFixture f(MakeGraph({
+      {"a", "p", "b"},
+      {"b", "q", "c"},
+      {"c", "r", "d"},
+  }));
+  QueryStats stats;
+  ResultTable t = f.Run(
+      "SELECT * WHERE { { ?a <p> ?b . OPTIONAL { ?b <q> ?c . } } "
+      "{ ?c <r> ?d . } }",
+      &stats);
+  EXPECT_FALSE(stats.well_designed);
+  // Under the null-intolerant conversion everything becomes an inner join:
+  // the single chain row survives.
+  ASSERT_EQ(t.rows.size(), 1u);
+  for (const auto& cell : t.rows[0]) EXPECT_TRUE(cell.has_value());
+}
+
+TEST(EngineTest, CartesianProductRejected) {
+  EngineFixture f(MakeGraph({{"a", "p", "b"}, {"c", "q", "d"}}));
+  EXPECT_THROW(f.Run("SELECT * WHERE { ?a <p> ?b . ?c <q> ?d . }"),
+               UnsupportedQueryError);
+}
+
+TEST(EngineTest, AllVariableTpRejected) {
+  EngineFixture f(MakeGraph({{"a", "p", "b"}}));
+  EXPECT_THROW(f.Run("SELECT * WHERE { ?s ?p ?o . }"),
+               UnsupportedQueryError);
+}
+
+TEST(EngineTest, PredicateEntityJoinRejected) {
+  EngineFixture f(MakeGraph({{"a", "p", "b"}, {"p", "q", "c"}}));
+  EXPECT_THROW(
+      f.Run("SELECT * WHERE { ?a ?j ?b . ?j <q> ?c . }"),
+      UnsupportedQueryError);
+}
+
+TEST(EngineTest, VariablePredicateSupportedWhenUnjoined) {
+  EngineFixture f(MakeGraph({{"a", "p", "b"}, {"a", "q", "c"}}));
+  ResultTable t = f.Run("SELECT * WHERE { <a> ?pred ?o . }");
+  EXPECT_EQ(t.rows.size(), 2u);
+  f.ExpectMatchesOracle("SELECT * WHERE { <a> ?pred ?o . }");
+}
+
+TEST(EngineTest, UnionConcatenatesBags) {
+  EngineFixture f(MakeGraph({{"a", "p", "b"}}));
+  ResultTable t = f.Run(
+      "SELECT * WHERE { { ?x <p> ?y . } UNION { ?x <p> ?y . } }");
+  EXPECT_EQ(t.rows.size(), 2u);  // duplicate kept (bag semantics)
+  QueryStats stats;
+  f.Run("SELECT * WHERE { { ?x <p> ?y . } UNION { ?x <p> ?y . } }", &stats);
+  EXPECT_EQ(stats.num_union_branches, 2);
+}
+
+TEST(EngineTest, FilterOnMasterDropsRows) {
+  EngineFixture f(MakeGraph({{"a", "p", "b"}, {"c", "p", "d"}}));
+  ResultTable t =
+      f.Run("SELECT * WHERE { ?x <p> ?y . FILTER (?x = <a>) }");
+  ASSERT_EQ(t.rows.size(), 1u);
+  EXPECT_EQ(t.rows[0][0]->value, "a");
+}
+
+TEST(EngineTest, VarEqualityFilterEliminated) {
+  EngineFixture f(MakeGraph({{"a", "p", "b"}, {"b", "q", "b"}}));
+  f.ExpectMatchesOracle(
+      "SELECT * WHERE { ?m <p> ?x . ?n <q> ?x . FILTER (?m = ?n) }");
+}
+
+TEST(EngineTest, StatsTimingsArePopulated) {
+  EngineFixture f(testing::SitcomGraph());
+  QueryStats stats;
+  f.Run(testing::SitcomQuery(), &stats);
+  EXPECT_GE(stats.t_init_sec, 0.0);
+  EXPECT_GE(stats.t_prune_sec, 0.0);
+  EXPECT_GE(stats.t_total_sec, stats.t_init_sec + stats.t_prune_sec);
+  EXPECT_EQ(stats.num_supernodes, 2);
+}
+
+TEST(EngineTest, DisabledPruningStillCorrect) {
+  EngineOptions options;
+  options.enable_prune = false;
+  options.enable_active_pruning = false;
+  EngineFixture f(testing::SitcomGraph(), options);
+  ParsedQuery q = Parser::Parse(testing::SitcomQuery());
+  ReferenceEvaluator oracle(&f.graph);
+  ResultTable expected = oracle.Execute(q);
+  ResultTable got = f.engine.ExecuteToTable(q);
+  EXPECT_EQ(CanonicalizeProjected(got, expected.var_names),
+            Canonicalize(expected));
+}
+
+TEST(EngineTest, AlternativeJvarOrdersStayCorrect) {
+  for (JvarOrderStrategy strategy :
+       {JvarOrderStrategy::kNaiveBottomUp, JvarOrderStrategy::kGreedy}) {
+    EngineOptions options;
+    options.order_strategy = strategy;
+    EngineFixture f(testing::SitcomGraph(), options);
+    ParsedQuery q = Parser::Parse(testing::SitcomQuery());
+    ReferenceEvaluator oracle(&f.graph);
+    ResultTable expected = oracle.Execute(q);
+    ResultTable got = f.engine.ExecuteToTable(q);
+    EXPECT_EQ(CanonicalizeProjected(got, expected.var_names),
+              Canonicalize(expected));
+  }
+}
+
+TEST(EngineTest, RowSinkStreamsProjectedRows) {
+  EngineFixture f(MakeGraph({{"a", "p", "b"}}));
+  ParsedQuery q = Parser::Parse("SELECT ?y WHERE { ?x <p> ?y . }");
+  size_t rows = 0;
+  uint64_t n = f.engine.Execute(q, [&rows](const RawRow& row) {
+    EXPECT_EQ(row.size(), 1u);
+    ++rows;
+  });
+  EXPECT_EQ(n, 1u);
+  EXPECT_EQ(rows, 1u);
+}
+
+TEST(EngineTest, LiteralObjectsRoundTrip) {
+  EngineFixture f(MakeGraph({{"b", "modified", "\"2008-01-15\""}}));
+  ResultTable t =
+      f.Run("SELECT * WHERE { ?b <modified> \"2008-01-15\" . }");
+  ASSERT_EQ(t.rows.size(), 1u);
+}
+
+TEST(EngineTest, DeepOptionalChain) {
+  EngineFixture f(MakeGraph({
+      {"a", "p", "b"},
+      {"b", "q", "c"},
+      {"c", "r", "d"},
+      {"a2", "p", "b2"},
+      {"b2", "q", "c2"},
+      {"a3", "p", "b3"},
+  }));
+  const std::string query =
+      "SELECT * WHERE { ?v0 <p> ?v1 . OPTIONAL { ?v1 <q> ?v2 . "
+      "OPTIONAL { ?v2 <r> ?v3 . } } }";
+  f.ExpectMatchesOracle(query);
+  ResultTable t = f.Run(query);
+  EXPECT_EQ(t.rows.size(), 3u);
+}
+
+}  // namespace
+}  // namespace lbr

@@ -1,0 +1,84 @@
+#include "core/explain.h"
+
+#include <gtest/gtest.h>
+
+#include "bitmat/triple_index.h"
+#include "test_util.h"
+
+namespace lbr {
+namespace {
+
+class ExplainTest : public ::testing::Test {
+ protected:
+  ExplainTest()
+      : graph_(testing::SitcomGraph()), index_(TripleIndex::Build(graph_)) {}
+
+  std::string Explain(const std::string& sparql) {
+    return ExplainQuery(index_, graph_.dict(), sparql);
+  }
+
+  Graph graph_;
+  TripleIndex index_;
+};
+
+TEST_F(ExplainTest, RunningExamplePlan) {
+  std::string plan = Explain(testing::SitcomQuery());
+  EXPECT_NE(plan.find("UNF branches: 1"), std::string::npos);
+  EXPECT_NE(plan.find("well-designed: yes"), std::string::npos);
+  EXPECT_NE(plan.find("SN0 [absolute master]"), std::string::npos);
+  EXPECT_NE(plan.find("edge SN0 -> SN1  (OPTIONAL)"), std::string::npos);
+  EXPECT_NE(plan.find("acyclic"), std::string::npos);
+  EXPECT_NE(plan.find("order_bu: ?friend ?sitcom ?friend"),
+            std::string::npos);
+  EXPECT_NE(plan.find("not required"), std::string::npos);
+}
+
+TEST_F(ExplainTest, ShowsEstimatedCardinalities) {
+  std::string plan = Explain(testing::SitcomQuery());
+  // tp0 (<Jerry> <hasFriend> ?friend) matches exactly 2 triples.
+  EXPECT_NE(plan.find("(~2 triples)"), std::string::npos);
+}
+
+TEST_F(ExplainTest, CyclicMultiJvarSlaveFlagged) {
+  std::string plan = Explain(
+      "SELECT * WHERE { ?a <hasFriend> ?f . "
+      "OPTIONAL { ?f <actedIn> ?s . ?s <location> ?c . ?a <actedIn> ?s . } "
+      "}");
+  EXPECT_NE(plan.find("CYCLIC"), std::string::npos);
+  EXPECT_NE(plan.find("REQUIRED"), std::string::npos);
+  EXPECT_NE(plan.find("order (greedy)"), std::string::npos);
+}
+
+TEST_F(ExplainTest, NonWellDesignedConversionReported) {
+  std::string plan = Explain(
+      "SELECT * WHERE { { <Jerry> <hasFriend> ?f . "
+      "OPTIONAL { ?f <actedIn> ?s . } } { ?s <location> <NewYorkCity> . } "
+      "}");
+  EXPECT_NE(plan.find("well-designed: NO"), std::string::npos);
+  EXPECT_NE(plan.find("Appendix B"), std::string::npos);
+}
+
+TEST_F(ExplainTest, UnionBranchesEnumerated) {
+  std::string plan = Explain(
+      "SELECT * WHERE { { ?f <actedIn> ?s . } UNION "
+      "{ <Jerry> <hasFriend> ?f . } }");
+  EXPECT_NE(plan.find("UNF branches: 2"), std::string::npos);
+  EXPECT_NE(plan.find("branch 0"), std::string::npos);
+  EXPECT_NE(plan.find("branch 1"), std::string::npos);
+}
+
+TEST_F(ExplainTest, FiltersListedWithScopes) {
+  std::string plan = Explain(
+      "SELECT * WHERE { <Jerry> <hasFriend> ?f . "
+      "OPTIONAL { ?f <actedIn> ?s . FILTER (?s != <Veep>) } }");
+  EXPECT_NE(plan.find("filter [?s != <Veep>] scope {SN1}"),
+            std::string::npos);
+}
+
+TEST_F(ExplainTest, ProjectionListed) {
+  std::string plan = Explain(testing::SitcomQuery());
+  EXPECT_NE(plan.find("projection: ?friend ?sitcom"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lbr

@@ -1,0 +1,144 @@
+#include "sparql/filter_eval.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace lbr {
+namespace {
+
+VarLookup MakeLookup(std::map<std::string, Term> bindings) {
+  return [bindings = std::move(bindings)](
+             const std::string& var) -> std::optional<Term> {
+    auto it = bindings.find(var);
+    if (it == bindings.end()) return std::nullopt;
+    return it->second;
+  };
+}
+
+FilterExpr Cmp(CompareOp op, const std::string& var, Term constant) {
+  return FilterExpr::Compare(op, PatternTerm::Var(var),
+                             PatternTerm::Fixed(std::move(constant)));
+}
+
+TEST(FilterEvalTest, EqualityOnTermIdentity) {
+  auto lookup = MakeLookup({{"x", Term::Iri("a")}});
+  EXPECT_EQ(EvaluateFilter(Cmp(CompareOp::kEq, "x", Term::Iri("a")), lookup),
+            FilterOutcome::kTrue);
+  EXPECT_EQ(EvaluateFilter(Cmp(CompareOp::kEq, "x", Term::Iri("b")), lookup),
+            FilterOutcome::kFalse);
+  // An IRI and a literal with the same lexical form are different terms.
+  EXPECT_EQ(
+      EvaluateFilter(Cmp(CompareOp::kEq, "x", Term::Literal("a")), lookup),
+      FilterOutcome::kFalse);
+}
+
+TEST(FilterEvalTest, NumericOrdering) {
+  auto lookup = MakeLookup({{"x", Term::Literal("10")}});
+  EXPECT_EQ(EvaluateFilter(Cmp(CompareOp::kGt, "x", Term::Literal("9")),
+                           lookup),
+            FilterOutcome::kTrue);
+  // Lexicographic would say "10" < "9"; numeric comparison must win.
+  EXPECT_EQ(EvaluateFilter(Cmp(CompareOp::kLt, "x", Term::Literal("9")),
+                           lookup),
+            FilterOutcome::kFalse);
+  EXPECT_EQ(EvaluateFilter(Cmp(CompareOp::kGe, "x", Term::Literal("10.0")),
+                           lookup),
+            FilterOutcome::kTrue);
+}
+
+TEST(FilterEvalTest, LexicographicFallback) {
+  auto lookup = MakeLookup({{"x", Term::Literal("apple")}});
+  EXPECT_EQ(EvaluateFilter(Cmp(CompareOp::kLt, "x", Term::Literal("banana")),
+                           lookup),
+            FilterOutcome::kTrue);
+}
+
+TEST(FilterEvalTest, UnboundVariableIsError) {
+  auto lookup = MakeLookup({});
+  EXPECT_EQ(EvaluateFilter(Cmp(CompareOp::kEq, "x", Term::Iri("a")), lookup),
+            FilterOutcome::kError);
+}
+
+TEST(FilterEvalTest, BoundNeverErrors) {
+  auto lookup = MakeLookup({{"x", Term::Iri("a")}});
+  EXPECT_EQ(EvaluateFilter(FilterExpr::Bound("x"), lookup),
+            FilterOutcome::kTrue);
+  EXPECT_EQ(EvaluateFilter(FilterExpr::Bound("y"), lookup),
+            FilterOutcome::kFalse);
+}
+
+TEST(FilterEvalTest, NotBoundDetectsOptionalMiss) {
+  auto lookup = MakeLookup({});
+  EXPECT_EQ(EvaluateFilter(FilterExpr::Not(FilterExpr::Bound("y")), lookup),
+            FilterOutcome::kTrue);
+}
+
+TEST(FilterEvalTest, ThreeValuedAnd) {
+  auto lookup = MakeLookup({{"x", Term::Literal("1")}});
+  FilterExpr err = Cmp(CompareOp::kEq, "missing", Term::Literal("1"));
+  FilterExpr truthy = Cmp(CompareOp::kEq, "x", Term::Literal("1"));
+  FilterExpr falsy = Cmp(CompareOp::kEq, "x", Term::Literal("2"));
+  // false && error = false (error does not dominate a false).
+  EXPECT_EQ(EvaluateFilter(FilterExpr::And(falsy, err), lookup),
+            FilterOutcome::kFalse);
+  // true && error = error.
+  EXPECT_EQ(EvaluateFilter(FilterExpr::And(truthy, err), lookup),
+            FilterOutcome::kError);
+  EXPECT_EQ(EvaluateFilter(FilterExpr::And(truthy, truthy), lookup),
+            FilterOutcome::kTrue);
+}
+
+TEST(FilterEvalTest, ThreeValuedOr) {
+  auto lookup = MakeLookup({{"x", Term::Literal("1")}});
+  FilterExpr err = Cmp(CompareOp::kEq, "missing", Term::Literal("1"));
+  FilterExpr truthy = Cmp(CompareOp::kEq, "x", Term::Literal("1"));
+  FilterExpr falsy = Cmp(CompareOp::kEq, "x", Term::Literal("2"));
+  // true || error = true.
+  EXPECT_EQ(EvaluateFilter(FilterExpr::Or(truthy, err), lookup),
+            FilterOutcome::kTrue);
+  // false || error = error.
+  EXPECT_EQ(EvaluateFilter(FilterExpr::Or(falsy, err), lookup),
+            FilterOutcome::kError);
+}
+
+TEST(FilterEvalTest, NotPropagatesError) {
+  auto lookup = MakeLookup({});
+  FilterExpr err = Cmp(CompareOp::kEq, "missing", Term::Literal("1"));
+  EXPECT_EQ(EvaluateFilter(FilterExpr::Not(err), lookup),
+            FilterOutcome::kError);
+}
+
+TEST(FilterEvalTest, FilterPassesRejectsErrorAndFalse) {
+  auto lookup = MakeLookup({{"x", Term::Literal("1")}});
+  EXPECT_TRUE(FilterPasses(Cmp(CompareOp::kEq, "x", Term::Literal("1")),
+                           lookup));
+  EXPECT_FALSE(FilterPasses(Cmp(CompareOp::kEq, "x", Term::Literal("2")),
+                            lookup));
+  EXPECT_FALSE(FilterPasses(Cmp(CompareOp::kEq, "zz", Term::Literal("2")),
+                            lookup));
+}
+
+TEST(FilterEvalTest, VarToVarComparison) {
+  auto lookup =
+      MakeLookup({{"x", Term::Literal("5")}, {"y", Term::Literal("7")}});
+  FilterExpr e = FilterExpr::Compare(CompareOp::kLt, PatternTerm::Var("x"),
+                                     PatternTerm::Var("y"));
+  EXPECT_EQ(EvaluateFilter(e, lookup), FilterOutcome::kTrue);
+}
+
+TEST(FilterEvalTest, CompareTermsOrderingContract) {
+  EXPECT_LT(CompareTerms(Term::Literal("2"), Term::Literal("10")), 0);
+  EXPECT_EQ(CompareTerms(Term::Iri("a"), Term::Iri("a")), 0);
+  EXPECT_GT(CompareTerms(Term::Iri("b"), Term::Iri("a")), 0);
+  // Kinds order before values when kinds differ.
+  EXPECT_NE(CompareTerms(Term::Iri("a"), Term::Literal("a")), 0);
+}
+
+TEST(FilterEvalTest, TrueConstant) {
+  auto lookup = MakeLookup({});
+  EXPECT_EQ(EvaluateFilter(FilterExpr::True(), lookup), FilterOutcome::kTrue);
+}
+
+}  // namespace
+}  // namespace lbr

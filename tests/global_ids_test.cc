@@ -1,0 +1,131 @@
+#include "core/global_ids.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace lbr {
+namespace {
+
+GlobalIds SampleIds() {
+  GlobalIds g;
+  g.num_subjects = 10;  // ids 0..9, of which 0..3 are shared (Vso)
+  g.num_objects = 8;    // ids 0..7, of which 0..3 are shared
+  g.num_common = 4;
+  g.num_predicates = 5;
+  return g;
+}
+
+TEST(GlobalIdsTest, SubjectsMapIdentity) {
+  GlobalIds g = SampleIds();
+  for (uint32_t s = 0; s < g.num_subjects; ++s) {
+    EXPECT_EQ(g.ToGlobal(DomainKind::kSubject, s), s);
+  }
+}
+
+TEST(GlobalIdsTest, SharedObjectsAliasSubjects) {
+  GlobalIds g = SampleIds();
+  // Object ids below Vso denote the same terms as the subject ids.
+  for (uint32_t o = 0; o < g.num_common; ++o) {
+    EXPECT_EQ(g.ToGlobal(DomainKind::kObject, o),
+              g.ToGlobal(DomainKind::kSubject, o));
+  }
+}
+
+TEST(GlobalIdsTest, ObjectOnlyIdsDoNotAliasSubjectOnly) {
+  GlobalIds g = SampleIds();
+  // Object id 5 (object-only) and subject id 5 (subject-only) share a
+  // numeric local id but are different terms: globals must differ.
+  EXPECT_NE(g.ToGlobal(DomainKind::kObject, 5),
+            g.ToGlobal(DomainKind::kSubject, 5));
+}
+
+TEST(GlobalIdsTest, PredicatesLiveAboveEntities) {
+  GlobalIds g = SampleIds();
+  uint64_t base = g.predicate_base();
+  EXPECT_EQ(base, 10u + 8u - 4u);
+  for (uint32_t p = 0; p < g.num_predicates; ++p) {
+    EXPECT_EQ(g.ToGlobal(DomainKind::kPredicate, p), base + p);
+  }
+}
+
+TEST(GlobalIdsTest, GlobalsAreUniqueAcrossDomains) {
+  GlobalIds g = SampleIds();
+  std::set<uint64_t> seen;
+  for (uint32_t s = 0; s < g.num_subjects; ++s) {
+    seen.insert(g.ToGlobal(DomainKind::kSubject, s));
+  }
+  for (uint32_t o = g.num_common; o < g.num_objects; ++o) {
+    EXPECT_TRUE(seen.insert(g.ToGlobal(DomainKind::kObject, o)).second);
+  }
+  for (uint32_t p = 0; p < g.num_predicates; ++p) {
+    EXPECT_TRUE(seen.insert(g.ToGlobal(DomainKind::kPredicate, p)).second);
+  }
+  // Total distinct terms: |Vs| + (|Vo| - |Vso|) + |Vp|.
+  EXPECT_EQ(seen.size(), 10u + 4u + 5u);
+}
+
+TEST(GlobalIdsTest, ToLocalRoundTrips) {
+  GlobalIds g = SampleIds();
+  for (uint32_t s = 0; s < g.num_subjects; ++s) {
+    auto back = g.ToLocal(DomainKind::kSubject,
+                          g.ToGlobal(DomainKind::kSubject, s));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, s);
+  }
+  for (uint32_t o = 0; o < g.num_objects; ++o) {
+    auto back =
+        g.ToLocal(DomainKind::kObject, g.ToGlobal(DomainKind::kObject, o));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, o);
+  }
+  for (uint32_t p = 0; p < g.num_predicates; ++p) {
+    auto back = g.ToLocal(DomainKind::kPredicate,
+                          g.ToGlobal(DomainKind::kPredicate, p));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, p);
+  }
+}
+
+TEST(GlobalIdsTest, CrossDomainLoweringRespectsVso) {
+  GlobalIds g = SampleIds();
+  // A subject-only term (global 5) does not exist on the object dimension.
+  EXPECT_FALSE(g.ToLocal(DomainKind::kObject, 5).has_value());
+  // An object-only term does not exist on the subject dimension.
+  uint64_t obj_only = g.ToGlobal(DomainKind::kObject, 6);
+  EXPECT_FALSE(g.ToLocal(DomainKind::kSubject, obj_only).has_value());
+  // A shared term exists on both.
+  EXPECT_TRUE(g.ToLocal(DomainKind::kObject, 2).has_value());
+  EXPECT_TRUE(g.ToLocal(DomainKind::kSubject, 2).has_value());
+  // Predicates never lower to entity dimensions.
+  uint64_t pred = g.ToGlobal(DomainKind::kPredicate, 0);
+  EXPECT_FALSE(g.ToLocal(DomainKind::kSubject, pred).has_value());
+  EXPECT_FALSE(g.ToLocal(DomainKind::kObject, pred).has_value());
+}
+
+TEST(GlobalIdsTest, DecodeAgainstRealDictionary) {
+  Graph g = testing::MakeGraph({
+      {"a", "p", "b"},   // b in Vso (also a subject below)
+      {"b", "q", "c"},   // c object-only
+  });
+  GlobalIds ids = GlobalIds::FromDictionary(g.dict());
+  const Dictionary& dict = g.dict();
+
+  uint32_t b_subj = *dict.SubjectId(Term::Iri("b"));
+  uint32_t b_obj = *dict.ObjectId(Term::Iri("b"));
+  EXPECT_EQ(ids.ToGlobal(DomainKind::kSubject, b_subj),
+            ids.ToGlobal(DomainKind::kObject, b_obj));
+  EXPECT_EQ(ids.Decode(dict, ids.ToGlobal(DomainKind::kSubject, b_subj)),
+            Term::Iri("b"));
+
+  uint32_t c_obj = *dict.ObjectId(Term::Iri("c"));
+  EXPECT_EQ(ids.Decode(dict, ids.ToGlobal(DomainKind::kObject, c_obj)),
+            Term::Iri("c"));
+
+  uint32_t q = *dict.PredicateId(Term::Iri("q"));
+  EXPECT_EQ(ids.Decode(dict, ids.ToGlobal(DomainKind::kPredicate, q)),
+            Term::Iri("q"));
+}
+
+}  // namespace
+}  // namespace lbr

@@ -1,0 +1,124 @@
+#include "core/goj.h"
+
+#include <gtest/gtest.h>
+
+#include "sparql/parser.h"
+
+namespace lbr {
+namespace {
+
+std::vector<TriplePattern> Tps(const std::string& group) {
+  auto g = Parser::ParseGroup(group, {});
+  std::vector<const TriplePattern*> ptrs;
+  g->CollectTriplePatterns(&ptrs);
+  std::vector<TriplePattern> out;
+  for (const TriplePattern* p : ptrs) out.push_back(*p);
+  return out;
+}
+
+TEST(GojTest, JvarsAreVariablesInTwoOrMoreTps) {
+  // ?b joins tp1/tp2; ?a and ?c occur once each (non-join vars).
+  Goj g = Goj::Build(Tps("{ ?a <p> ?b . ?b <q> ?c . }"));
+  EXPECT_EQ(g.num_jvars(), 1);
+  EXPECT_TRUE(g.IsJvar("b"));
+  EXPECT_FALSE(g.IsJvar("a"));
+  EXPECT_EQ(g.JvarIndex("nope"), -1);
+}
+
+TEST(GojTest, PaperFigure33IsAcyclic) {
+  // Q2 of the paper: ?friend - ?sitcom chain.
+  Goj g = Goj::Build(Tps(
+      "{ <Jerry> <hasFriend> ?friend . ?friend <actedIn> ?sitcom . "
+      "?sitcom <location> <NYC> . }"));
+  EXPECT_EQ(g.num_jvars(), 2);
+  EXPECT_FALSE(g.IsCyclic());
+  int f = g.JvarIndex("friend");
+  int s = g.JvarIndex("sitcom");
+  EXPECT_TRUE(g.HasEdge(f, s));
+}
+
+TEST(GojTest, TriangleIsCyclic) {
+  // The LUBM Q4 triangle: ?x/?y/?z all pairwise joined.
+  Goj g = Goj::Build(Tps(
+      "{ ?y <advisor> ?x . ?x <teacherOf> ?z . ?y <takesCourse> ?z . "
+      "?x <worksFor> <d> . ?y <memberOf> <d2> . ?z <name> <n> . }"));
+  EXPECT_EQ(g.num_jvars(), 3);
+  EXPECT_TRUE(g.IsCyclic());
+}
+
+TEST(GojTest, ParallelEdgeIsCyclic) {
+  // Two TPs over the same variable pair: a length-2 GoT cycle that marginal
+  // semi-joins cannot reduce — must be treated as cyclic.
+  Goj g = Goj::Build(Tps("{ ?a <p> ?b . ?a <q> ?b . }"));
+  EXPECT_TRUE(g.IsCyclic());
+}
+
+TEST(GojTest, StarViaSameVariableIsAcyclic) {
+  // Many TPs sharing one jvar: redundant GoT cycles, acyclic GoJ.
+  Goj g = Goj::Build(Tps(
+      "{ ?x <p> ?a . ?x <q> ?b . ?x <r> ?c . ?a <s> <v> . ?b <s> <v> . "
+      "?c <s> <v> . }"));
+  EXPECT_FALSE(g.IsCyclic());
+}
+
+TEST(GojTest, TpsOfJvarTracksHolders) {
+  Goj g = Goj::Build(Tps("{ ?a <p> ?b . ?b <q> ?c . ?b <r> <x> . }"));
+  int b = g.JvarIndex("b");
+  EXPECT_EQ(g.tps_of_jvar()[b], (std::vector<int>{0, 1, 2}));
+}
+
+TEST(GojTest, ConnectedQueryDetection) {
+  EXPECT_TRUE(Goj::IsConnectedQuery(Tps("{ ?a <p> ?b . ?b <q> ?c . }")));
+  EXPECT_FALSE(Goj::IsConnectedQuery(Tps("{ ?a <p> ?b . ?c <q> ?d . }")));
+  // Variable-free TPs do not break connectivity.
+  EXPECT_TRUE(Goj::IsConnectedQuery(
+      Tps("{ ?a <p> ?b . <s> <q> <o> . }")));
+  // Single TP is trivially connected.
+  EXPECT_TRUE(Goj::IsConnectedQuery(Tps("{ ?a <p> ?b . }")));
+}
+
+TEST(GojTest, InducedTreeRootedBfs) {
+  // Chain b - c - d (jvars of the chain query below).
+  Goj g = Goj::Build(Tps(
+      "{ ?a <p> ?b . ?b <q> ?c . ?c <r> ?d . ?d <s> ?e . }"));
+  int b = g.JvarIndex("b"), c = g.JvarIndex("c"), d = g.JvarIndex("d");
+  Goj::InducedTree t = g.GetTree({b, c, d}, d);
+  ASSERT_EQ(t.members.size(), 3u);
+  EXPECT_EQ(t.members[0], d);
+  EXPECT_EQ(t.parent[0], -1);
+  // BFS order from d: d, c, b.
+  EXPECT_EQ(t.members[1], c);
+  EXPECT_EQ(t.members[2], b);
+  EXPECT_EQ(t.parent[2], 1);  // b's parent is c (position 1)
+
+  // Bottom-up: children before parents; top-down is the reverse.
+  EXPECT_EQ(Goj::BottomUp(t), (std::vector<int>{b, c, d}));
+  EXPECT_EQ(Goj::TopDown(t), (std::vector<int>{d, c, b}));
+}
+
+TEST(GojTest, InducedForestCoversAllMembers) {
+  // Members from two disconnected parts of the GoJ.
+  Goj g = Goj::Build(Tps(
+      "{ ?a <p> ?b . ?b <q> ?c . ?x <r> ?y . ?y <s> ?z . ?a <t> ?x . }"));
+  // jvars: a (tp0,tp4), b, c? c occurs once -> not a jvar. Actually:
+  // a in tp0/tp4, b in tp0/tp1, x in tp2/tp4, y in tp2/tp3.
+  int a = g.JvarIndex("a"), b = g.JvarIndex("b");
+  int y = g.JvarIndex("y");
+  ASSERT_GE(a, 0);
+  ASSERT_GE(b, 0);
+  ASSERT_GE(y, 0);
+  // Induce over {b, y}: no edge between them -> forest with two roots.
+  Goj::InducedTree t = g.GetTree({b, y}, b);
+  EXPECT_EQ(t.members.size(), 2u);
+  EXPECT_EQ(t.parent[0], -1);
+  EXPECT_EQ(t.parent[1], -1);
+}
+
+TEST(GojTest, NoJvarsQuery) {
+  Goj g = Goj::Build(Tps("{ <s> <p> ?only . }"));
+  EXPECT_EQ(g.num_jvars(), 0);
+  EXPECT_FALSE(g.IsCyclic());
+}
+
+}  // namespace
+}  // namespace lbr

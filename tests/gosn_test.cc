@@ -1,0 +1,161 @@
+#include "core/gosn.h"
+
+#include <gtest/gtest.h>
+
+#include "bitmat/tp_loader.h"
+#include "sparql/parser.h"
+
+namespace lbr {
+namespace {
+
+Gosn Build(const std::string& group) {
+  auto g = Parser::ParseGroup(group, {});
+  return Gosn::Build(*g);
+}
+
+TEST(GosnTest, SingleBgpIsOneSupernode) {
+  Gosn g = Build("{ ?a <p> ?b . ?b <q> ?c . }");
+  EXPECT_EQ(g.num_supernodes(), 1);
+  EXPECT_EQ(g.tps().size(), 2u);
+  EXPECT_TRUE(g.IsAbsoluteMaster(0));
+}
+
+TEST(GosnTest, SimpleOptionalMakesMasterSlave) {
+  // The paper's Q2: SN1 { tp1 }, SN2 { tp2, tp3 }, SN1 -> SN2.
+  Gosn g = Build(
+      "{ <Jerry> <hasFriend> ?f . "
+      "OPTIONAL { ?f <actedIn> ?s . ?s <location> <NYC> . } }");
+  ASSERT_EQ(g.num_supernodes(), 2);
+  EXPECT_EQ(g.supernode(0).tp_ids.size(), 1u);
+  EXPECT_EQ(g.supernode(1).tp_ids.size(), 2u);
+  EXPECT_TRUE(g.IsMasterOf(0, 1));
+  EXPECT_FALSE(g.IsMasterOf(1, 0));
+  EXPECT_TRUE(g.IsAbsoluteMaster(0));
+  EXPECT_FALSE(g.IsAbsoluteMaster(1));
+  EXPECT_EQ(g.uni_edges().size(), 1u);
+  EXPECT_TRUE(g.bidi_edges().empty());
+}
+
+TEST(GosnTest, PaperFigure21bTopology) {
+  // ((Pa leftjoin Pb) join (Pc leftjoin Pd)) leftjoin (Pe leftjoin Pf).
+  // Per Section 2.1 the edges are: (1) a->b, (2) c->d, (3) e->f, (4) a->e,
+  // plus the bidirectional a<->c. Absolute masters: a and c.
+  Gosn g = Build(
+      "{ { { ?a <p> ?x . OPTIONAL { ?a <p> ?b . } } "
+      "    { ?a <p> ?c . OPTIONAL { ?c <p> ?d . } } } "
+      "  OPTIONAL { ?a <p> ?e . OPTIONAL { ?e <p> ?f . } } }");
+  ASSERT_EQ(g.num_supernodes(), 6);
+  // Supernodes are created in walk order: a=0, b=1, c=2, d=3, e=4, f=5.
+  EXPECT_EQ(g.uni_edges().size(), 4u);
+  EXPECT_EQ(g.bidi_edges().size(), 1u);
+
+  EXPECT_TRUE(g.IsPeer(0, 2));
+  EXPECT_TRUE(g.IsAbsoluteMaster(0));
+  EXPECT_TRUE(g.IsAbsoluteMaster(2));
+  EXPECT_FALSE(g.IsAbsoluteMaster(1));
+
+  // Transitivity through bidirectional edges: SNc is a master of SNb
+  // (path c <-> a -> b contains one uni edge).
+  EXPECT_TRUE(g.IsMasterOf(0, 1));
+  EXPECT_TRUE(g.IsMasterOf(2, 1));
+  EXPECT_TRUE(g.IsMasterOf(0, 4));
+  // SNf is reachable from SNa via two uni edges.
+  EXPECT_TRUE(g.IsMasterOf(0, 5));
+  EXPECT_TRUE(g.IsMasterOf(4, 5));
+  EXPECT_FALSE(g.IsMasterOf(4, 1));  // e cannot reach b
+}
+
+TEST(GosnTest, MasterDepths) {
+  Gosn g = Build(
+      "{ ?a <p> ?b . OPTIONAL { ?b <q> ?c . OPTIONAL { ?c <r> ?d . } } }");
+  ASSERT_EQ(g.num_supernodes(), 3);
+  EXPECT_EQ(g.MasterDepth(0), 0);
+  EXPECT_EQ(g.MasterDepth(1), 1);
+  EXPECT_EQ(g.MasterDepth(2), 2);
+}
+
+TEST(GosnTest, TpLevelRelations) {
+  Gosn g = Build(
+      "{ ?a <p> ?b . OPTIONAL { ?b <q> ?c . ?c <r> ?d . } }");
+  EXPECT_TRUE(g.TpIsMasterOf(0, 1));
+  EXPECT_TRUE(g.TpIsMasterOf(0, 2));
+  EXPECT_TRUE(g.TpIsPeer(1, 2));  // same supernode
+  EXPECT_FALSE(g.TpIsPeer(0, 1));
+}
+
+TEST(GosnTest, PeersOfAndSlaveLists) {
+  Gosn g = Build(
+      "{ { ?a <p> ?b . OPTIONAL { ?b <q> ?c . } } { ?a <r> ?d . } }");
+  // SN0 {a p b}, SN1 {b q c}, SN2 {a r d}; SN0 <-> SN2 peers.
+  EXPECT_EQ(g.PeersOf(0), (std::vector<int>{0, 2}));
+  EXPECT_EQ(g.AbsoluteMasters(), (std::vector<int>{0, 2}));
+  EXPECT_EQ(g.SlaveSupernodes(), (std::vector<int>{1}));
+}
+
+TEST(GosnTest, FiltersCollectedWithScope) {
+  Gosn g = Build(
+      "{ ?a <p> ?b . OPTIONAL { ?b <q> ?c . FILTER (?c != <x>) } }");
+  ASSERT_EQ(g.filters().size(), 1u);
+  EXPECT_EQ(g.filters()[0].scope_supernodes, (std::vector<int>{1}));
+}
+
+TEST(GosnTest, InnermostFiltersSortFirst) {
+  Gosn g = Build(
+      "{ ?a <p> ?b . OPTIONAL { ?b <q> ?c . FILTER (?c != <x>) } "
+      "FILTER (?a != <y>) }");
+  ASSERT_EQ(g.filters().size(), 2u);
+  EXPECT_GE(g.filters()[0].depth, g.filters()[1].depth);
+}
+
+TEST(GosnTest, RejectsUnitOptionalGroup) {
+  EXPECT_THROW(Build("{ OPTIONAL { ?a <p> ?b . } }"), UnsupportedQueryError);
+}
+
+TEST(GosnTest, RejectsUnionInput) {
+  EXPECT_THROW(Build("{ { ?a <p> ?b . } UNION { ?a <q> ?b . } }"),
+               UnsupportedQueryError);
+}
+
+TEST(GosnTest, WdViolationPairsDetected) {
+  Gosn g = Build(
+      "{ { ?a <p> ?b . OPTIONAL { ?b <q> ?c . } } { ?c <r> ?d . } }");
+  auto pairs = g.ComputeWdViolationPairs();
+  ASSERT_FALSE(pairs.empty());
+  // SN1 (the OPT side holding ?c) violates with SN2 (the outside user).
+  EXPECT_EQ(pairs[0].first, 1);
+  EXPECT_EQ(pairs[0].second, 2);
+}
+
+TEST(GosnTest, WellDesignedHasNoViolationPairs) {
+  Gosn g = Build(
+      "{ { ?a <p> ?c . OPTIONAL { ?c <q> ?d . } } { ?c <r> ?e . } }");
+  EXPECT_TRUE(g.ComputeWdViolationPairs().empty());
+}
+
+TEST(GosnTest, ConvertViolationPairsMakesEdgesBidirectional) {
+  Gosn g = Build(
+      "{ { ?a <p> ?b . OPTIONAL { ?b <q> ?c . } } { ?c <r> ?d . } }");
+  auto pairs = g.ComputeWdViolationPairs();
+  ASSERT_FALSE(pairs.empty());
+  ASSERT_EQ(g.uni_edges().size(), 1u);
+  g.ConvertViolationPairs(pairs);
+  // The uni edge on the violation path became bidirectional: everything is
+  // now one peer group of absolute masters (Appendix B).
+  EXPECT_TRUE(g.uni_edges().empty());
+  EXPECT_EQ(g.bidi_edges().size(), 2u);
+  for (int sn = 0; sn < g.num_supernodes(); ++sn) {
+    EXPECT_TRUE(g.IsAbsoluteMaster(sn));
+  }
+}
+
+TEST(GosnTest, TpsKeepSerializationOrder) {
+  Gosn g = Build(
+      "{ ?a <p> ?b . OPTIONAL { ?b <q> ?c . } ?a <r> ?d . }");
+  ASSERT_EQ(g.tps().size(), 3u);
+  EXPECT_EQ(g.tps()[0].ToString(), "?a <p> ?b");
+  EXPECT_EQ(g.tps()[1].ToString(), "?b <q> ?c");
+  EXPECT_EQ(g.tps()[2].ToString(), "?a <r> ?d");
+}
+
+}  // namespace
+}  // namespace lbr

@@ -1,0 +1,133 @@
+#include "sparql/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace lbr {
+namespace {
+
+std::vector<Token> Lex(const std::string& text) {
+  return Lexer::Tokenize(text);
+}
+
+TEST(LexerTest, BasicQueryTokens) {
+  auto tokens = Lex("SELECT * WHERE { ?s <p> ?o . }");
+  ASSERT_GE(tokens.size(), 9u);
+  EXPECT_TRUE(tokens[0].IsKeyword("SELECT"));
+  EXPECT_EQ(tokens[1].kind, TokenKind::kStar);
+  EXPECT_TRUE(tokens[2].IsKeyword("WHERE"));
+  EXPECT_EQ(tokens[3].kind, TokenKind::kLbrace);
+  EXPECT_EQ(tokens[4].kind, TokenKind::kVar);
+  EXPECT_EQ(tokens[4].value, "s");
+  EXPECT_EQ(tokens[5].kind, TokenKind::kIriRef);
+  EXPECT_EQ(tokens[5].value, "p");
+  EXPECT_EQ(tokens[6].kind, TokenKind::kVar);
+  EXPECT_EQ(tokens[7].kind, TokenKind::kDot);
+  EXPECT_EQ(tokens[8].kind, TokenKind::kRbrace);
+  EXPECT_EQ(tokens.back().kind, TokenKind::kEof);
+}
+
+TEST(LexerTest, KeywordsAreCaseInsensitive) {
+  auto tokens = Lex("select OpTiOnAl union FILTER prefix");
+  EXPECT_TRUE(tokens[0].IsKeyword("SELECT"));
+  EXPECT_TRUE(tokens[1].IsKeyword("OPTIONAL"));
+  EXPECT_TRUE(tokens[2].IsKeyword("UNION"));
+  EXPECT_TRUE(tokens[3].IsKeyword("FILTER"));
+  EXPECT_TRUE(tokens[4].IsKeyword("PREFIX"));
+}
+
+TEST(LexerTest, RdfTypeShorthand) {
+  auto tokens = Lex("?s a <C>");
+  EXPECT_TRUE(tokens[1].IsKeyword("A"));
+}
+
+TEST(LexerTest, PrefixedNames) {
+  auto tokens = Lex("ub:worksFor rdf:type :Jerry");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kPname);
+  EXPECT_EQ(tokens[0].value, "ub:worksFor");
+  EXPECT_EQ(tokens[1].value, "rdf:type");
+  EXPECT_EQ(tokens[2].value, ":Jerry");
+}
+
+TEST(LexerTest, TrailingDotSplitsFromPname) {
+  auto tokens = Lex("?x ub:name ?y . }");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kPname);
+  EXPECT_EQ(tokens[1].value, "ub:name");
+  EXPECT_EQ(tokens[3].kind, TokenKind::kDot);
+}
+
+TEST(LexerTest, StringLiterals) {
+  auto tokens = Lex("\"2008-01-15\" 'single' \"esc\\\"aped\"");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kLiteral);
+  EXPECT_EQ(tokens[0].value, "2008-01-15");
+  EXPECT_EQ(tokens[1].value, "single");
+  EXPECT_EQ(tokens[2].value, "esc\"aped");
+}
+
+TEST(LexerTest, LiteralWithDatatype) {
+  auto tokens = Lex("\"42\"^^<http://int>");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kLiteral);
+  EXPECT_EQ(tokens[0].value, "42^^<http://int>");
+}
+
+TEST(LexerTest, NumbersAndComparisons) {
+  auto tokens = Lex("FILTER (?x >= 10 && ?y != -3.5)");
+  EXPECT_TRUE(tokens[0].IsKeyword("FILTER"));
+  EXPECT_EQ(tokens[3].kind, TokenKind::kOp);
+  EXPECT_EQ(tokens[3].value, ">=");
+  EXPECT_EQ(tokens[4].kind, TokenKind::kNumber);
+  EXPECT_EQ(tokens[4].value, "10");
+  EXPECT_EQ(tokens[5].value, "&&");
+  EXPECT_EQ(tokens[7].value, "!=");
+  EXPECT_EQ(tokens[8].value, "-3.5");
+}
+
+TEST(LexerTest, LessThanVsIri) {
+  // '<' followed by a space is a comparison, not an IRI.
+  auto tokens = Lex("?x < 5");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kOp);
+  EXPECT_EQ(tokens[1].value, "<");
+  auto tokens2 = Lex("?x <= ?y");
+  EXPECT_EQ(tokens2[1].value, "<=");
+}
+
+TEST(LexerTest, IriWithAngleClose) {
+  auto tokens = Lex("<http://a/b#c>");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIriRef);
+  EXPECT_EQ(tokens[0].value, "http://a/b#c");
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  auto tokens = Lex("?x # comment to end of line\n?y");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kVar);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kVar);
+  EXPECT_EQ(tokens[1].value, "y");
+}
+
+TEST(LexerTest, BlankNode) {
+  auto tokens = Lex("_:node1");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kBlank);
+  EXPECT_EQ(tokens[0].value, "node1");
+}
+
+TEST(LexerTest, TracksLineAndColumn) {
+  auto tokens = Lex("?a\n  ?b");
+  EXPECT_EQ(tokens[0].line, 1u);
+  EXPECT_EQ(tokens[1].line, 2u);
+  EXPECT_EQ(tokens[1].col, 3u);
+}
+
+TEST(LexerTest, RejectsStrayCharacters) {
+  EXPECT_THROW(Lex("?x @ ?y"), std::invalid_argument);
+  EXPECT_THROW(Lex("?x & ?y"), std::invalid_argument);
+  EXPECT_THROW(Lex("\"unterminated"), std::invalid_argument);
+  EXPECT_THROW(Lex("?"), std::invalid_argument);
+}
+
+TEST(LexerTest, SemicolonAndComma) {
+  auto tokens = Lex("?s <p> ?a ; <q> ?b , ?c .");
+  EXPECT_EQ(tokens[3].kind, TokenKind::kSemicolon);
+  EXPECT_EQ(tokens[6].kind, TokenKind::kComma);
+}
+
+}  // namespace
+}  // namespace lbr

@@ -1,0 +1,97 @@
+#include "rdf/ntriples.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace lbr {
+namespace {
+
+TEST(NTriplesTest, ParsesIriTriple) {
+  TermTriple t;
+  ASSERT_TRUE(NTriples::ParseLine("<http://a> <http://p> <http://b> .", 1, &t));
+  EXPECT_EQ(t.s, Term::Iri("http://a"));
+  EXPECT_EQ(t.p, Term::Iri("http://p"));
+  EXPECT_EQ(t.o, Term::Iri("http://b"));
+}
+
+TEST(NTriplesTest, ParsesLiteralObject) {
+  TermTriple t;
+  ASSERT_TRUE(NTriples::ParseLine("<a> <p> \"hello world\" .", 1, &t));
+  EXPECT_EQ(t.o, Term::Literal("hello world"));
+}
+
+TEST(NTriplesTest, ParsesEscapes) {
+  TermTriple t;
+  ASSERT_TRUE(NTriples::ParseLine(R"(<a> <p> "line\nbreak\t\"q\"" .)", 1, &t));
+  EXPECT_EQ(t.o.value, "line\nbreak\t\"q\"");
+}
+
+TEST(NTriplesTest, ParsesLanguageTagAndDatatype) {
+  TermTriple t;
+  ASSERT_TRUE(NTriples::ParseLine("<a> <p> \"chat\"@fr .", 1, &t));
+  EXPECT_EQ(t.o.kind, TermKind::kLiteral);
+  EXPECT_EQ(t.o.value, "chat@fr");
+  ASSERT_TRUE(NTriples::ParseLine(
+      "<a> <p> \"42\"^^<http://www.w3.org/2001/XMLSchema#int> .", 2, &t));
+  EXPECT_EQ(t.o.value, "42^^<http://www.w3.org/2001/XMLSchema#int>");
+}
+
+TEST(NTriplesTest, ParsesBlankNodes) {
+  TermTriple t;
+  ASSERT_TRUE(NTriples::ParseLine("_:b1 <p> _:b2 .", 1, &t));
+  EXPECT_EQ(t.s, Term::Blank("b1"));
+  EXPECT_EQ(t.o, Term::Blank("b2"));
+}
+
+TEST(NTriplesTest, SkipsCommentsAndBlankLines) {
+  TermTriple t;
+  EXPECT_FALSE(NTriples::ParseLine("# a comment", 1, &t));
+  EXPECT_FALSE(NTriples::ParseLine("", 2, &t));
+  EXPECT_FALSE(NTriples::ParseLine("   ", 3, &t));
+}
+
+TEST(NTriplesTest, RejectsMalformedLines) {
+  TermTriple t;
+  EXPECT_THROW(NTriples::ParseLine("<a> <p> <b>", 1, &t),
+               std::invalid_argument);  // missing dot
+  EXPECT_THROW(NTriples::ParseLine("<a> <p .", 1, &t), std::invalid_argument);
+  EXPECT_THROW(NTriples::ParseLine("\"lit\" <p> <b> .", 1, &t),
+               std::invalid_argument);  // literal subject
+  EXPECT_THROW(NTriples::ParseLine("<a> \"p\" <b> .", 1, &t),
+               std::invalid_argument);  // literal predicate
+}
+
+TEST(NTriplesTest, ParseStringMultipleLines) {
+  auto triples = NTriples::ParseString(
+      "<a> <p> <b> .\n"
+      "# comment\n"
+      "<b> <p> \"x\" .\n");
+  ASSERT_EQ(triples.size(), 2u);
+  EXPECT_EQ(triples[1].o, Term::Literal("x"));
+}
+
+TEST(NTriplesTest, WriteParseRoundTrip) {
+  std::vector<TermTriple> in = {
+      {Term::Iri("a"), Term::Iri("p"), Term::Iri("b")},
+      {Term::Blank("n"), Term::Iri("p"), Term::Literal("esc\"ape\n")},
+  };
+  std::ostringstream out;
+  NTriples::WriteStream(in, &out);
+  std::istringstream iss(out.str());
+  auto back = NTriples::ParseStream(&iss);
+  ASSERT_EQ(back.size(), in.size());
+  for (size_t i = 0; i < in.size(); ++i) EXPECT_EQ(back[i], in[i]);
+}
+
+TEST(NTriplesTest, ErrorsCiteLineNumbers) {
+  try {
+    NTriples::ParseString("<a> <p> <b> .\n<broken\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace lbr

@@ -1,0 +1,68 @@
+#include "core/nullification.h"
+
+#include <gtest/gtest.h>
+
+#include "sparql/parser.h"
+
+namespace lbr {
+namespace {
+
+Gosn Build(const std::string& group) {
+  auto g = Parser::ParseGroup(group, {});
+  return Gosn::Build(*g);
+}
+
+TEST(FailureClosureTest, EmptySeedsNoFailures) {
+  Gosn g = Build("{ ?a <p> ?b . OPTIONAL { ?b <q> ?c . } }");
+  EXPECT_TRUE(FailureClosure(g, {}).empty());
+}
+
+TEST(FailureClosureTest, AbsoluteMastersNeverFail) {
+  Gosn g = Build("{ ?a <p> ?b . OPTIONAL { ?b <q> ?c . } }");
+  EXPECT_TRUE(FailureClosure(g, {0}).empty());  // SN0 is absolute master
+  EXPECT_EQ(FailureClosure(g, {1}), (std::vector<int>{1}));
+}
+
+TEST(FailureClosureTest, CascadesToSlaveDescendants) {
+  // SN0 -> SN1 -> SN2: failing SN1 drags SN2 down.
+  Gosn g = Build(
+      "{ ?a <p> ?b . OPTIONAL { ?b <q> ?c . OPTIONAL { ?c <r> ?d . } } }");
+  EXPECT_EQ(FailureClosure(g, {1}), (std::vector<int>{1, 2}));
+  // Failing only the inner slave does not touch its master.
+  EXPECT_EQ(FailureClosure(g, {2}), (std::vector<int>{2}));
+}
+
+TEST(FailureClosureTest, CascadesAcrossPeerGroups) {
+  // Two peer supernodes inside one OPT group: ((Pa leftjoin Pb) join
+  // (Pc leftjoin Pd)) as the right side of an OPT — failing one peer fails
+  // the group and both slaves.
+  Gosn g = Build(
+      "{ ?x <p> ?a . OPTIONAL { "
+      "  { ?a <p> ?b . OPTIONAL { ?b <p> ?c . } } "
+      "  { ?a <q> ?d . OPTIONAL { ?d <q> ?e . } } } }");
+  // SN0 = master {x p a}; SN1 = {a p b}, SN2 = {b p c}, SN3 = {a q d},
+  // SN4 = {d q e}; SN1 <-> SN3 peers, both slaves of SN0.
+  ASSERT_EQ(g.num_supernodes(), 5);
+  ASSERT_TRUE(g.IsPeer(1, 3));
+  std::vector<int> closure = FailureClosure(g, {1});
+  EXPECT_EQ(closure, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(FailureClosureTest, IndependentOptGroupsDoNotCascade) {
+  // Two sibling OPT groups off the same master: failing one leaves the
+  // other alone (they are NOT peers — each has its own uni edge).
+  Gosn g = Build(
+      "{ ?a <p> ?b . OPTIONAL { ?b <q> ?c . } OPTIONAL { ?b <r> ?d . } }");
+  ASSERT_EQ(g.num_supernodes(), 3);
+  EXPECT_EQ(FailureClosure(g, {1}), (std::vector<int>{1}));
+  EXPECT_EQ(FailureClosure(g, {2}), (std::vector<int>{2}));
+}
+
+TEST(FailureClosureTest, MultipleSeeds) {
+  Gosn g = Build(
+      "{ ?a <p> ?b . OPTIONAL { ?b <q> ?c . } OPTIONAL { ?b <r> ?d . } }");
+  EXPECT_EQ(FailureClosure(g, {1, 2}), (std::vector<int>{1, 2}));
+}
+
+}  // namespace
+}  // namespace lbr

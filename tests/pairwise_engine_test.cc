@@ -1,0 +1,130 @@
+#include "baseline/pairwise_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "bitmat/triple_index.h"
+#include "sparql/parser.h"
+#include "test_util.h"
+
+namespace lbr {
+namespace {
+
+using testing::Canonicalize;
+using testing::MakeGraph;
+
+struct PairwiseFixture {
+  Graph graph;
+  TripleIndex index;
+  PairwiseEngine engine;
+
+  explicit PairwiseFixture(Graph g)
+      : graph(std::move(g)),
+        index(TripleIndex::Build(graph)),
+        engine(&index, &graph.dict()) {}
+};
+
+TEST(PairwiseEngineTest, ScansAndJoins) {
+  PairwiseFixture f(MakeGraph({
+      {"a", "p", "b"},
+      {"b", "q", "c"},
+      {"x", "p", "y"},
+  }));
+  ResultTable t = f.engine.ExecuteToTable(
+      Parser::Parse("SELECT * WHERE { ?s <p> ?t . ?t <q> ?u . }"));
+  ASSERT_EQ(t.rows.size(), 1u);
+}
+
+TEST(PairwiseEngineTest, LeftOuterJoinPadsNulls) {
+  PairwiseFixture f(MakeGraph({
+      {"a", "p", "b"},
+      {"b", "q", "c"},
+      {"x", "p", "y"},
+  }));
+  QueryStats stats;
+  ResultTable t = f.engine.ExecuteToTable(
+      Parser::Parse(
+          "SELECT * WHERE { ?s <p> ?t . OPTIONAL { ?t <q> ?u . } }"),
+      &stats);
+  EXPECT_EQ(t.rows.size(), 2u);
+  EXPECT_EQ(stats.num_results, 2u);
+  EXPECT_EQ(stats.num_results_with_nulls, 1u);
+}
+
+TEST(PairwiseEngineTest, SitcomExample) {
+  PairwiseFixture f(testing::SitcomGraph());
+  ResultTable t =
+      f.engine.ExecuteToTable(Parser::Parse(testing::SitcomQuery()));
+  auto canon = Canonicalize(t);
+  ASSERT_EQ(canon.size(), 2u);
+  EXPECT_EQ(canon[0], "friend=<Julia>|sitcom=<Seinfeld>|");
+  EXPECT_EQ(canon[1], "friend=<Larry>|sitcom=NULL|");
+}
+
+TEST(PairwiseEngineTest, NullIntolerantJoins) {
+  // A NULL from an outer join never matches in a later join (SQL
+  // semantics, Appendix C) — the relation-level API shows this directly.
+  PairwiseFixture f(MakeGraph({
+      {"a", "p", "b"},
+      {"s2", "loc", "NYC"},
+  }));
+  auto algebra = Parser::ParseGroup(
+      "{ { ?x <p> ?y . OPTIONAL { ?y <q> ?s . } } { ?s <loc> <NYC> . } }",
+      {});
+  PairwiseEngine::Relation rel = f.engine.Evaluate(*algebra);
+  // The left side's ?s is NULL; null-intolerant join drops the row.
+  EXPECT_TRUE(rel.rows.empty());
+}
+
+TEST(PairwiseEngineTest, UnionAlignsColumns) {
+  PairwiseFixture f(MakeGraph({
+      {"a", "p", "b"},
+      {"a", "q", "c"},
+  }));
+  ResultTable t = f.engine.ExecuteToTable(Parser::Parse(
+      "SELECT * WHERE { { ?x <p> ?y . } UNION { ?x <q> ?z . } }"));
+  EXPECT_EQ(t.rows.size(), 2u);
+  // Each row binds only its branch's variables.
+  size_t nulls = 0;
+  for (const auto& row : t.rows) {
+    for (const auto& cell : row) {
+      if (!cell.has_value()) ++nulls;
+    }
+  }
+  EXPECT_EQ(nulls, 2u);
+}
+
+TEST(PairwiseEngineTest, FilterApplies) {
+  PairwiseFixture f(MakeGraph({{"a", "p", "\"3\""}, {"b", "p", "\"8\""}}));
+  ResultTable t = f.engine.ExecuteToTable(Parser::Parse(
+      "SELECT * WHERE { ?x <p> ?v . FILTER (?v >= 5) }"));
+  ASSERT_EQ(t.rows.size(), 1u);
+  // SELECT * projects sorted variables: column 0 = ?v, column 1 = ?x.
+  ASSERT_EQ(t.var_names, (std::vector<std::string>{"v", "x"}));
+  EXPECT_EQ(t.rows[0][1]->value, "b");
+}
+
+TEST(PairwiseEngineTest, VariablePredicateScan) {
+  PairwiseFixture f(MakeGraph({{"a", "p", "b"}, {"a", "q", "c"}}));
+  ResultTable t = f.engine.ExecuteToTable(
+      Parser::Parse("SELECT * WHERE { <a> ?pred ?o . }"));
+  EXPECT_EQ(t.rows.size(), 2u);
+}
+
+TEST(PairwiseEngineTest, SameVariableTwiceInTp) {
+  PairwiseFixture f(MakeGraph({{"a", "p", "a"}, {"a", "p", "b"}}));
+  ResultTable t = f.engine.ExecuteToTable(
+      Parser::Parse("SELECT * WHERE { ?x <p> ?x . }"));
+  ASSERT_EQ(t.rows.size(), 1u);
+  EXPECT_EQ(t.rows[0][0]->value, "a");
+}
+
+TEST(PairwiseEngineTest, RelationColumnLookup) {
+  PairwiseEngine::Relation rel;
+  rel.vars = {"a", "b"};
+  EXPECT_EQ(rel.ColumnOf("a"), 0);
+  EXPECT_EQ(rel.ColumnOf("b"), 1);
+  EXPECT_EQ(rel.ColumnOf("zz"), -1);
+}
+
+}  // namespace
+}  // namespace lbr

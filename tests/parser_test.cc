@@ -1,0 +1,168 @@
+#include "sparql/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace lbr {
+namespace {
+
+TEST(ParserTest, SelectStar) {
+  ParsedQuery q = Parser::Parse("SELECT * WHERE { ?s <p> ?o . }");
+  EXPECT_TRUE(q.select_all);
+  ASSERT_EQ(q.body->op, Algebra::Op::kBgp);
+  ASSERT_EQ(q.body->bgp.size(), 1u);
+  EXPECT_EQ(q.body->bgp[0].ToString(), "?s <p> ?o");
+}
+
+TEST(ParserTest, SelectVariableList) {
+  ParsedQuery q = Parser::Parse("SELECT ?a ?b WHERE { ?a <p> ?b . }");
+  EXPECT_FALSE(q.select_all);
+  EXPECT_EQ(q.select_vars, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(ParserTest, WhereIsOptionalKeyword) {
+  ParsedQuery q = Parser::Parse("SELECT * { ?a <p> ?b . }");
+  EXPECT_EQ(q.body->bgp.size(), 1u);
+}
+
+TEST(ParserTest, PrefixResolution) {
+  ParsedQuery q = Parser::Parse(
+      "PREFIX ub: <http://lubm/> SELECT * WHERE { ?x ub:worksFor ?y . }");
+  EXPECT_EQ(q.body->bgp[0].p.term.value, "http://lubm/worksFor");
+}
+
+TEST(ParserTest, UnknownPrefixKeptVerbatim) {
+  // The paper's appendix queries write ':Jerry' without declaring ':'.
+  ParsedQuery q = Parser::Parse("SELECT * WHERE { :Jerry <p> ?f . }");
+  EXPECT_EQ(q.body->bgp[0].s.term.value, ":Jerry");
+}
+
+TEST(ParserTest, RdfTypeShorthand) {
+  ParsedQuery q = Parser::Parse("SELECT * WHERE { ?x a <Class> . }");
+  EXPECT_EQ(q.body->bgp[0].p.term.value,
+            "http://www.w3.org/1999/02/22-rdf-syntax-ns#type");
+}
+
+TEST(ParserTest, OptionalBecomesLeftJoin) {
+  ParsedQuery q = Parser::Parse(
+      "SELECT * WHERE { ?a <p> ?b . OPTIONAL { ?b <q> ?c . } }");
+  ASSERT_EQ(q.body->op, Algebra::Op::kLeftJoin);
+  EXPECT_EQ(q.body->left->op, Algebra::Op::kBgp);
+  EXPECT_EQ(q.body->right->op, Algebra::Op::kBgp);
+}
+
+TEST(ParserTest, NestedOptional) {
+  ParsedQuery q = Parser::Parse(
+      "SELECT * WHERE { ?a <p> ?b . OPTIONAL { ?b <q> ?c ."
+      "  OPTIONAL { ?c <r> ?d . } } }");
+  ASSERT_EQ(q.body->op, Algebra::Op::kLeftJoin);
+  ASSERT_EQ(q.body->right->op, Algebra::Op::kLeftJoin);
+}
+
+TEST(ParserTest, SequentialOptionalsNestLeft) {
+  // { P OPT A OPT B } == ((P leftjoin A) leftjoin B).
+  ParsedQuery q = Parser::Parse(
+      "SELECT * WHERE { ?a <p> ?b . OPTIONAL { ?a <q> ?c . }"
+      " OPTIONAL { ?a <r> ?d . } }");
+  ASSERT_EQ(q.body->op, Algebra::Op::kLeftJoin);
+  ASSERT_EQ(q.body->left->op, Algebra::Op::kLeftJoin);
+  EXPECT_EQ(q.body->left->left->op, Algebra::Op::kBgp);
+}
+
+TEST(ParserTest, GroupsJoin) {
+  ParsedQuery q = Parser::Parse(
+      "SELECT * WHERE { { ?a <p> ?b . } { ?b <q> ?c . } }");
+  ASSERT_EQ(q.body->op, Algebra::Op::kJoin);
+}
+
+TEST(ParserTest, TriplesAfterOptionalJoin) {
+  // { tp1 OPTIONAL {A} tp2 } = Join(LeftJoin(tp1, A), tp2) per the spec.
+  ParsedQuery q = Parser::Parse(
+      "SELECT * WHERE { ?a <p> ?b . OPTIONAL { ?b <q> ?c . } ?a <r> ?d . }");
+  ASSERT_EQ(q.body->op, Algebra::Op::kJoin);
+  EXPECT_EQ(q.body->left->op, Algebra::Op::kLeftJoin);
+  EXPECT_EQ(q.body->right->op, Algebra::Op::kBgp);
+}
+
+TEST(ParserTest, UnionChain) {
+  ParsedQuery q = Parser::Parse(
+      "SELECT * WHERE { { ?a <p> ?b . } UNION { ?a <q> ?b . } UNION "
+      "{ ?a <r> ?b . } }");
+  ASSERT_EQ(q.body->op, Algebra::Op::kUnion);
+  EXPECT_EQ(q.body->left->op, Algebra::Op::kUnion);
+}
+
+TEST(ParserTest, FilterAppliesToGroup) {
+  ParsedQuery q = Parser::Parse(
+      "SELECT * WHERE { ?a <p> ?b . FILTER (?b != <x>) }");
+  ASSERT_EQ(q.body->op, Algebra::Op::kFilter);
+  EXPECT_EQ(q.body->filter.kind, FilterExpr::Kind::kCompare);
+  EXPECT_EQ(q.body->filter.op, CompareOp::kNe);
+}
+
+TEST(ParserTest, FilterBound) {
+  ParsedQuery q = Parser::Parse(
+      "SELECT * WHERE { ?a <p> ?b . FILTER BOUND(?b) }");
+  ASSERT_EQ(q.body->op, Algebra::Op::kFilter);
+  EXPECT_EQ(q.body->filter.kind, FilterExpr::Kind::kBound);
+}
+
+TEST(ParserTest, FilterBooleanOperators) {
+  ParsedQuery q = Parser::Parse(
+      "SELECT * WHERE { ?a <p> ?b . FILTER (?b > 3 && !(?b = 7) || ?b < 1) }");
+  ASSERT_EQ(q.body->op, Algebra::Op::kFilter);
+  EXPECT_EQ(q.body->filter.kind, FilterExpr::Kind::kOr);
+  EXPECT_EQ(q.body->filter.children[0].kind, FilterExpr::Kind::kAnd);
+}
+
+TEST(ParserTest, SemicolonAndCommaAbbreviations) {
+  ParsedQuery q = Parser::Parse(
+      "SELECT * WHERE { ?s <p> ?a ; <q> ?b , ?c . }");
+  ASSERT_EQ(q.body->bgp.size(), 3u);
+  EXPECT_EQ(q.body->bgp[0].ToString(), "?s <p> ?a");
+  EXPECT_EQ(q.body->bgp[1].ToString(), "?s <q> ?b");
+  EXPECT_EQ(q.body->bgp[2].ToString(), "?s <q> ?c");
+}
+
+TEST(ParserTest, LiteralObjects) {
+  ParsedQuery q = Parser::Parse(
+      "SELECT * WHERE { ?b <modified> \"2008-01-15\" . }");
+  EXPECT_EQ(q.body->bgp[0].o.term, Term::Literal("2008-01-15"));
+}
+
+TEST(ParserTest, ErrorsHaveLocations) {
+  try {
+    Parser::Parse("SELECT * WHERE { ?a <p> }");
+    FAIL() << "expected parse error";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("parse error"), std::string::npos);
+  }
+}
+
+TEST(ParserTest, RejectsMissingSelect) {
+  EXPECT_THROW(Parser::Parse("WHERE { ?a <p> ?b . }"), std::invalid_argument);
+}
+
+TEST(ParserTest, RejectsUnterminatedGroup) {
+  EXPECT_THROW(Parser::Parse("SELECT * WHERE { ?a <p> ?b ."),
+               std::invalid_argument);
+}
+
+TEST(ParserTest, RejectsTrailingTokens) {
+  EXPECT_THROW(Parser::Parse("SELECT * WHERE { ?a <p> ?b . } garbage"),
+               std::invalid_argument);
+}
+
+TEST(ParserTest, ParseGroupHelper) {
+  auto g = Parser::ParseGroup("{ ?a <p> ?b . OPTIONAL { ?b <q> ?c . } }", {});
+  ASSERT_EQ(g->op, Algebra::Op::kLeftJoin);
+}
+
+TEST(ParserTest, EffectiveProjectionForStar) {
+  ParsedQuery q = Parser::Parse(
+      "SELECT * WHERE { ?b <p> ?a . OPTIONAL { ?a <q> ?c . } }");
+  EXPECT_EQ(q.EffectiveProjection(),
+            (std::vector<std::string>{"a", "b", "c"}));  // sorted
+}
+
+}  // namespace
+}  // namespace lbr

@@ -1,0 +1,185 @@
+#include "core/prune.h"
+
+#include <gtest/gtest.h>
+
+#include "bitmat/triple_index.h"
+#include "core/selectivity.h"
+#include "sparql/parser.h"
+#include "test_util.h"
+
+namespace lbr {
+namespace {
+
+using testing::SitcomGraph;
+
+// Loads TP states for a query over a graph, mirroring the engine's init but
+// without active pruning (so PruneTriples does all the work).
+struct Fixture {
+  Graph graph;
+  TripleIndex index;
+  Gosn gosn;
+  Goj goj;
+  std::vector<TpState> states;
+  JvarOrder order;
+
+  Fixture(Graph g, const std::string& group)
+      : graph(std::move(g)), index(TripleIndex::Build(graph)),
+        gosn(Gosn::Build(*Parser::ParseGroup(group, {}))),
+        goj(Goj::Build(gosn.tps())) {
+    std::vector<uint64_t> cards;
+    for (const TriplePattern& tp : gosn.tps()) {
+      cards.push_back(EstimateTpCardinality(index, graph.dict(), tp));
+    }
+    order = GetJvarOrder(gosn, goj, cards);
+    for (size_t i = 0; i < gosn.tps().size(); ++i) {
+      TpState st;
+      st.tp = gosn.tps()[i];
+      st.tp_id = static_cast<int>(i);
+      st.sn_id = gosn.SupernodeOf(st.tp_id);
+      st.mat = LoadTpBitMat(index, graph.dict(), st.tp, true);
+      st.initial_count = st.mat.bm.Count();
+      states.push_back(std::move(st));
+    }
+  }
+
+  void Prune() {
+    PruneTriples(order, gosn, goj, index.num_common(), &states);
+  }
+};
+
+TEST(PruneTest, PaperExample1ReachesMinimality) {
+  // Example-1 (Section 3.1): after the semi-join and clustered-semi-join
+  // passes, tp1 keeps 2 triples, tp2 keeps only (Julia actedIn Seinfeld),
+  // tp3 keeps only (Seinfeld location NYC).
+  Fixture f(SitcomGraph(),
+            "{ <Jerry> <hasFriend> ?friend . "
+            "OPTIONAL { ?friend <actedIn> ?sitcom . "
+            "?sitcom <location> <NewYorkCity> . } }");
+  f.Prune();
+  EXPECT_EQ(f.states[0].CurrentCount(), 2u);  // tp1: both friends stay
+  EXPECT_EQ(f.states[1].CurrentCount(), 1u);  // tp2: Julia->Seinfeld
+  EXPECT_EQ(f.states[2].CurrentCount(), 1u);  // tp3: Seinfeld->NYC
+}
+
+TEST(PruneTest, MasterNeverShrinksFromSlave) {
+  // Left-outer-join semantics: the master TP's triples must survive even
+  // when the slave matches nothing.
+  Fixture f(testing::MakeGraph({
+                {"a", "p", "b"},
+                {"c", "p", "d"},
+                // no q triples at all
+            }),
+            "{ ?x <p> ?y . OPTIONAL { ?y <q> ?z . } }");
+  f.Prune();
+  EXPECT_EQ(f.states[0].CurrentCount(), 2u);
+  EXPECT_EQ(f.states[1].CurrentCount(), 0u);
+}
+
+TEST(PruneTest, PeersShrinkEachOther) {
+  // Inner join: clustered-semi-join removes non-matching triples from both
+  // sides.
+  Fixture f(testing::MakeGraph({
+                {"a", "p", "b"},
+                {"c", "p", "d"},
+                {"b", "q", "x"},
+            }),
+            "{ ?s <p> ?y . ?y <q> ?z . }");
+  f.Prune();
+  EXPECT_EQ(f.states[0].CurrentCount(), 1u);  // only (a p b)
+  EXPECT_EQ(f.states[1].CurrentCount(), 1u);
+}
+
+TEST(PruneTest, SemiJoinHelperRestrictsSlaveOnly) {
+  Fixture f(testing::MakeGraph({
+                {"a", "p", "b"},
+                {"a", "p", "c"},
+                {"b", "q", "z"},
+                {"c", "q", "z"},
+                {"d", "q", "z"},
+            }),
+            "{ ?x <p> ?y . OPTIONAL { ?y <q> ?w . } }");
+  // Direct SemiJoin: slave tp1 keeps only ?y bindings present in master.
+  SemiJoin("y", &f.states[1], f.states[0], f.index.num_common());
+  EXPECT_EQ(f.states[1].CurrentCount(), 2u);  // b,c survive; d drops
+  EXPECT_EQ(f.states[0].CurrentCount(), 2u);  // master untouched
+}
+
+TEST(PruneTest, ClusteredSemiJoinIntersectsAllMembers) {
+  Fixture f(testing::MakeGraph({
+                {"a", "p", "x"},
+                {"b", "p", "x"},
+                {"b", "q", "x"},
+                {"c", "q", "x"},
+                {"b", "r", "x"},
+                {"d", "r", "x"},
+            }),
+            "{ ?s <p> ?x1 . ?s <q> ?x2 . ?s <r> ?x3 . }");
+  std::vector<TpState*> cluster{&f.states[0], &f.states[1], &f.states[2]};
+  ClusteredSemiJoin("s", cluster, f.index.num_common());
+  // Only s=b occurs in all three.
+  for (const TpState& st : f.states) {
+    EXPECT_EQ(st.CurrentCount(), 1u) << st.tp.ToString();
+  }
+}
+
+TEST(PruneTest, CrossDomainSemiJoinUsesVsoTruncation) {
+  // ?y is object in tp0 and subject in tp1; values joinable only via Vso.
+  Fixture f(testing::MakeGraph({
+                {"a", "p", "b"},   // b in Vso (object here, subject below)
+                {"a", "p", "z1"},  // z1 object-only
+                {"b", "q", "c"},
+                {"z2", "q", "c"},  // z2 subject-only
+            }),
+            "{ ?x <p> ?y . ?y <q> ?w . }");
+  f.Prune();
+  EXPECT_EQ(f.states[0].CurrentCount(), 1u);  // (a p b)
+  EXPECT_EQ(f.states[1].CurrentCount(), 1u);  // (b q c)
+}
+
+TEST(PruneTest, RippleEffectAcrossJvars) {
+  // The paper's "ripple effect": pruning ?sitcom bindings removes the
+  // :Larry binding of ?friend from tp2 during the same pass.
+  Fixture f(SitcomGraph(),
+            "{ <Jerry> <hasFriend> ?friend . "
+            "OPTIONAL { ?friend <actedIn> ?sitcom . "
+            "?sitcom <location> <NewYorkCity> . } }");
+  f.Prune();
+  // tp2's remaining friend bindings: only Julia.
+  Bitvector friends = f.states[1].mat.bm.Fold(
+      f.states[1].mat.DimOf("friend"));
+  EXPECT_EQ(friends.Count(), 1u);
+}
+
+TEST(PruneTest, AcyclicMinimalityProperty) {
+  // Lemma 3.3 on a random-ish acyclic query: every remaining triple must
+  // participate in at least one final result. Verify by joining manually:
+  // after pruning, folding each TP over its join var yields exactly the
+  // bindings that survive in the other TPs.
+  Fixture f(testing::MakeGraph({
+                {"a", "p", "b"},
+                {"a", "p", "c"},
+                {"x", "p", "y"},
+                {"b", "q", "m"},
+                {"c", "q", "n"},
+                {"m", "r", "end"},
+            }),
+            "{ ?s <p> ?t . ?t <q> ?u . ?u <r> ?v . }");
+  f.Prune();
+  // Chain: only a-p-b, b-q-m, m-r-end survive.
+  EXPECT_EQ(f.states[0].CurrentCount(), 1u);
+  EXPECT_EQ(f.states[1].CurrentCount(), 1u);
+  EXPECT_EQ(f.states[2].CurrentCount(), 1u);
+}
+
+TEST(PruneTest, EmptyMasterEmptiesPeers) {
+  Fixture f(testing::MakeGraph({
+                {"b", "q", "x"},
+            }),
+            "{ ?y <p> ?z . ?y <q> ?x . }");
+  f.Prune();
+  EXPECT_EQ(f.states[0].CurrentCount(), 0u);
+  EXPECT_EQ(f.states[1].CurrentCount(), 0u);
+}
+
+}  // namespace
+}  // namespace lbr

@@ -1,0 +1,129 @@
+#include "sparql/rewrite.h"
+
+#include <gtest/gtest.h>
+
+#include "sparql/parser.h"
+
+namespace lbr {
+namespace {
+
+std::unique_ptr<Algebra> Body(const std::string& group) {
+  return Parser::ParseGroup(group, {});
+}
+
+TEST(RewriteTest, UnionFreeQueryIsSingleBranch) {
+  auto g = Body("{ ?a <p> ?b . OPTIONAL { ?b <q> ?c . } }");
+  UnfResult unf = ToUnionNormalForm(*g);
+  ASSERT_EQ(unf.branches.size(), 1u);
+  EXPECT_FALSE(unf.may_have_spurious);
+  EXPECT_TRUE(unf.rule3.empty());
+  EXPECT_EQ(unf.branches[0]->ToString(), g->ToString());
+}
+
+TEST(RewriteTest, TopLevelUnionSplits) {
+  auto g = Body("{ { ?a <p> ?b . } UNION { ?a <q> ?b . } }");
+  UnfResult unf = ToUnionNormalForm(*g);
+  ASSERT_EQ(unf.branches.size(), 2u);
+  EXPECT_FALSE(unf.may_have_spurious);
+}
+
+TEST(RewriteTest, Rule1JoinDistributes) {
+  auto g = Body(
+      "{ { { ?a <p> ?b . } UNION { ?a <q> ?b . } } { ?b <r> ?c . } }");
+  UnfResult unf = ToUnionNormalForm(*g);
+  ASSERT_EQ(unf.branches.size(), 2u);
+  for (const auto& b : unf.branches) {
+    EXPECT_FALSE(b->HasUnion());
+    EXPECT_EQ(b->op, Algebra::Op::kJoin);
+  }
+}
+
+TEST(RewriteTest, Rule2LeftSideUnionDistributes) {
+  auto g = Body(
+      "{ { { ?a <p> ?b . } UNION { ?a <q> ?b . } } "
+      "OPTIONAL { ?b <r> ?c . } }");
+  UnfResult unf = ToUnionNormalForm(*g);
+  ASSERT_EQ(unf.branches.size(), 2u);
+  EXPECT_FALSE(unf.may_have_spurious);  // rule 2 is exact
+  for (const auto& b : unf.branches) {
+    EXPECT_EQ(b->op, Algebra::Op::kLeftJoin);
+  }
+}
+
+TEST(RewriteTest, Rule3RightSideUnionFlagsSpurious) {
+  auto g = Body(
+      "{ ?a <p> ?b . OPTIONAL { { ?b <q> ?c . } UNION { ?b <r> ?c . } } }");
+  UnfResult unf = ToUnionNormalForm(*g);
+  ASSERT_EQ(unf.branches.size(), 2u);
+  EXPECT_TRUE(unf.may_have_spurious);
+  ASSERT_EQ(unf.rule3.size(), 1u);
+  EXPECT_EQ(unf.rule3[0].arm_count, 2);
+  // ?c occurs only in the union subtree: it is the exclusive variable.
+  EXPECT_EQ(unf.rule3[0].exclusive_vars, (std::set<std::string>{"c"}));
+}
+
+TEST(RewriteTest, NestedUnionsMultiply) {
+  auto g = Body(
+      "{ { { ?a <p> ?b . } UNION { ?a <q> ?b . } } "
+      "{ { ?b <r> ?c . } UNION { ?b <s> ?c . } } }");
+  UnfResult unf = ToUnionNormalForm(*g);
+  EXPECT_EQ(unf.branches.size(), 4u);
+}
+
+TEST(RewriteTest, Rule5FilterDistributesOverUnion) {
+  auto g = Body(
+      "{ { { ?a <p> ?b . } UNION { ?a <q> ?b . } } FILTER (?b != <x>) }");
+  UnfResult unf = ToUnionNormalForm(*g);
+  ASSERT_EQ(unf.branches.size(), 2u);
+  for (const auto& b : unf.branches) {
+    EXPECT_EQ(b->op, Algebra::Op::kFilter);
+  }
+}
+
+TEST(RewriteTest, Rule4PushesSafeFilterIntoLeftSide) {
+  // Filter over (P1 leftjoin P2) whose vars are covered by P1 moves to P1.
+  auto g = Body(
+      "{ ?a <p> ?b . OPTIONAL { ?b <q> ?c . } FILTER (?a != <x>) }");
+  UnfResult unf = ToUnionNormalForm(*g);
+  ASSERT_EQ(unf.branches.size(), 1u);
+  const Algebra& b = *unf.branches[0];
+  ASSERT_EQ(b.op, Algebra::Op::kLeftJoin);
+  EXPECT_EQ(b.left->op, Algebra::Op::kFilter);
+}
+
+TEST(RewriteTest, UnsafeFilterStaysAboveLeftJoin) {
+  // The filter mentions ?c from the OPT side: it cannot cross the leftjoin.
+  auto g = Body(
+      "{ ?a <p> ?b . OPTIONAL { ?b <q> ?c . } FILTER (?c != <x>) }");
+  UnfResult unf = ToUnionNormalForm(*g);
+  ASSERT_EQ(unf.branches.size(), 1u);
+  EXPECT_EQ(unf.branches[0]->op, Algebra::Op::kFilter);
+}
+
+TEST(RewriteTest, EliminateVarEqualities) {
+  auto g = Body("{ ?m <p> ?x . ?n <q> ?x . FILTER (?m = ?n) }");
+  auto rewritten = EliminateVarEqualities(*g);
+  // The filter is gone and ?n is substituted by ?m.
+  EXPECT_FALSE(rewritten->HasFilter());
+  std::set<std::string> vars = rewritten->Vars();
+  EXPECT_TRUE(vars.count("m"));
+  EXPECT_FALSE(vars.count("n"));
+}
+
+TEST(RewriteTest, EliminateVarEqualitiesLeavesConstFilters) {
+  auto g = Body("{ ?m <p> ?x . FILTER (?m = <v>) }");
+  auto rewritten = EliminateVarEqualities(*g);
+  EXPECT_TRUE(rewritten->HasFilter());
+}
+
+TEST(RewriteTest, BranchCountGrowsMultiplicatively) {
+  auto g = Body(
+      "{ { { ?a <p> ?b . } UNION { ?a <q> ?b . } } "
+      "OPTIONAL { { ?b <r> ?c . } UNION { ?b <s> ?c . } } }");
+  UnfResult unf = ToUnionNormalForm(*g);
+  EXPECT_EQ(unf.branches.size(), 4u);  // 2 left arms x 2 right arms
+  EXPECT_TRUE(unf.may_have_spurious);
+}
+
+}  // namespace
+}  // namespace lbr

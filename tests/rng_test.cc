@@ -1,0 +1,90 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace lbr {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (a.Next() != b.Next()) ++differing;
+  }
+  EXPECT_GT(differing, 15);
+}
+
+TEST(RngTest, UniformInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t v = rng.Range(3, 6);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 6u);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 6);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ChanceRoughlyCalibrated) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.Chance(0.3)) ++hits;
+  }
+  EXPECT_GT(hits, 2500);
+  EXPECT_LT(hits, 3500);
+}
+
+TEST(RngTest, ZipfInBoundsAndSkewed) {
+  Rng rng(17);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t v = rng.Zipf(100);
+    ASSERT_LT(v, 100u);
+    ++counts[v];
+  }
+  // Low ranks must be much more popular than high ranks.
+  int head = counts[0] + counts[1] + counts[2];
+  int tail = counts[97] + counts[98] + counts[99];
+  EXPECT_GT(head, tail * 3);
+}
+
+TEST(RngTest, ZipfDegenerateSizes) {
+  Rng rng(19);
+  EXPECT_EQ(rng.Zipf(1), 0u);
+  for (int i = 0; i < 100; ++i) EXPECT_LT(rng.Zipf(2), 2u);
+}
+
+TEST(RngTest, ZeroSeedIsRemapped) {
+  Rng rng(0);
+  EXPECT_NE(rng.Next(), 0u);
+}
+
+}  // namespace
+}  // namespace lbr

@@ -1,0 +1,39 @@
+#ifndef LBR_TESTS_TEST_UTIL_H_
+#define LBR_TESTS_TEST_UTIL_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "rdf/graph.h"
+#include "rdf/term.h"
+
+namespace lbr::testing {
+
+/// Builds a TermTriple from compact strings: "iri" stays an IRI, a leading
+/// '"' makes a literal, a leading "_:" a blank node.
+TermTriple T(const std::string& s, const std::string& p, const std::string& o);
+
+/// Graph from compact triples.
+Graph MakeGraph(const std::vector<std::vector<std::string>>& triples);
+
+/// The Figure 3.2 running-example dataset (Jerry's friends and sitcoms).
+Graph SitcomGraph();
+/// The Figure 3.2 query (Q2 of the introduction).
+std::string SitcomQuery();
+
+/// Canonical multiset representation of a result table: each row rendered
+/// as "var=value|var=NULL|..." in var order, rows sorted. Two tables with
+/// equal canonical forms are bag-equal up to row order.
+std::vector<std::string> Canonicalize(const ResultTable& table);
+
+/// Gtest-friendly comparison: EXPECT_EQ(Canonicalize(a), Canonicalize(b))
+/// via this helper that also aligns column orders by name.
+std::vector<std::string> CanonicalizeProjected(
+    const ResultTable& table, const std::vector<std::string>& var_order);
+
+}  // namespace lbr::testing
+
+#endif  // LBR_TESTS_TEST_UTIL_H_

@@ -1,0 +1,181 @@
+#include "bitmat/tp_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "bitmat/triple_index.h"
+#include "core/engine.h"
+#include "sparql/parser.h"
+#include "test_util.h"
+
+namespace lbr {
+namespace {
+
+using testing::MakeGraph;
+
+TriplePattern Tp(const std::string& s, const std::string& p,
+                 const std::string& o) {
+  auto term = [](const std::string& text) {
+    if (!text.empty() && text[0] == '?') {
+      return PatternTerm::Var(text.substr(1));
+    }
+    return PatternTerm::Fixed(Term::Iri(text));
+  };
+  return TriplePattern(term(s), term(p), term(o));
+}
+
+class TpCacheTest : public ::testing::Test {
+ protected:
+  TpCacheTest()
+      : graph_(MakeGraph({
+            {"a", "p", "b"},
+            {"a", "p", "c"},
+            {"b", "p", "c"},
+            {"a", "q", "b"},
+        })),
+        index_(TripleIndex::Build(graph_)) {}
+
+  Graph graph_;
+  TripleIndex index_;
+};
+
+TEST_F(TpCacheTest, SecondLoadHits) {
+  TpCache cache;
+  TpBitMat first = cache.GetOrLoad(index_, graph_.dict(), Tp("?x", "p", "?y"),
+                                   true);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+  TpBitMat second = cache.GetOrLoad(index_, graph_.dict(),
+                                    Tp("?x", "p", "?y"), true);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(first.bm, second.bm);
+}
+
+TEST_F(TpCacheTest, VariableNamesNormalizedInKey) {
+  TpCache cache;
+  cache.GetOrLoad(index_, graph_.dict(), Tp("?x", "p", "?y"), true);
+  TpBitMat renamed = cache.GetOrLoad(index_, graph_.dict(),
+                                     Tp("?foo", "p", "?bar"), true);
+  EXPECT_EQ(cache.hits(), 1u);
+  // The copy carries the caller's variable names.
+  EXPECT_EQ(renamed.row_var, "foo");
+  EXPECT_EQ(renamed.col_var, "bar");
+}
+
+TEST_F(TpCacheTest, OrientationIsPartOfKey) {
+  TpCache cache;
+  cache.GetOrLoad(index_, graph_.dict(), Tp("?x", "p", "?y"), true);
+  cache.GetOrLoad(index_, graph_.dict(), Tp("?x", "p", "?y"), false);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST_F(TpCacheTest, DiagonalTpsDoNotShareEntries) {
+  TpCache cache;
+  TpBitMat full = cache.GetOrLoad(index_, graph_.dict(), Tp("?x", "p", "?y"),
+                                  true);
+  TpBitMat diag = cache.GetOrLoad(index_, graph_.dict(), Tp("?x", "p", "?x"),
+                                  true);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_NE(full.bm.Count(), diag.bm.Count() + 100u);  // sanity: distinct loads
+  EXPECT_TRUE(diag.bm.IsEmpty());  // no self-loops under p
+}
+
+TEST_F(TpCacheTest, EvictsLruWhenOverBudget) {
+  TpCache cache(/*triple_budget=*/3);
+  cache.GetOrLoad(index_, graph_.dict(), Tp("?x", "p", "?y"), true);  // 3 bits
+  EXPECT_EQ(cache.size(), 1u);
+  cache.GetOrLoad(index_, graph_.dict(), Tp("?x", "q", "?y"), true);  // 1 bit
+  // 3 + 1 > 3: the LRU (p) entry is evicted.
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_LE(cache.held_triples(), 3u);
+  cache.GetOrLoad(index_, graph_.dict(), Tp("?x", "p", "?y"), true);
+  EXPECT_EQ(cache.misses(), 3u);  // p had to be reloaded
+}
+
+TEST_F(TpCacheTest, ClearResets) {
+  TpCache cache;
+  cache.GetOrLoad(index_, graph_.dict(), Tp("?x", "p", "?y"), true);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.held_triples(), 0u);
+  cache.GetOrLoad(index_, graph_.dict(), Tp("?x", "p", "?y"), true);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST_F(TpCacheTest, EngineWithCacheMatchesEngineWithout) {
+  EngineOptions cached;
+  cached.enable_tp_cache = true;
+  Engine with_cache(&index_, &graph_.dict(), cached);
+  Engine without(&index_, &graph_.dict());
+
+  const std::string query =
+      "SELECT * WHERE { ?x <p> ?y . OPTIONAL { ?y <q> ?z . } }";
+  // Run twice so the second run is a pure cache hit.
+  ResultTable cold = with_cache.ExecuteToTable(query);
+  ResultTable warm = with_cache.ExecuteToTable(query);
+  ResultTable plain = without.ExecuteToTable(query);
+  EXPECT_EQ(testing::Canonicalize(cold), testing::Canonicalize(plain));
+  EXPECT_EQ(testing::Canonicalize(warm), testing::Canonicalize(plain));
+  EXPECT_GT(with_cache.tp_cache().hits(), 0u);
+}
+
+TEST_F(TpCacheTest, MaskedGetAppliesMasksOnCopyOut) {
+  TpCache cache;
+  // Warm the cache with an unmasked load.
+  cache.GetOrLoad(index_, graph_.dict(), Tp("?x", "p", "?y"), true);
+
+  Bitvector row_mask(index_.num_subjects());
+  row_mask.Set(*graph_.dict().SubjectId(Term::Iri("b")));
+  ActiveMasks masks;
+  masks.row_mask = &row_mask;
+  TpBitMat masked = cache.GetOrLoadMasked(index_, graph_.dict(),
+                                          Tp("?x", "p", "?y"), true, masks);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(masked.bm.Count(), 1u);  // only (b p c)
+  // The cached original is still complete.
+  TpBitMat full = cache.GetOrLoad(index_, graph_.dict(), Tp("?x", "p", "?y"),
+                                  true);
+  EXPECT_EQ(full.bm.Count(), 3u);
+}
+
+TEST_F(TpCacheTest, MaskedGetAgreesWithMaskedLoad) {
+  TpCache cache;
+  cache.GetOrLoad(index_, graph_.dict(), Tp("?x", "p", "?y"), true);
+
+  Bitvector col_mask(index_.num_objects());
+  col_mask.Set(*graph_.dict().ObjectId(Term::Iri("c")));
+  ActiveMasks masks;
+  masks.col_mask = &col_mask;
+  TpBitMat from_cache = cache.GetOrLoadMasked(
+      index_, graph_.dict(), Tp("?x", "p", "?y"), true, masks);
+  TpBitMat from_load =
+      LoadTpBitMat(index_, graph_.dict(), Tp("?x", "p", "?y"), true, masks);
+  EXPECT_EQ(from_cache.bm, from_load.bm);
+}
+
+TEST_F(TpCacheTest, MaskedMissLoadsDirectlyWithoutCaching) {
+  TpCache cache;
+  Bitvector row_mask(index_.num_subjects(), true);
+  ActiveMasks masks;
+  masks.row_mask = &row_mask;
+  cache.GetOrLoadMasked(index_, graph_.dict(), Tp("?x", "p", "?y"), true,
+                        masks);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.size(), 0u);  // masked loads are not inserted
+}
+
+TEST_F(TpCacheTest, CachedCopiesAreIsolated) {
+  // Unfolding the engine's copy must not corrupt the cached original.
+  TpCache cache;
+  TpBitMat copy1 = cache.GetOrLoad(index_, graph_.dict(), Tp("?x", "p", "?y"),
+                                   true);
+  Bitvector empty_mask(copy1.bm.num_rows());
+  copy1.bm.Unfold(empty_mask, Dim::kRow);  // wipe the copy
+  EXPECT_TRUE(copy1.bm.IsEmpty());
+  TpBitMat copy2 = cache.GetOrLoad(index_, graph_.dict(), Tp("?x", "p", "?y"),
+                                   true);
+  EXPECT_EQ(copy2.bm.Count(), 3u);  // original intact
+}
+
+}  // namespace
+}  // namespace lbr

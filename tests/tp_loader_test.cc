@@ -1,0 +1,187 @@
+#include "bitmat/tp_loader.h"
+
+#include <gtest/gtest.h>
+
+#include "bitmat/triple_index.h"
+#include "test_util.h"
+
+namespace lbr {
+namespace {
+
+using testing::MakeGraph;
+
+class TpLoaderTest : public ::testing::Test {
+ protected:
+  TpLoaderTest()
+      : graph_(MakeGraph({
+            {"a", "p", "b"},
+            {"a", "p", "c"},
+            {"b", "p", "c"},
+            {"a", "q", "b"},
+            {"c", "q", "a"},
+            {"c", "r", "c"},  // self-loop for the diagonal TP test
+        })),
+        index_(TripleIndex::Build(graph_)) {}
+
+  TriplePattern Tp(const std::string& s, const std::string& p,
+                   const std::string& o) {
+    auto term = [](const std::string& text) {
+      if (!text.empty() && text[0] == '?') {
+        return PatternTerm::Var(text.substr(1));
+      }
+      return PatternTerm::Fixed(Term::Iri(text));
+    };
+    return TriplePattern(term(s), term(p), term(o));
+  }
+
+  uint32_t Sid(const std::string& name) {
+    return *graph_.dict().SubjectId(Term::Iri(name));
+  }
+  uint32_t Oid(const std::string& name) {
+    return *graph_.dict().ObjectId(Term::Iri(name));
+  }
+
+  Graph graph_;
+  TripleIndex index_;
+};
+
+TEST_F(TpLoaderTest, TwoVarSubjectRows) {
+  TpBitMat m = LoadTpBitMat(index_, graph_.dict(), Tp("?x", "p", "?y"),
+                            /*prefer_subject_rows=*/true);
+  EXPECT_EQ(m.row_kind, DomainKind::kSubject);
+  EXPECT_EQ(m.col_kind, DomainKind::kObject);
+  EXPECT_EQ(m.row_var, "x");
+  EXPECT_EQ(m.col_var, "y");
+  EXPECT_EQ(m.bm.Count(), 3u);
+  EXPECT_TRUE(m.bm.Test(Sid("a"), Oid("b")));
+  EXPECT_TRUE(m.bm.Test(Sid("b"), Oid("c")));
+}
+
+TEST_F(TpLoaderTest, TwoVarObjectRows) {
+  TpBitMat m = LoadTpBitMat(index_, graph_.dict(), Tp("?x", "p", "?y"),
+                            /*prefer_subject_rows=*/false);
+  EXPECT_EQ(m.row_kind, DomainKind::kObject);
+  EXPECT_EQ(m.col_kind, DomainKind::kSubject);
+  EXPECT_EQ(m.row_var, "y");
+  EXPECT_EQ(m.col_var, "x");
+  EXPECT_TRUE(m.bm.Test(Oid("c"), Sid("a")));
+}
+
+TEST_F(TpLoaderTest, SubjectVarFixedObject) {
+  TpBitMat m = LoadTpBitMat(index_, graph_.dict(), Tp("?x", "p", "c"), true);
+  EXPECT_EQ(m.row_kind, DomainKind::kSubject);
+  EXPECT_EQ(m.col_kind, DomainKind::kUnit);
+  EXPECT_EQ(m.bm.num_cols(), 1u);
+  EXPECT_EQ(m.bm.Count(), 2u);  // a and b
+  EXPECT_TRUE(m.bm.Test(Sid("a"), 0));
+  EXPECT_TRUE(m.bm.Test(Sid("b"), 0));
+}
+
+TEST_F(TpLoaderTest, ObjectVarFixedSubject) {
+  TpBitMat m = LoadTpBitMat(index_, graph_.dict(), Tp("a", "p", "?y"), true);
+  EXPECT_EQ(m.row_kind, DomainKind::kObject);
+  EXPECT_EQ(m.bm.Count(), 2u);  // b and c
+  EXPECT_TRUE(m.bm.Test(Oid("b"), 0));
+}
+
+TEST_F(TpLoaderTest, FullyFixedExistence) {
+  TpBitMat hit = LoadTpBitMat(index_, graph_.dict(), Tp("a", "p", "b"), true);
+  EXPECT_EQ(hit.bm.Count(), 1u);
+  TpBitMat miss = LoadTpBitMat(index_, graph_.dict(), Tp("b", "p", "b"), true);
+  EXPECT_TRUE(miss.bm.IsEmpty());
+}
+
+TEST_F(TpLoaderTest, UnknownFixedTermYieldsEmpty) {
+  TpBitMat m =
+      LoadTpBitMat(index_, graph_.dict(), Tp("?x", "nosuch", "?y"), true);
+  EXPECT_TRUE(m.bm.IsEmpty());
+  EXPECT_EQ(m.bm.num_rows(), index_.num_subjects());
+}
+
+TEST_F(TpLoaderTest, VariablePredicateWithFixedSubject) {
+  TpBitMat m = LoadTpBitMat(index_, graph_.dict(), Tp("a", "?p", "?o"), true);
+  EXPECT_EQ(m.row_kind, DomainKind::kPredicate);
+  EXPECT_EQ(m.col_kind, DomainKind::kObject);
+  EXPECT_EQ(m.bm.Count(), 3u);  // (p,b), (p,c), (q,b)
+}
+
+TEST_F(TpLoaderTest, VariablePredicateWithFixedObject) {
+  TpBitMat m = LoadTpBitMat(index_, graph_.dict(), Tp("?s", "?p", "b"), true);
+  EXPECT_EQ(m.row_kind, DomainKind::kPredicate);
+  EXPECT_EQ(m.col_kind, DomainKind::kSubject);
+  EXPECT_EQ(m.bm.Count(), 2u);  // (p,a), (q,a)
+}
+
+TEST_F(TpLoaderTest, VariablePredicateBothFixed) {
+  TpBitMat m = LoadTpBitMat(index_, graph_.dict(), Tp("a", "?p", "b"), true);
+  EXPECT_EQ(m.row_kind, DomainKind::kPredicate);
+  EXPECT_EQ(m.col_kind, DomainKind::kUnit);
+  EXPECT_EQ(m.bm.Count(), 2u);  // p and q connect a->b
+}
+
+TEST_F(TpLoaderTest, AllVariableThrows) {
+  EXPECT_THROW(
+      LoadTpBitMat(index_, graph_.dict(), Tp("?s", "?p", "?o"), true),
+      UnsupportedQueryError);
+}
+
+TEST_F(TpLoaderTest, DiagonalSameVarTwice) {
+  // (?x r ?x) matches only the self-loop (c r c).
+  TpBitMat m = LoadTpBitMat(index_, graph_.dict(), Tp("?x", "r", "?x"), true);
+  EXPECT_EQ(m.bm.Count(), 1u);
+  EXPECT_TRUE(m.bm.Test(Sid("c"), Oid("c")));
+  // (?x p ?x): no self-loops under p.
+  TpBitMat none =
+      LoadTpBitMat(index_, graph_.dict(), Tp("?x", "p", "?x"), true);
+  EXPECT_TRUE(none.bm.IsEmpty());
+}
+
+TEST_F(TpLoaderTest, ActiveMasksRestrictRows) {
+  Bitvector row_mask(index_.num_subjects());
+  row_mask.Set(Sid("b"));
+  ActiveMasks masks;
+  masks.row_mask = &row_mask;
+  TpBitMat m =
+      LoadTpBitMat(index_, graph_.dict(), Tp("?x", "p", "?y"), true, masks);
+  EXPECT_EQ(m.bm.Count(), 1u);  // only (b p c)
+  EXPECT_TRUE(m.bm.Test(Sid("b"), Oid("c")));
+}
+
+TEST_F(TpLoaderTest, ActiveMasksRestrictCols) {
+  Bitvector col_mask(index_.num_objects());
+  col_mask.Set(Oid("b"));
+  ActiveMasks masks;
+  masks.col_mask = &col_mask;
+  TpBitMat m =
+      LoadTpBitMat(index_, graph_.dict(), Tp("?x", "p", "?y"), true, masks);
+  EXPECT_EQ(m.bm.Count(), 1u);  // only (a p b)
+}
+
+TEST(AlignMaskTest, SameKindCopies) {
+  Bitvector src(10);
+  src.Set(3);
+  src.Set(7);
+  Bitvector out =
+      AlignMask(src, DomainKind::kSubject, DomainKind::kSubject, 5, 10);
+  EXPECT_EQ(out.SetBits(), src.SetBits());
+}
+
+TEST(AlignMaskTest, CrossDomainTruncatesAtVso) {
+  Bitvector src(10);
+  src.Set(2);
+  src.Set(6);  // above the Vso bound of 5: not join-compatible
+  Bitvector out =
+      AlignMask(src, DomainKind::kSubject, DomainKind::kObject, 5, 12);
+  EXPECT_EQ(out.SetBits(), (std::vector<uint32_t>{2}));
+  EXPECT_EQ(out.size(), 12u);
+}
+
+TEST(AlignMaskTest, PredicateToEntityThrows) {
+  Bitvector src(4, true);
+  EXPECT_THROW(
+      AlignMask(src, DomainKind::kPredicate, DomainKind::kSubject, 2, 8),
+      UnsupportedQueryError);
+}
+
+}  // namespace
+}  // namespace lbr

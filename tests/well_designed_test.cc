@@ -1,0 +1,83 @@
+#include "sparql/well_designed.h"
+
+#include <gtest/gtest.h>
+
+#include "sparql/parser.h"
+
+namespace lbr {
+namespace {
+
+bool Wd(const std::string& group) {
+  auto g = Parser::ParseGroup(group, {});
+  return IsWellDesigned(*g);
+}
+
+TEST(WellDesignedTest, SimpleOptionalIsWellDesigned) {
+  EXPECT_TRUE(Wd("{ ?a <p> ?b . OPTIONAL { ?b <q> ?c . } }"));
+}
+
+TEST(WellDesignedTest, ClassicViolation) {
+  // ?c occurs in the OPT right side and outside (last TP), but not in the
+  // left side: the Pérez et al. canonical non-well-designed shape.
+  EXPECT_FALSE(
+      Wd("{ { ?a <p> ?b . OPTIONAL { ?b <q> ?c . } } { ?c <r> ?d . } }"));
+}
+
+TEST(WellDesignedTest, SharedVarInLeftSideIsFine) {
+  EXPECT_TRUE(
+      Wd("{ { ?a <p> ?c . OPTIONAL { ?c <q> ?d . } } { ?c <r> ?e . } }"));
+}
+
+TEST(WellDesignedTest, NestedOptionalsWellDesigned) {
+  EXPECT_TRUE(Wd(
+      "{ ?a <p> ?b . OPTIONAL { ?b <q> ?c . OPTIONAL { ?c <r> ?d . } } }"));
+}
+
+TEST(WellDesignedTest, NestedViolationAcrossOptBoundary) {
+  // Inner OPT introduces ?d; ?d reappears in a sibling outside the inner
+  // OPT's scope without occurring in its left side.
+  EXPECT_FALSE(Wd(
+      "{ ?a <p> ?b . OPTIONAL { ?b <q> ?c . OPTIONAL { ?c <r> ?d . } } "
+      "OPTIONAL { ?a <s> ?d . } }"));
+}
+
+TEST(WellDesignedTest, ViolationReportsVariableAndNode) {
+  auto g = Parser::ParseGroup(
+      "{ { ?a <p> ?b . OPTIONAL { ?b <q> ?c . } } { ?c <r> ?d . } }", {});
+  std::vector<WdViolation> violations;
+  EXPECT_FALSE(IsWellDesigned(*g, &violations));
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].var, "c");
+  ASSERT_NE(violations[0].left_join, nullptr);
+  EXPECT_EQ(violations[0].left_join->op, Algebra::Op::kLeftJoin);
+}
+
+TEST(WellDesignedTest, FilterVarsCountAsOutsideOccurrences) {
+  // A filter outside the OPT mentioning the OPT-only variable violates WD.
+  EXPECT_FALSE(Wd(
+      "{ { ?a <p> ?b . OPTIONAL { ?b <q> ?c . } } FILTER (?c != <x>) }"));
+  // The same filter inside the OPT group is fine.
+  EXPECT_TRUE(
+      Wd("{ ?a <p> ?b . OPTIONAL { ?b <q> ?c . FILTER (?c != <x>) } }"));
+}
+
+TEST(WellDesignedTest, UnionBranchesCheckedIndependently) {
+  EXPECT_TRUE(Wd(
+      "{ { ?a <p> ?b . OPTIONAL { ?b <q> ?c . } } UNION "
+      "{ ?a <r> ?b . OPTIONAL { ?b <s> ?c . } } }"));
+}
+
+TEST(WellDesignedTest, PureBgpIsTriviallyWellDesigned) {
+  EXPECT_TRUE(Wd("{ ?a <p> ?b . ?b <q> ?c . ?c <r> ?a . }"));
+}
+
+TEST(WellDesignedTest, PeerBlocksWithSharedOptVarViolate) {
+  // The paper's Appendix B shape: two peer blocks each OPT-extending to the
+  // same fresh variable.
+  EXPECT_FALSE(Wd(
+      "{ { ?a <p> ?b . OPTIONAL { ?b <q> ?j . } } "
+      "{ ?a <r> ?c . OPTIONAL { ?c <s> ?j . } } }"));
+}
+
+}  // namespace
+}  // namespace lbr
