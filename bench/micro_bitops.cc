@@ -1,6 +1,13 @@
 // Micro-benchmarks for the bit-level substrate: compressed-row encode/AND,
 // BitMat fold/unfold, and the semi-join / clustered-semi-join primitives
 // (Algorithms 5.2/5.3) that prune_triples is built on.
+//
+// The *_PerBit benchmarks reimplement each operation with the pre-kernel
+// per-bit loops (ForEachSetBit + single-bit Set/Get); their *_Kernel
+// counterparts run the shared word-parallel kernels of util/bitops.h the
+// engine now uses. CI runs this binary as a smoke test; the kernel variants
+// beating the per-bit baselines on fold/unfold ops is an acceptance
+// criterion of the word-parallel refactor.
 
 #include <benchmark/benchmark.h>
 
@@ -10,6 +17,7 @@
 #include "core/prune.h"
 #include "util/bitvector.h"
 #include "util/compressed_row.h"
+#include "util/exec_context.h"
 #include "util/rng.h"
 
 namespace lbr {
@@ -49,40 +57,192 @@ void BM_CompressedRowAndWith(benchmark::State& state) {
 }
 BENCHMARK(BM_CompressedRowAndWith)->Arg(1)->Arg(10)->Arg(50);
 
+// Positions forming clustered 1-runs (the RDF row shape the hybrid RLE is
+// built for): run-encoded rows are where word-at-a-time decode pays off.
+std::vector<uint32_t> ClusteredPositions(Rng* rng, uint32_t width,
+                                         double density) {
+  std::vector<uint32_t> out;
+  uint32_t pos = 0;
+  while (pos < width) {
+    if (rng->Chance(density * 0.05)) {
+      uint32_t len = 16 + static_cast<uint32_t>(rng->Uniform(112));
+      for (uint32_t i = 0; i < len && pos + i < width; ++i) {
+        out.push_back(pos + i);
+      }
+      pos += len;
+    } else {
+      ++pos;
+    }
+  }
+  return out;
+}
+
 BitMat RandomBitMat(uint64_t seed, uint32_t rows, uint32_t cols,
                     double density) {
   Rng rng(seed);
   BitMat bm(rows, cols);
   for (uint32_t r = 0; r < rows; ++r) {
-    auto positions = RandomPositions(&rng, cols, density);
+    auto positions = ClusteredPositions(&rng, cols, density);
     if (!positions.empty()) bm.SetRow(r, positions);
   }
   return bm;
 }
 
-void BM_BitMatFoldCol(benchmark::State& state) {
+// --- Per-bit baselines: the pre-kernel implementations, bit loop for bit
+// loop, used as the comparison target for the word-parallel kernels.
+
+void OrIntoPerBit(const CompressedRow& row, Bitvector* out) {
+  row.ForEachSetBit([out](uint32_t p) { out->Set(p); });
+}
+
+CompressedRow AndWithPerBit(const CompressedRow& row, const Bitvector& mask) {
+  std::vector<uint32_t> kept;
+  kept.reserve(row.Count());
+  row.ForEachSetBit([&](uint32_t p) {
+    if (p < mask.size() && mask.Get(p)) kept.push_back(p);
+  });
+  return CompressedRow::FromPositions(kept);
+}
+
+Bitvector FoldColPerBit(const BitMat& bm) {
+  Bitvector out(bm.num_cols());
+  bm.ForEachBit([&out](uint32_t, uint32_t c) { out.Set(c); });
+  return out;
+}
+
+void UnfoldColPerBit(const Bitvector& mask, BitMat* bm) {
+  for (uint32_t r = 0; r < bm->num_rows(); ++r) {
+    if (bm->Row(r).IsEmpty()) continue;
+    bm->SetRow(r, AndWithPerBit(bm->Row(r), mask));
+  }
+}
+
+// --- Row kernels vs per-bit baselines.
+
+CompressedRow BenchRow() {
+  Rng rng(21);
+  return CompressedRow::FromPositions(
+      ClusteredPositions(&rng, 1 << 16, 0.5));
+}
+
+Bitvector BenchMask() {
+  Rng rng(22);
+  Bitvector mask(1 << 16);
+  for (uint32_t p : RandomPositions(&rng, 1 << 16, 0.5)) mask.Set(p);
+  return mask;
+}
+
+void BM_RowOrInto_PerBit(benchmark::State& state) {
+  CompressedRow row = BenchRow();
+  Bitvector out(1 << 16);
+  for (auto _ : state) {
+    out.Clear();
+    OrIntoPerBit(row, &out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(row.Count()));
+}
+BENCHMARK(BM_RowOrInto_PerBit);
+
+void BM_RowOrInto_Kernel(benchmark::State& state) {
+  CompressedRow row = BenchRow();
+  Bitvector out(1 << 16);
+  for (auto _ : state) {
+    out.Clear();
+    row.OrInto(&out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(row.Count()));
+}
+BENCHMARK(BM_RowOrInto_Kernel);
+
+void BM_RowAndWith_PerBit(benchmark::State& state) {
+  CompressedRow row = BenchRow();
+  Bitvector mask = BenchMask();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AndWithPerBit(row, mask));
+  }
+}
+BENCHMARK(BM_RowAndWith_PerBit);
+
+void BM_RowAndWith_Kernel(benchmark::State& state) {
+  CompressedRow row = BenchRow();
+  Bitvector mask = BenchMask();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(row.AndWith(mask));
+  }
+}
+BENCHMARK(BM_RowAndWith_Kernel);
+
+void BM_RowAndWith_InPlace(benchmark::State& state) {
+  CompressedRow row = BenchRow();
+  Bitvector mask = BenchMask();
+  std::vector<uint32_t> scratch;
+  for (auto _ : state) {
+    CompressedRow copy = row;
+    copy.AndWithInPlace(mask, &scratch);
+    benchmark::DoNotOptimize(copy);
+  }
+}
+BENCHMARK(BM_RowAndWith_InPlace);
+
+// --- BitMat fold/unfold: kernel path vs per-bit baseline.
+
+void BM_BitMatFoldCol_PerBit(benchmark::State& state) {
   BitMat bm = RandomBitMat(3, 4096, 4096, 0.02);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(bm.Fold(Dim::kCol));
+    benchmark::DoNotOptimize(FoldColPerBit(bm));
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(bm.Count()));
 }
-BENCHMARK(BM_BitMatFoldCol);
+BENCHMARK(BM_BitMatFoldCol_PerBit);
 
-void BM_BitMatUnfoldCol(benchmark::State& state) {
+void BM_BitMatFoldCol_Kernel(benchmark::State& state) {
+  BitMat bm = RandomBitMat(3, 4096, 4096, 0.02);
+  ExecContext ctx;
+  ScratchBits out(&ctx);
+  for (auto _ : state) {
+    bm.FoldInto(Dim::kCol, out.get());
+    benchmark::DoNotOptimize(*out.get());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(bm.Count()));
+}
+BENCHMARK(BM_BitMatFoldCol_Kernel);
+
+void BM_BitMatUnfoldCol_PerBit(benchmark::State& state) {
   Rng rng(4);
   Bitvector mask(4096);
   for (uint32_t p : RandomPositions(&rng, 4096, 0.5)) mask.Set(p);
+  BitMat source = RandomBitMat(5, 4096, 4096, 0.02);
   for (auto _ : state) {
     state.PauseTiming();
-    BitMat bm = RandomBitMat(5, 4096, 4096, 0.02);
+    BitMat bm = source;
     state.ResumeTiming();
-    bm.Unfold(mask, Dim::kCol);
+    UnfoldColPerBit(mask, &bm);
     benchmark::DoNotOptimize(bm);
   }
 }
-BENCHMARK(BM_BitMatUnfoldCol);
+BENCHMARK(BM_BitMatUnfoldCol_PerBit);
+
+void BM_BitMatUnfoldCol_Kernel(benchmark::State& state) {
+  Rng rng(4);
+  Bitvector mask(4096);
+  for (uint32_t p : RandomPositions(&rng, 4096, 0.5)) mask.Set(p);
+  BitMat source = RandomBitMat(5, 4096, 4096, 0.02);
+  ExecContext ctx;
+  for (auto _ : state) {
+    state.PauseTiming();
+    BitMat bm = source;
+    state.ResumeTiming();
+    bm.Unfold(mask, Dim::kCol, &ctx);
+    benchmark::DoNotOptimize(bm);
+  }
+}
+BENCHMARK(BM_BitMatUnfoldCol_Kernel);
 
 void BM_BitMatTranspose(benchmark::State& state) {
   BitMat bm = RandomBitMat(6, 2048, 2048, 0.02);

@@ -25,17 +25,24 @@ void BitMat::SetRow(uint32_t r, CompressedRow row) {
 }
 
 Bitvector BitMat::Fold(Dim retain) const {
-  if (retain == Dim::kRow) {
-    return non_empty_rows_;
-  }
-  Bitvector out(num_cols_);
-  for (uint32_t r = 0; r < num_rows_; ++r) {
-    rows_[r].OrInto(&out);
-  }
+  Bitvector out;
+  FoldInto(retain, &out);
   return out;
 }
 
-void BitMat::Unfold(const Bitvector& mask, Dim retain) {
+void BitMat::FoldInto(Dim retain, Bitvector* out) const {
+  if (retain == Dim::kRow) {
+    out->AssignResized(non_empty_rows_, num_rows_);
+    return;
+  }
+  out->Resize(num_cols_);
+  out->Clear();
+  // Only non-empty rows contribute; each ORs in word-at-a-time.
+  non_empty_rows_.ForEachSetBit(
+      [this, out](uint32_t r) { rows_[r].OrInto(out); });
+}
+
+void BitMat::Unfold(const Bitvector& mask, Dim retain, ExecContext* ctx) {
   if (retain == Dim::kRow) {
     // Clear entire rows whose mask bit is 0.
     for (uint32_t r = 0; r < num_rows_; ++r) {
@@ -47,14 +54,14 @@ void BitMat::Unfold(const Bitvector& mask, Dim retain) {
       }
     }
   } else {
-    // AND every row with the mask.
+    // AND every row with the mask, re-encoding in place.
+    ScratchPositions scratch(ctx);
     for (uint32_t r = 0; r < num_rows_; ++r) {
       if (rows_[r].IsEmpty()) continue;
-      CompressedRow masked = rows_[r].AndWith(mask);
       count_ -= rows_[r].Count();
-      count_ += masked.Count();
-      non_empty_rows_.Set(r, !masked.IsEmpty());
-      rows_[r] = std::move(masked);
+      rows_[r].AndWithInPlace(mask, scratch.get());
+      count_ += rows_[r].Count();
+      non_empty_rows_.Set(r, !rows_[r].IsEmpty());
     }
   }
 }

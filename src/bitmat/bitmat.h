@@ -7,6 +7,7 @@
 
 #include "util/bitvector.h"
 #include "util/compressed_row.h"
+#include "util/exec_context.h"
 
 namespace lbr {
 
@@ -46,17 +47,24 @@ class BitMat {
 
   const CompressedRow& Row(uint32_t r) const { return rows_[r]; }
 
-  /// Bit test at (r, c).
+  /// Bit test at (r, c). Out-of-range coordinates (either dimension) are
+  /// false, not UB.
   bool Test(uint32_t r, uint32_t c) const {
-    return r < num_rows_ && rows_[r].Test(c);
+    return r < num_rows_ && c < num_cols_ && rows_[r].Test(c);
   }
 
   /// fold(BM, dim) -> bit array over that dimension (Section 4).
   Bitvector Fold(Dim retain) const;
 
+  /// Allocation-free fold: writes the fold into `*out` (resized + cleared),
+  /// reusing its word capacity. Runs decode into whole words.
+  void FoldInto(Dim retain, Bitvector* out) const;
+
   /// unfold(BM, mask, dim): for every 0 in `mask`, clears all bits at that
   /// coordinate of `retain`. Updates counts and the non-empty-row cache.
-  void Unfold(const Bitvector& mask, Dim retain);
+  /// With a `ctx`, rows are re-encoded in place through pooled scratch —
+  /// zero heap allocations per call once the arena is warm.
+  void Unfold(const Bitvector& mask, Dim retain, ExecContext* ctx = nullptr);
 
   /// Condensed representation of the non-empty rows (Appendix D metadata);
   /// equal to Fold(Dim::kRow) but maintained incrementally.

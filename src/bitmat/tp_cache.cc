@@ -73,7 +73,8 @@ TpBitMat TpCache::GetOrLoadMasked(const TripleIndex& index,
                                   const Dictionary& dict,
                                   const TriplePattern& tp,
                                   bool prefer_subject_rows,
-                                  const ActiveMasks& masks) {
+                                  const ActiveMasks& masks,
+                                  ExecContext* ctx) {
   if (masks.row_mask == nullptr && masks.col_mask == nullptr) {
     return GetOrLoad(index, dict, tp, prefer_subject_rows);
   }
@@ -85,7 +86,7 @@ TpBitMat TpCache::GetOrLoadMasked(const TripleIndex& index,
     // here we simply do the masked load and leave warming to unmasked
     // queries, avoiding double work on the critical path.
     ++misses_;
-    return LoadTpBitMat(index, dict, tp, prefer_subject_rows, masks);
+    return LoadTpBitMat(index, dict, tp, prefer_subject_rows, masks, ctx);
   }
   ++hits_;
   lru_.erase(it->second.lru_it);
@@ -99,14 +100,15 @@ TpBitMat TpCache::GetOrLoadMasked(const TripleIndex& index,
   out.row_var = VarForKind(tp, cached.row_kind);
   out.col_var = VarForKind(tp, cached.col_kind);
   out.bm = BitMat(cached.bm.num_rows(), cached.bm.num_cols());
+  ScratchPositions scratch(ctx);
   cached.bm.NonEmptyRows().ForEachSetBit([&](uint32_t r) {
     if (masks.row_mask != nullptr &&
         (r >= masks.row_mask->size() || !masks.row_mask->Get(r))) {
       return;
     }
     if (masks.col_mask != nullptr) {
-      CompressedRow masked = cached.bm.Row(r).AndWith(*masks.col_mask);
-      if (!masked.IsEmpty()) out.bm.SetRow(r, std::move(masked));
+      SetRowMasked(r, cached.bm.Row(r), *masks.col_mask, scratch.get(),
+                   &out.bm);
     } else {
       out.bm.SetRow(r, cached.bm.Row(r));
     }

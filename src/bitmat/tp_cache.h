@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "bitmat/tp_loader.h"
+#include "util/exec_context.h"
 
 namespace lbr {
 
@@ -38,10 +39,11 @@ class TpCache {
 
   /// Like GetOrLoad but applies active-pruning masks while copying out of
   /// the cache (single pass instead of copy + Unfold). The cached entry
-  /// itself stays unmasked.
+  /// itself stays unmasked. `ctx` provides pooled scratch for the masking.
   TpBitMat GetOrLoadMasked(const TripleIndex& index, const Dictionary& dict,
                            const TriplePattern& tp, bool prefer_subject_rows,
-                           const ActiveMasks& masks);
+                           const ActiveMasks& masks,
+                           ExecContext* ctx = nullptr);
 
   /// Drops everything (e.g. after the index changes).
   void Clear();

@@ -8,15 +8,15 @@ namespace {
 
 // Applies active-pruning masks while copying (id, row) pairs into `bm`.
 void FillRows(const std::vector<std::pair<uint32_t, CompressedRow>>& rows,
-              const ActiveMasks& masks, BitMat* bm) {
+              const ActiveMasks& masks, ExecContext* ctx, BitMat* bm) {
+  ScratchPositions scratch(ctx);
   for (const auto& [id, row] : rows) {
     if (masks.row_mask != nullptr &&
         (id >= masks.row_mask->size() || !masks.row_mask->Get(id))) {
       continue;
     }
     if (masks.col_mask != nullptr) {
-      CompressedRow masked = row.AndWith(*masks.col_mask);
-      if (!masked.IsEmpty()) bm->SetRow(id, std::move(masked));
+      SetRowMasked(id, row, *masks.col_mask, scratch.get(), bm);
     } else {
       bm->SetRow(id, row);
     }
@@ -55,6 +55,14 @@ void KeepDiagonal(uint32_t num_common, BitMat* bm) {
 Bitvector AlignMask(const Bitvector& src, DomainKind src_kind,
                     DomainKind dst_kind, uint32_t num_common,
                     uint32_t dst_size) {
+  Bitvector out;
+  AlignMaskInto(src, src_kind, dst_kind, num_common, dst_size, &out);
+  return out;
+}
+
+void AlignMaskInto(const Bitvector& src, DomainKind src_kind,
+                   DomainKind dst_kind, uint32_t num_common,
+                   uint32_t dst_size, Bitvector* out) {
   if (src_kind == DomainKind::kPredicate || dst_kind == DomainKind::kPredicate) {
     if (src_kind != dst_kind) {
       throw UnsupportedQueryError(
@@ -64,17 +72,16 @@ Bitvector AlignMask(const Bitvector& src, DomainKind src_kind,
   }
   // Word-wise prefix copy, then Vso truncation for subject<->object
   // conversions (only the shared ID range is join-compatible).
-  Bitvector out = src.Resized(dst_size);
+  out->AssignResized(src, dst_size);
   if (src_kind != dst_kind &&
       (src_kind == DomainKind::kSubject || src_kind == DomainKind::kObject)) {
-    out.TruncateBitsFrom(num_common);
+    out->TruncateBitsFrom(num_common);
   }
-  return out;
 }
 
 TpBitMat LoadTpBitMat(const TripleIndex& index, const Dictionary& dict,
                       const TriplePattern& tp, bool prefer_subject_rows,
-                      const ActiveMasks& masks) {
+                      const ActiveMasks& masks, ExecContext* ctx) {
   const bool sv = tp.s.is_var, pv = tp.p.is_var, ov = tp.o.is_var;
   if (sv && pv && ov) {
     throw UnsupportedQueryError(
@@ -104,14 +111,14 @@ TpBitMat LoadTpBitMat(const TripleIndex& index, const Dictionary& dict,
         out.row_var = tp.s.var;
         out.col_var = tp.o.var;
         out.bm = BitMat(index.num_subjects(), index.num_objects());
-        if (p) FillRows(index.SoRows(*p), masks, &out.bm);
+        if (p) FillRows(index.SoRows(*p), masks, ctx, &out.bm);
       } else {
         out.row_kind = DomainKind::kObject;
         out.col_kind = DomainKind::kSubject;
         out.row_var = tp.o.var;
         out.col_var = tp.s.var;
         out.bm = BitMat(index.num_objects(), index.num_subjects());
-        if (p) FillRows(index.OsRows(*p), masks, &out.bm);
+        if (p) FillRows(index.OsRows(*p), masks, ctx, &out.bm);
       }
       if (tp.s.var == tp.o.var) KeepDiagonal(index.num_common(), &out.bm);
       return out;
@@ -154,6 +161,7 @@ TpBitMat LoadTpBitMat(const TripleIndex& index, const Dictionary& dict,
     out.bm = BitMat(index.num_predicates(), index.num_objects());
     std::optional<uint32_t> s = subject_id();
     if (s) {
+      ScratchPositions scratch(ctx);
       for (uint32_t p = 0; p < index.num_predicates(); ++p) {
         if (masks.row_mask != nullptr &&
             (p >= masks.row_mask->size() || !masks.row_mask->Get(p))) {
@@ -162,8 +170,7 @@ TpBitMat LoadTpBitMat(const TripleIndex& index, const Dictionary& dict,
         const CompressedRow& row = index.SoRow(p, *s);
         if (row.IsEmpty()) continue;
         if (masks.col_mask != nullptr) {
-          CompressedRow masked = row.AndWith(*masks.col_mask);
-          if (!masked.IsEmpty()) out.bm.SetRow(p, std::move(masked));
+          SetRowMasked(p, row, *masks.col_mask, scratch.get(), &out.bm);
         } else {
           out.bm.SetRow(p, row);
         }
@@ -180,6 +187,7 @@ TpBitMat LoadTpBitMat(const TripleIndex& index, const Dictionary& dict,
     out.bm = BitMat(index.num_predicates(), index.num_subjects());
     std::optional<uint32_t> o = object_id();
     if (o) {
+      ScratchPositions scratch(ctx);
       for (uint32_t p = 0; p < index.num_predicates(); ++p) {
         if (masks.row_mask != nullptr &&
             (p >= masks.row_mask->size() || !masks.row_mask->Get(p))) {
@@ -188,8 +196,7 @@ TpBitMat LoadTpBitMat(const TripleIndex& index, const Dictionary& dict,
         const CompressedRow& row = index.OsRow(p, *o);
         if (row.IsEmpty()) continue;
         if (masks.col_mask != nullptr) {
-          CompressedRow masked = row.AndWith(*masks.col_mask);
-          if (!masked.IsEmpty()) out.bm.SetRow(p, std::move(masked));
+          SetRowMasked(p, row, *masks.col_mask, scratch.get(), &out.bm);
         } else {
           out.bm.SetRow(p, row);
         }

@@ -9,6 +9,7 @@
 #include "bitmat/triple_index.h"
 #include "rdf/dictionary.h"
 #include "sparql/ast.h"
+#include "util/exec_context.h"
 
 namespace lbr {
 
@@ -72,16 +73,40 @@ Bitvector AlignMask(const Bitvector& src, DomainKind src_kind,
                     DomainKind dst_kind, uint32_t num_common,
                     uint32_t dst_size);
 
+/// Allocation-free AlignMask: writes the aligned mask into `*out`, reusing
+/// its capacity. `out` must not alias `src`.
+void AlignMaskInto(const Bitvector& src, DomainKind src_kind,
+                   DomainKind dst_kind, uint32_t num_common,
+                   uint32_t dst_size, Bitvector* out);
+
+/// Stores `row` masked by `col_mask` as row `id` of `*bm`; rows with no
+/// surviving bit are skipped without copying. The single implementation of
+/// the active-pruning column-masking protocol, shared by the loader and the
+/// TP cache. `scratch` is reused across calls (pass one in loops).
+inline void SetRowMasked(uint32_t id, const CompressedRow& row,
+                         const Bitvector& col_mask,
+                         std::vector<uint32_t>* scratch, BitMat* bm) {
+  if (!row.IntersectsWith(col_mask)) return;
+  CompressedRow masked = row;
+  masked.AndWithInPlace(col_mask, scratch);
+  bm->SetRow(id, std::move(masked));
+}
+
 /// Loads the BitMat holding all triples matching `tp` (Section 5's `init`
 /// step). `prefer_subject_rows` picks the S-O (true) or O-S (false)
 /// orientation for two-variable TPs with a fixed predicate — the engine
 /// derives it from the bottom-up join-variable order. Fixed terms unknown to
 /// the dictionary yield an empty BitMat of the right shape.
 ///
+/// `ctx` (optional) supplies pooled scratch for the active-pruning row
+/// masking; without it each masked row allocates its own kept-position
+/// buffer.
+///
 /// Throws UnsupportedQueryError for (?s ?p ?o) patterns.
 TpBitMat LoadTpBitMat(const TripleIndex& index, const Dictionary& dict,
                       const TriplePattern& tp, bool prefer_subject_rows,
-                      const ActiveMasks& masks = {});
+                      const ActiveMasks& masks = {},
+                      ExecContext* ctx = nullptr);
 
 }  // namespace lbr
 

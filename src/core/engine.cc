@@ -170,6 +170,7 @@ Engine::BranchResult Engine::ExecuteBranch(
       auto build_mask = [&](const std::string& var, DomainKind kind,
                             uint32_t size, Bitvector* mask) -> bool {
         bool restricted = false;
+        ScratchBits fold_s(&exec_ctx_), aligned_s(&exec_ctx_);
         for (size_t j = 0; j < i; ++j) {
           const TpState& prev = states[j];
           if (!prev.mat.HasVar(var)) continue;
@@ -177,14 +178,14 @@ Engine::BranchResult Engine::ExecuteBranch(
               gosn.TpIsMasterOf(prev.tp_id, st.tp_id) ||
               gosn.TpIsPeer(prev.tp_id, st.tp_id);
           if (!can_restrict) continue;
-          Bitvector fold = prev.mat.bm.Fold(prev.mat.DimOf(var));
-          Bitvector aligned = AlignMask(fold, prev.mat.KindOf(var), kind,
-                                        index_->num_common(), size);
+          prev.mat.bm.FoldInto(prev.mat.DimOf(var), fold_s.get());
+          AlignMaskInto(*fold_s, prev.mat.KindOf(var), kind,
+                        index_->num_common(), size, aligned_s.get());
           if (!restricted) {
-            *mask = std::move(aligned);
+            mask->AssignResized(*aligned_s, size);
             restricted = true;
           } else {
-            mask->And(aligned);
+            mask->And(*aligned_s);
           }
         }
         return restricted;
@@ -241,10 +242,11 @@ Engine::BranchResult Engine::ExecuteBranch(
       // Cache path: fetch the unmasked BitMat and apply active-pruning
       // masks while copying out of the cache.
       st.mat = tp_cache_.GetOrLoadMasked(*index_, *dict_, tps[i],
-                                         prefer_subject_rows, masks);
+                                         prefer_subject_rows, masks,
+                                         &exec_ctx_);
     } else {
-      st.mat =
-          LoadTpBitMat(*index_, *dict_, tps[i], prefer_subject_rows, masks);
+      st.mat = LoadTpBitMat(*index_, *dict_, tps[i], prefer_subject_rows,
+                            masks, &exec_ctx_);
     }
     st.initial_count = st.mat.bm.Count();
 
@@ -263,7 +265,7 @@ Engine::BranchResult Engine::ExecuteBranch(
   // --- prune_triples (Alg 3.2).
   Stopwatch prune_watch;
   if (options_.enable_prune) {
-    PruneTriples(order, gosn, goj, index_->num_common(), &states);
+    PruneTriples(order, gosn, goj, index_->num_common(), &states, &exec_ctx_);
   }
   if (stats != nullptr) stats->t_prune_sec += prune_watch.Seconds();
 

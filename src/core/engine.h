@@ -12,6 +12,7 @@
 #include "core/row.h"
 #include "rdf/graph.h"
 #include "sparql/ast.h"
+#include "util/exec_context.h"
 
 namespace lbr {
 
@@ -112,6 +113,10 @@ class Engine {
   const Dictionary* dict_;
   EngineOptions options_;
   TpCache tp_cache_;
+  /// Scratch arena threaded through init/prune/join; buffer capacity is
+  /// retained across queries, so a warm engine's hot path stays off the
+  /// heap. Makes the engine single-threaded per instance (as before).
+  ExecContext exec_ctx_;
 };
 
 }  // namespace lbr

@@ -248,8 +248,10 @@ void MultiwayJoin::Recurse(size_t visited_count) {
 }
 
 void MultiwayJoin::Emit() {
-  // Per-supernode nulled state for this row.
-  std::vector<bool> sn_nulled(gosn_.num_supernodes(), false);
+  // Per-supernode nulled state for this row (member scratch: Emit is the
+  // innermost hot path and must not allocate).
+  std::vector<char>& sn_nulled = sn_nulled_scratch_;
+  sn_nulled.assign(static_cast<size_t>(gosn_.num_supernodes()), 0);
 
   bool row_nulled = false;
 
@@ -257,7 +259,8 @@ void MultiwayJoin::Emit() {
   // TP entries are partially NULL is inconsistent; NULL the whole group and
   // cascade through the failure closure.
   if (options_.nullification) {
-    std::vector<int> seeds;
+    std::vector<int>& seeds = null_seeds_scratch_;
+    seeds.clear();
     for (int sn = 0; sn < gosn_.num_supernodes(); ++sn) {
       if (gosn_.IsAbsoluteMaster(sn)) continue;
       bool any_null = false, any_bound = false;
@@ -275,7 +278,7 @@ void MultiwayJoin::Emit() {
       if (any_null && any_bound) seeds.push_back(sn);
     }
     if (!seeds.empty()) {
-      for (int sn : FailureClosure(gosn_, seeds)) sn_nulled[sn] = true;
+      for (int sn : FailureClosure(gosn_, seeds)) sn_nulled[sn] = 1;
       nulling_applied_ = true;
       row_nulled = true;
     }
@@ -285,7 +288,7 @@ void MultiwayJoin::Emit() {
   // is not in a nulled supernode.
   auto effective = [&](int var) -> uint64_t {
     for (const Entry& e : vmap_[var]) {
-      if (sn_nulled[gosn_.SupernodeOf(e.tp_id)]) continue;
+      if (sn_nulled[gosn_.SupernodeOf(e.tp_id)] != 0) continue;
       return e.value;
     }
     return kNullBinding;
@@ -310,13 +313,14 @@ void MultiwayJoin::Emit() {
     }
     if (touches_abs_master) return;  // Drop the row.
     for (int sn : FailureClosure(gosn_, filter.scope_supernodes)) {
-      sn_nulled[sn] = true;
+      sn_nulled[sn] = 1;
     }
     nulling_applied_ = true;
     row_nulled = true;
   }
 
-  RawRow row(var_names_.size(), kNullBinding);
+  RawRow& row = emit_row_scratch_;
+  row.assign(var_names_.size(), kNullBinding);
   for (size_t i = 0; i < var_names_.size(); ++i) {
     row[i] = effective(static_cast<int>(i));
   }

@@ -43,6 +43,8 @@ class MultiwayJoin {
     std::vector<ScopedFilter> filters;
   };
 
+  /// The join keeps its own per-emit scratch buffers (below), so
+  /// steady-state emission does not touch the heap.
   MultiwayJoin(const Gosn& gosn, const GlobalIds& ids, const Dictionary& dict,
                std::vector<TpState>* tps, std::vector<int> stps_order,
                Options options);
@@ -104,6 +106,13 @@ class MultiwayJoin {
   Sink sink_;
   uint64_t emitted_ = 0;
   bool nulling_applied_ = false;
+
+  // Per-emit scratch, reused across the whole enumeration (Emit runs once
+  // per result row; allocating these there put malloc on the innermost
+  // loop of Alg 5.4).
+  std::vector<char> sn_nulled_scratch_;
+  std::vector<int> null_seeds_scratch_;
+  RawRow emit_row_scratch_;
 };
 
 }  // namespace lbr

@@ -7,17 +7,6 @@ namespace lbr {
 
 namespace {
 
-// fold(BM_tp, dim_j) aligned to the domain of `target_kind`/`target_size`.
-Bitvector AlignedFold(const TpState& tp, const std::string& jvar,
-                      DomainKind target_kind, uint32_t target_size,
-                      uint32_t num_common) {
-  Dim dim = tp.mat.DimOf(jvar);
-  DomainKind kind = tp.mat.KindOf(jvar);
-  Bitvector fold = tp.mat.bm.Fold(dim);
-  if (kind == target_kind && fold.size() == target_size) return fold;
-  return AlignMask(fold, kind, target_kind, num_common, target_size);
-}
-
 uint32_t DimSize(const TpState& tp, const std::string& jvar) {
   return tp.mat.DimOf(jvar) == Dim::kRow ? tp.mat.bm.num_rows()
                                          : tp.mat.bm.num_cols();
@@ -26,54 +15,69 @@ uint32_t DimSize(const TpState& tp, const std::string& jvar) {
 }  // namespace
 
 void SemiJoin(const std::string& jvar, TpState* slave, const TpState& master,
-              uint32_t num_common) {
+              uint32_t num_common, ExecContext* ctx) {
   DomainKind slave_kind = slave->mat.KindOf(jvar);
   uint32_t slave_size = DimSize(*slave, jvar);
 
-  Bitvector beta = slave->mat.bm.Fold(slave->mat.DimOf(jvar));
+  ScratchBits beta_s(ctx), mfold_s(ctx), aligned_s(ctx);
+  Bitvector& beta = *beta_s;
+  slave->mat.bm.FoldInto(slave->mat.DimOf(jvar), &beta);
   size_t before = beta.Count();
-  Bitvector master_fold =
-      AlignedFold(master, jvar, slave_kind, slave_size, num_common);
-  beta.And(master_fold);
+
+  // fold(BM_master, dim_j) aligned to the slave's domain.
+  Bitvector& mfold = *mfold_s;
+  master.mat.bm.FoldInto(master.mat.DimOf(jvar), &mfold);
+  DomainKind master_kind = master.mat.KindOf(jvar);
+  const Bitvector* master_fold = &mfold;
+  if (master_kind != slave_kind || mfold.size() != slave_size) {
+    AlignMaskInto(mfold, master_kind, slave_kind, num_common, slave_size,
+                  aligned_s.get());
+    master_fold = aligned_s.get();
+  }
+  beta.And(*master_fold);
   // Cross-domain folds are already truncated at Vso by AlignMask; when the
   // kinds differ the slave-side fold must be truncated too.
-  if (master.mat.KindOf(jvar) != slave_kind &&
-      slave_kind != DomainKind::kPredicate) {
+  if (master_kind != slave_kind && slave_kind != DomainKind::kPredicate) {
     beta.TruncateBitsFrom(num_common);
   }
   // Unfold only when the intersection actually removed bindings (beta is a
   // subset of the slave's fold, so equal counts mean equal sets).
   if (beta.Count() != before) {
-    slave->mat.bm.Unfold(beta, slave->mat.DimOf(jvar));
+    slave->mat.bm.Unfold(beta, slave->mat.DimOf(jvar), ctx);
   }
 }
 
 void ClusteredSemiJoin(const std::string& jvar,
                        const std::vector<TpState*>& cluster,
-                       uint32_t num_common) {
+                       uint32_t num_common, ExecContext* ctx) {
   if (cluster.size() < 2) return;
   // Fold every member once; alignment to each target is a cheap word copy.
-  std::vector<Bitvector> folds;
+  std::vector<ScratchBits> folds;
   std::vector<DomainKind> kinds;
   folds.reserve(cluster.size());
   kinds.reserve(cluster.size());
   for (const TpState* member : cluster) {
-    folds.push_back(member->mat.bm.Fold(member->mat.DimOf(jvar)));
+    folds.emplace_back(ctx);
+    member->mat.bm.FoldInto(member->mat.DimOf(jvar), folds.back().get());
     kinds.push_back(member->mat.KindOf(jvar));
   }
+  ScratchBits beta_s(ctx), aligned_s(ctx);
   for (size_t i = 0; i < cluster.size(); ++i) {
     TpState* target = cluster[i];
     DomainKind kind = kinds[i];
     uint32_t size = DimSize(*target, jvar);
-    Bitvector beta = folds[i];
+    Bitvector& beta = *beta_s;
+    beta.AssignResized(*folds[i], folds[i]->size());
     size_t before = beta.Count();
     bool cross_domain = false;
     for (size_t j = 0; j < cluster.size(); ++j) {
       if (j == i) continue;
-      if (kinds[j] == kind && folds[j].size() == size) {
-        beta.And(folds[j]);
+      if (kinds[j] == kind && folds[j]->size() == size) {
+        beta.And(*folds[j]);
       } else {
-        beta.And(AlignMask(folds[j], kinds[j], kind, num_common, size));
+        AlignMaskInto(*folds[j], kinds[j], kind, num_common, size,
+                      aligned_s.get());
+        beta.And(*aligned_s);
         if (kinds[j] != kind) cross_domain = true;
       }
     }
@@ -81,13 +85,14 @@ void ClusteredSemiJoin(const std::string& jvar,
       beta.TruncateBitsFrom(num_common);
     }
     if (beta.Count() != before) {
-      target->mat.bm.Unfold(beta, target->mat.DimOf(jvar));
+      target->mat.bm.Unfold(beta, target->mat.DimOf(jvar), ctx);
     }
   }
 }
 
 void PruneTriples(const JvarOrder& order, const Gosn& gosn, const Goj& goj,
-                  uint32_t num_common, std::vector<TpState>* tps) {
+                  uint32_t num_common, std::vector<TpState>* tps,
+                  ExecContext* ctx) {
   auto pass = [&](const std::vector<int>& jvar_order) {
     for (int j : jvar_order) {
       const std::string& jvar = goj.jvars()[j];
@@ -99,7 +104,8 @@ void PruneTriples(const JvarOrder& order, const Gosn& gosn, const Goj& goj,
         for (int slave_id : holders) {
           if (master_id == slave_id) continue;
           if (!gosn.TpIsMasterOf(master_id, slave_id)) continue;
-          SemiJoin(jvar, &(*tps)[slave_id], (*tps)[master_id], num_common);
+          SemiJoin(jvar, &(*tps)[slave_id], (*tps)[master_id], num_common,
+                   ctx);
         }
       }
 
@@ -122,7 +128,7 @@ void PruneTriples(const JvarOrder& order, const Gosn& gosn, const Goj& goj,
             cluster.push_back(&(*tps)[other]);
           }
         }
-        ClusteredSemiJoin(jvar, cluster, num_common);
+        ClusteredSemiJoin(jvar, cluster, num_common, ctx);
       }
     }
   };

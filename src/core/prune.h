@@ -9,6 +9,7 @@
 #include "core/gosn.h"
 #include "core/jvar_order.h"
 #include "core/tp_state.h"
+#include "util/exec_context.h"
 
 namespace lbr {
 
@@ -17,16 +18,16 @@ namespace lbr {
 ///   beta = fold(master, dim_j) AND fold(slave, dim_j); unfold(slave, beta).
 /// Folds over different dimension domains (subject vs object position) are
 /// aligned through AlignMask, truncating at the Vso bound. Only the slave's
-/// BitMat is modified.
+/// BitMat is modified. All fold/mask buffers come from `ctx` when given.
 void SemiJoin(const std::string& jvar, TpState* slave, const TpState& master,
-              uint32_t num_common);
+              uint32_t num_common, ExecContext* ctx = nullptr);
 
 /// Clustered semi-join (Definition 3.1, Algorithm 5.3): intersects the
 /// `jvar` bindings of every TP in the cluster and unfolds each TP with the
 /// intersection.
 void ClusteredSemiJoin(const std::string& jvar,
                        const std::vector<TpState*>& cluster,
-                       uint32_t num_common);
+                       uint32_t num_common, ExecContext* ctx = nullptr);
 
 /// prune_triples (Algorithm 3.2): walks order_bu then order_td; for each
 /// jvar, first semi-joins every master/slave TP pair sharing it (slave takes
@@ -35,8 +36,12 @@ void ClusteredSemiJoin(const std::string& jvar,
 ///
 /// For an acyclic well-designed query this leaves every TP with a minimal
 /// set of triples (Lemma 3.3); for cyclic queries it only reduces them.
+///
+/// With an ExecContext the whole fixpoint loop runs out of pooled fold and
+/// mask buffers — no per-iteration Bitvector allocations.
 void PruneTriples(const JvarOrder& order, const Gosn& gosn, const Goj& goj,
-                  uint32_t num_common, std::vector<TpState>* tps);
+                  uint32_t num_common, std::vector<TpState>* tps,
+                  ExecContext* ctx = nullptr);
 
 }  // namespace lbr
 

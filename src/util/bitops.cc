@@ -1,0 +1,107 @@
+#include "util/bitops.h"
+
+namespace lbr {
+namespace bitops {
+
+namespace {
+
+// Mask of the bits of one word covered by [begin, end) when both fall in
+// that word's range. `lo`/`hi` are in-word bit offsets, hi exclusive.
+inline uint64_t SpanMask(size_t lo, size_t hi) {
+  uint64_t high = (hi >= 64) ? ~uint64_t{0} : (uint64_t{1} << hi) - 1;
+  return high & ~((uint64_t{1} << lo) - 1);
+}
+
+}  // namespace
+
+void SetBitRange(uint64_t* w, size_t begin, size_t end) {
+  if (begin >= end) return;
+  size_t first = begin >> 6;
+  size_t last = (end - 1) >> 6;
+  if (first == last) {
+    w[first] |= SpanMask(begin & 63, ((end - 1) & 63) + 1);
+    return;
+  }
+  w[first] |= SpanMask(begin & 63, 64);
+  for (size_t i = first + 1; i < last; ++i) w[i] = ~uint64_t{0};
+  w[last] |= SpanMask(0, ((end - 1) & 63) + 1);
+}
+
+void ClearBitRange(uint64_t* w, size_t begin, size_t end) {
+  if (begin >= end) return;
+  size_t first = begin >> 6;
+  size_t last = (end - 1) >> 6;
+  if (first == last) {
+    w[first] &= ~SpanMask(begin & 63, ((end - 1) & 63) + 1);
+    return;
+  }
+  w[first] &= ~SpanMask(begin & 63, 64);
+  for (size_t i = first + 1; i < last; ++i) w[i] = 0;
+  w[last] &= ~SpanMask(0, ((end - 1) & 63) + 1);
+}
+
+bool AnyInRange(const uint64_t* w, size_t begin, size_t end) {
+  if (begin >= end) return false;
+  size_t first = begin >> 6;
+  size_t last = (end - 1) >> 6;
+  if (first == last) {
+    return (w[first] & SpanMask(begin & 63, ((end - 1) & 63) + 1)) != 0;
+  }
+  if ((w[first] & SpanMask(begin & 63, 64)) != 0) return true;
+  for (size_t i = first + 1; i < last; ++i) {
+    if (w[i] != 0) return true;
+  }
+  return (w[last] & SpanMask(0, ((end - 1) & 63) + 1)) != 0;
+}
+
+uint64_t PopcountRange(const uint64_t* w, size_t begin, size_t end) {
+  if (begin >= end) return 0;
+  size_t first = begin >> 6;
+  size_t last = (end - 1) >> 6;
+  if (first == last) {
+    return static_cast<uint64_t>(__builtin_popcountll(
+        w[first] & SpanMask(begin & 63, ((end - 1) & 63) + 1)));
+  }
+  uint64_t c = static_cast<uint64_t>(
+      __builtin_popcountll(w[first] & SpanMask(begin & 63, 64)));
+  for (size_t i = first + 1; i < last; ++i) {
+    c += static_cast<uint64_t>(__builtin_popcountll(w[i]));
+  }
+  c += static_cast<uint64_t>(
+      __builtin_popcountll(w[last] & SpanMask(0, ((end - 1) & 63) + 1)));
+  return c;
+}
+
+void AppendSetBits(const uint64_t* w, size_t n, uint32_t base,
+                   std::vector<uint32_t>* out) {
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t word = w[i];
+    uint32_t word_base = base + static_cast<uint32_t>(i << 6);
+    while (word != 0) {
+      out->push_back(word_base +
+                     static_cast<uint32_t>(__builtin_ctzll(word)));
+      word &= word - 1;
+    }
+  }
+}
+
+void AppendSetBitsInRange(const uint64_t* w, size_t begin, size_t end,
+                          std::vector<uint32_t>* out) {
+  if (begin >= end) return;
+  size_t first = begin >> 6;
+  size_t last = (end - 1) >> 6;
+  for (size_t i = first; i <= last; ++i) {
+    uint64_t word = w[i];
+    if (i == first) word &= SpanMask(begin & 63, 64);
+    if (i == last) word &= SpanMask(0, ((end - 1) & 63) + 1);
+    uint32_t word_base = static_cast<uint32_t>(i << 6);
+    while (word != 0) {
+      out->push_back(word_base +
+                     static_cast<uint32_t>(__builtin_ctzll(word)));
+      word &= word - 1;
+    }
+  }
+}
+
+}  // namespace bitops
+}  // namespace lbr

@@ -1,0 +1,107 @@
+#ifndef LBR_UTIL_BITOPS_H_
+#define LBR_UTIL_BITOPS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lbr {
+namespace bitops {
+
+/// Shared word-parallel kernels for the bit substrate.
+///
+/// Every bit container in the engine (Bitvector, CompressedRow decode paths,
+/// BitMat fold/unfold) bottoms out here, so "bit operations as fast as the
+/// hardware allows" has exactly one implementation to get right.
+///
+/// Word-alignment contract (see DESIGN.md):
+///  - words are uint64_t, bit `i` of a logical array lives at word `i / 64`,
+///    position `i % 64`, LSB first;
+///  - callers guarantee every word past the logical size is zero (the
+///    "zero-tail invariant"), so whole-word AND/OR/popcount never need a
+///    per-call size mask;
+///  - ranges are half-open `[begin, end)` in bit coordinates and must be
+///    pre-clamped by the caller to the destination's logical size.
+
+inline constexpr size_t kWordBits = 64;
+
+/// Number of 64-bit words needed for `bits` bits.
+constexpr size_t WordsFor(size_t bits) { return (bits + 63) >> 6; }
+
+/// Mask selecting the live bits of the last word of a `bits`-bit array
+/// (all ones when `bits` is a multiple of 64).
+inline uint64_t TailMask(size_t bits) {
+  size_t rem = bits & 63;
+  return rem == 0 ? ~uint64_t{0} : (uint64_t{1} << rem) - 1;
+}
+
+/// dst[i] &= src[i].
+inline void AndWords(uint64_t* dst, const uint64_t* src, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] &= src[i];
+}
+
+/// dst[i] |= src[i].
+inline void OrWords(uint64_t* dst, const uint64_t* src, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] |= src[i];
+}
+
+/// dst[i] &= ~src[i].
+inline void AndNotWords(uint64_t* dst, const uint64_t* src, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] &= ~src[i];
+}
+
+/// Total set bits in w[0..n).
+inline uint64_t PopcountWords(const uint64_t* w, size_t n) {
+  uint64_t c = 0;
+  for (size_t i = 0; i < n; ++i) {
+    c += static_cast<uint64_t>(__builtin_popcountll(w[i]));
+  }
+  return c;
+}
+
+/// True iff any bit of w[0..n) is set.
+inline bool AnyWord(const uint64_t* w, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    if (w[i] != 0) return true;
+  }
+  return false;
+}
+
+/// True iff a[0..n) and b[0..n) share a set bit. Early-exits on the first
+/// intersecting word.
+inline bool AnyAndWord(const uint64_t* a, const uint64_t* b, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    if ((a[i] & b[i]) != 0) return true;
+  }
+  return false;
+}
+
+/// Sets every bit in [begin, end) of `w`. A run decodes into at most two
+/// partial-word masks plus whole ~0 words — no per-bit work.
+void SetBitRange(uint64_t* w, size_t begin, size_t end);
+
+/// Clears every bit in [begin, end) of `w`.
+void ClearBitRange(uint64_t* w, size_t begin, size_t end);
+
+/// True iff any bit in [begin, end) of `w` is set. Early-exits.
+bool AnyInRange(const uint64_t* w, size_t begin, size_t end);
+
+/// Number of set bits in [begin, end) of `w`.
+uint64_t PopcountRange(const uint64_t* w, size_t begin, size_t end);
+
+/// Appends the positions of all set bits of w[0..n), offset by `base`,
+/// to `*out` in ascending order.
+void AppendSetBits(const uint64_t* w, size_t n, uint32_t base,
+                   std::vector<uint32_t>* out);
+
+/// Appends the positions of the set bits of `w` inside [begin, end) to
+/// `*out` in ascending order — the word-parallel form of "intersect a run
+/// with a mask and keep the surviving positions". Zero mask words inside the
+/// range are skipped at word granularity.
+void AppendSetBitsInRange(const uint64_t* w, size_t begin, size_t end,
+                          std::vector<uint32_t>* out);
+
+}  // namespace bitops
+}  // namespace lbr
+
+#endif  // LBR_UTIL_BITOPS_H_

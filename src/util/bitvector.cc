@@ -3,11 +3,11 @@
 #include <algorithm>
 #include <cassert>
 
+#include "util/bitops.h"
+
 namespace lbr {
 
-namespace {
-constexpr size_t WordsFor(size_t bits) { return (bits + 63) >> 6; }
-}  // namespace
+using bitops::WordsFor;
 
 Bitvector::Bitvector(size_t n, bool value)
     : size_(n), words_(WordsFor(n), value ? ~uint64_t{0} : 0) {
@@ -29,17 +29,19 @@ void Bitvector::Fill() {
   ZeroTail();
 }
 
+void Bitvector::SetRange(size_t begin, size_t end) {
+  end = std::min(end, size_);
+  if (begin >= end) return;
+  bitops::SetBitRange(words_.data(), begin, end);
+}
+
 size_t Bitvector::Count() const {
-  size_t c = 0;
-  for (uint64_t w : words_) c += static_cast<size_t>(__builtin_popcountll(w));
-  return c;
+  return static_cast<size_t>(bitops::PopcountWords(words_.data(),
+                                                   words_.size()));
 }
 
 bool Bitvector::None() const {
-  for (uint64_t w : words_) {
-    if (w != 0) return false;
-  }
-  return true;
+  return !bitops::AnyWord(words_.data(), words_.size());
 }
 
 bool Bitvector::All() const {
@@ -48,9 +50,8 @@ bool Bitvector::All() const {
   for (size_t i = 0; i < full_words; ++i) {
     if (words_[i] != ~uint64_t{0}) return false;
   }
-  size_t rem = size_ & 63;
-  if (rem != 0) {
-    uint64_t mask = (uint64_t{1} << rem) - 1;
+  if ((size_ & 63) != 0) {
+    uint64_t mask = bitops::TailMask(size_);
     if ((words_[full_words] & mask) != mask) return false;
   }
   return true;
@@ -81,17 +82,17 @@ size_t Bitvector::FindNext(size_t i) const {
 
 void Bitvector::And(const Bitvector& other) {
   assert(size_ == other.size_);
-  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  bitops::AndWords(words_.data(), other.words_.data(), words_.size());
 }
 
 void Bitvector::Or(const Bitvector& other) {
   assert(size_ == other.size_);
-  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  bitops::OrWords(words_.data(), other.words_.data(), words_.size());
 }
 
 void Bitvector::AndNot(const Bitvector& other) {
   assert(size_ == other.size_);
-  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  bitops::AndNotWords(words_.data(), other.words_.data(), words_.size());
 }
 
 void Bitvector::Not() {
@@ -101,31 +102,31 @@ void Bitvector::Not() {
 
 void Bitvector::TruncateBitsFrom(size_t n) {
   if (n >= size_) return;
-  size_t w = n >> 6;
-  size_t rem = n & 63;
-  if (rem != 0) {
-    words_[w] &= (uint64_t{1} << rem) - 1;
-    ++w;
-  }
-  for (; w < words_.size(); ++w) words_[w] = 0;
+  // Bits past size_ are already zero by invariant, so clearing [n, size_)
+  // suffices.
+  bitops::ClearBitRange(words_.data(), n, size_);
 }
 
 Bitvector Bitvector::Resized(size_t n) const {
   Bitvector out;
-  out.size_ = n;
-  out.words_.assign(WordsFor(n), 0);
-  size_t copy_words = std::min(out.words_.size(), words_.size());
-  std::copy(words_.begin(), words_.begin() + static_cast<long>(copy_words),
-            out.words_.begin());
-  out.ZeroTail();
-  if (n < size_) {
-    // Already handled by word truncation + ZeroTail.
-  }
+  out.AssignResized(*this, n);
   return out;
 }
 
+void Bitvector::AssignResized(const Bitvector& src, size_t n) {
+  assert(this != &src);
+  size_ = n;
+  words_.resize(WordsFor(n));
+  size_t copy_words = std::min(words_.size(), src.words_.size());
+  std::copy(src.words_.begin(),
+            src.words_.begin() + static_cast<long>(copy_words),
+            words_.begin());
+  std::fill(words_.begin() + static_cast<long>(copy_words), words_.end(), 0);
+  ZeroTail();
+}
+
 void Bitvector::AppendSetBits(std::vector<uint32_t>* out) const {
-  ForEachSetBit([out](uint32_t i) { out->push_back(i); });
+  bitops::AppendSetBits(words_.data(), words_.size(), 0, out);
 }
 
 std::vector<uint32_t> Bitvector::SetBits() const {
@@ -140,10 +141,7 @@ bool Bitvector::operator==(const Bitvector& other) const {
 }
 
 void Bitvector::ZeroTail() {
-  size_t rem = size_ & 63;
-  if (rem != 0 && !words_.empty()) {
-    words_.back() &= (uint64_t{1} << rem) - 1;
-  }
+  if (!words_.empty()) words_.back() &= bitops::TailMask(size_);
 }
 
 }  // namespace lbr

@@ -46,6 +46,10 @@ class Bitvector {
   /// Sets every bit to one (size unchanged).
   void Fill();
 
+  /// Sets every bit in [begin, end); the range is clamped to size(). A run
+  /// of length L costs O(L/64) words, not O(L) bit writes.
+  void SetRange(size_t begin, size_t end);
+
   /// Number of set bits.
   size_t Count() const;
   /// True iff no bit is set.
@@ -75,6 +79,10 @@ class Bitvector {
   /// Returns a copy resized to `n` bits: the common prefix is copied
   /// word-wise; new bits are zero, excess bits dropped.
   Bitvector Resized(size_t n) const;
+
+  /// In-place form of `src.Resized(n)` into `*this`, reusing this vector's
+  /// word capacity (no allocation once warmed up). `&src` must not be this.
+  void AssignResized(const Bitvector& src, size_t n);
 
   /// Appends the indexes of all set bits to `*out`.
   void AppendSetBits(std::vector<uint32_t>* out) const;

@@ -5,6 +5,8 @@
 #include <istream>
 #include <ostream>
 
+#include "util/bitops.h"
+
 namespace lbr {
 
 namespace {
@@ -49,21 +51,35 @@ void BuildRuns(const std::vector<uint32_t>& positions,
 CompressedRow CompressedRow::EncodeOptimal(
     const std::vector<uint32_t>& positions, bool allow_positions) {
   CompressedRow row;
-  if (positions.empty()) return row;
-  row.count_ = static_cast<uint32_t>(positions.size());
+  EncodeOptimalInto(positions, allow_positions, &row);
+  return row;
+}
+
+void CompressedRow::EncodeOptimalInto(const std::vector<uint32_t>& positions,
+                                      bool allow_positions,
+                                      CompressedRow* row) {
+  assert(&positions != &row->payload_);
+  if (positions.empty()) {
+    row->encoding_ = Encoding::kEmpty;
+    row->first_bit_ = false;
+    row->count_ = 0;
+    row->payload_.clear();
+    return;
+  }
+  row->count_ = static_cast<uint32_t>(positions.size());
   bool first_bit = false;
   size_t run_ints = CountRuns(positions, &first_bit);
   if (allow_positions && positions.size() < run_ints) {
-    row.encoding_ = Encoding::kPositions;
-    row.payload_ = positions;
+    row->encoding_ = Encoding::kPositions;
+    row->first_bit_ = false;
+    row->payload_.assign(positions.begin(), positions.end());
   } else {
-    row.encoding_ = Encoding::kRuns;
-    row.first_bit_ = first_bit;
-    BuildRuns(positions, &row.payload_);
+    row->encoding_ = Encoding::kRuns;
+    row->first_bit_ = first_bit;
+    BuildRuns(positions, &row->payload_);
     // BuildRuns never emits a leading 0-run of length 0; first_bit_ tells the
     // decoder whether payload_[0] is a 1-run or a 0-run.
   }
-  return row;
 }
 
 CompressedRow CompressedRow::FromBitvector(const Bitvector& bits) {
@@ -103,16 +119,70 @@ bool CompressedRow::Test(uint32_t pos) const {
 }
 
 void CompressedRow::OrInto(Bitvector* out) const {
-  ForEachSetBit([out](uint32_t p) { out->Set(p); });
+  switch (encoding_) {
+    case Encoding::kEmpty:
+      return;
+    case Encoding::kPositions:
+      for (uint32_t p : payload_) out->Set(p);
+      return;
+    case Encoding::kRuns: {
+      // Runs decode directly into whole words: a 1-run of length L costs
+      // O(L/64), not L bit writes.
+      uint64_t pos = 0;
+      bool bit = first_bit_;
+      for (uint32_t run : payload_) {
+        if (bit) out->SetRange(pos, pos + run);
+        pos += run;
+        bit = !bit;
+      }
+      return;
+    }
+  }
+}
+
+void CompressedRow::AppendMaskedPositions(const Bitvector& mask,
+                                          std::vector<uint32_t>* out) const {
+  switch (encoding_) {
+    case Encoding::kEmpty:
+      return;
+    case Encoding::kPositions:
+      for (uint32_t p : payload_) {
+        if (p < mask.size() && mask.Get(p)) out->push_back(p);
+      }
+      return;
+    case Encoding::kRuns: {
+      const uint64_t* words = mask.words().data();
+      uint64_t pos = 0;
+      bool bit = first_bit_;
+      for (uint32_t run : payload_) {
+        if (bit) {
+          uint64_t end = std::min<uint64_t>(pos + run, mask.size());
+          if (pos < end) bitops::AppendSetBitsInRange(words, pos, end, out);
+        }
+        pos += run;
+        bit = !bit;
+        if (pos >= mask.size()) return;  // everything further is dropped
+      }
+      return;
+    }
+  }
 }
 
 CompressedRow CompressedRow::AndWith(const Bitvector& mask) const {
   std::vector<uint32_t> kept;
   kept.reserve(count_);
-  ForEachSetBit([&](uint32_t p) {
-    if (p < mask.size() && mask.Get(p)) kept.push_back(p);
-  });
+  AppendMaskedPositions(mask, &kept);
   return FromPositions(kept);
+}
+
+void CompressedRow::AndWithInPlace(const Bitvector& mask,
+                                   std::vector<uint32_t>* scratch) {
+  std::vector<uint32_t> local;
+  std::vector<uint32_t>* kept = scratch != nullptr ? scratch : &local;
+  kept->clear();
+  AppendMaskedPositions(mask, kept);
+  if (kept->size() == count_) return;  // no bit dropped; encoding unchanged
+  EncodeOptimalInto(*kept, /*allow_positions=*/true, this);
 }
 
 bool CompressedRow::IntersectsWith(const Bitvector& mask) const {
@@ -126,17 +196,17 @@ bool CompressedRow::IntersectsWith(const Bitvector& mask) const {
       return false;
     }
     case Encoding::kRuns: {
-      uint32_t pos = 0;
+      const uint64_t* words = mask.words().data();
+      uint64_t pos = 0;
       bool bit = first_bit_;
       for (uint32_t run : payload_) {
         if (bit) {
-          uint32_t end = std::min<uint64_t>(pos + run, mask.size());
-          for (uint32_t i = pos; i < end; ++i) {
-            if (mask.Get(i)) return true;
-          }
+          uint64_t end = std::min<uint64_t>(pos + run, mask.size());
+          if (pos < end && bitops::AnyInRange(words, pos, end)) return true;
         }
         pos += run;
         bit = !bit;
+        if (pos >= mask.size()) return false;
       }
       return false;
     }

@@ -56,7 +56,15 @@ class CompressedRow {
   /// in `mask` survive. Positions >= mask.size() are dropped.
   CompressedRow AndWith(const Bitvector& mask) const;
 
+  /// In-place AndWith: re-encodes this row to the masked row, reusing the
+  /// payload's capacity. `scratch` (optional) receives the surviving
+  /// positions and keeps its capacity across calls, so a warmed-up caller
+  /// performs no heap allocation; pass one when calling in a loop.
+  void AndWithInPlace(const Bitvector& mask,
+                      std::vector<uint32_t>* scratch = nullptr);
+
   /// True iff the intersection with `mask` is non-empty (no allocation).
+  /// Run-encoded rows test whole 64-bit mask words with early exit.
   bool IntersectsWith(const Bitvector& mask) const;
 
   /// Appends all set-bit positions (ascending) to `*out`.
@@ -105,6 +113,14 @@ class CompressedRow {
  private:
   static CompressedRow EncodeOptimal(const std::vector<uint32_t>& positions,
                                      bool allow_positions);
+  /// Re-encodes `positions` into `*row`, reusing row->payload_'s capacity.
+  /// `positions` must not alias row->payload_.
+  static void EncodeOptimalInto(const std::vector<uint32_t>& positions,
+                                bool allow_positions, CompressedRow* row);
+  /// Appends the positions surviving `mask` (ascending) to `*out`; the
+  /// word-parallel core shared by AndWith and AndWithInPlace.
+  void AppendMaskedPositions(const Bitvector& mask,
+                             std::vector<uint32_t>* out) const;
 
   Encoding encoding_ = Encoding::kEmpty;
   bool first_bit_ = false;       // Only meaningful for kRuns.

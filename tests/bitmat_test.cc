@@ -28,7 +28,37 @@ TEST(BitMatTest, CountsAndTest) {
   EXPECT_FALSE(bm.Test(0, 2));
   EXPECT_FALSE(bm.Test(1, 0));
   EXPECT_TRUE(bm.Test(3, 5));
-  EXPECT_FALSE(bm.Test(99, 0));  // out of range is safe
+  EXPECT_FALSE(bm.Test(99, 0));  // row out of range is safe
+  EXPECT_FALSE(bm.Test(0, 6));   // column out of range is safe too
+  EXPECT_FALSE(bm.Test(0, 99));
+  EXPECT_FALSE(bm.Test(99, 99));
+}
+
+TEST(BitMatTest, FoldIntoReusesBuffer) {
+  BitMat bm = SampleBitMat();
+  Bitvector out(1000, true);  // stale contents + larger size
+  bm.FoldInto(Dim::kCol, &out);
+  EXPECT_EQ(out.size(), 6u);
+  EXPECT_EQ(out.SetBits(), (std::vector<uint32_t>{0, 1, 2, 3, 5}));
+  bm.FoldInto(Dim::kRow, &out);
+  EXPECT_EQ(out.size(), 4u);
+  EXPECT_EQ(out.SetBits(), (std::vector<uint32_t>{0, 2, 3}));
+  EXPECT_EQ(out, bm.NonEmptyRows());
+}
+
+TEST(BitMatTest, UnfoldWithContextMatchesWithout) {
+  ExecContext ctx;
+  Bitvector mask(6);
+  mask.Set(1);
+  mask.Set(5);
+  BitMat plain = SampleBitMat();
+  plain.Unfold(mask, Dim::kCol);
+  BitMat pooled = SampleBitMat();
+  pooled.Unfold(mask, Dim::kCol, &ctx);
+  EXPECT_EQ(plain, pooled);
+  EXPECT_EQ(pooled.Count(), 3u);  // bits (0,1), (2,1), (3,5)
+  EXPECT_EQ(pooled.NonEmptyRows().SetBits(),
+            (std::vector<uint32_t>{0, 2, 3}));
 }
 
 TEST(BitMatTest, FoldRowIsNonEmptyRows) {

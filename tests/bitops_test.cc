@@ -1,0 +1,155 @@
+#include "util/bitops.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/bitvector.h"
+#include "util/rng.h"
+
+namespace lbr {
+namespace {
+
+// Reference bit-at-a-time model over a plain bool vector.
+struct RefBits {
+  std::vector<bool> bits;
+  explicit RefBits(size_t n) : bits(n) {}
+  std::vector<uint64_t> Words() const {
+    std::vector<uint64_t> w(bitops::WordsFor(bits.size()), 0);
+    for (size_t i = 0; i < bits.size(); ++i) {
+      if (bits[i]) w[i >> 6] |= uint64_t{1} << (i & 63);
+    }
+    return w;
+  }
+};
+
+TEST(BitopsTest, WordsForAndTailMask) {
+  EXPECT_EQ(bitops::WordsFor(0), 0u);
+  EXPECT_EQ(bitops::WordsFor(1), 1u);
+  EXPECT_EQ(bitops::WordsFor(64), 1u);
+  EXPECT_EQ(bitops::WordsFor(65), 2u);
+  EXPECT_EQ(bitops::TailMask(64), ~uint64_t{0});
+  EXPECT_EQ(bitops::TailMask(1), 1u);
+  EXPECT_EQ(bitops::TailMask(65), 1u);
+}
+
+TEST(BitopsTest, SetBitRangeMatchesPerBit) {
+  // Sweep ranges crossing 0, 1, and 2 word boundaries, including empty.
+  for (size_t begin : {0u, 1u, 63u, 64u, 65u, 100u, 127u, 128u}) {
+    for (size_t end : {0u, 1u, 63u, 64u, 65u, 100u, 128u, 190u, 192u}) {
+      std::vector<uint64_t> got(3, 0);
+      bitops::SetBitRange(got.data(), begin, end);
+      RefBits ref(192);
+      for (size_t i = begin; i < end && i < 192; ++i) ref.bits[i] = true;
+      EXPECT_EQ(got, ref.Words()) << begin << ".." << end;
+    }
+  }
+}
+
+TEST(BitopsTest, ClearBitRangeMatchesPerBit) {
+  for (size_t begin : {0u, 5u, 63u, 64u, 120u}) {
+    for (size_t end : {0u, 64u, 65u, 128u, 191u, 192u}) {
+      std::vector<uint64_t> got(3, ~uint64_t{0});
+      bitops::ClearBitRange(got.data(), begin, end);
+      RefBits ref(192);
+      for (size_t i = 0; i < 192; ++i) {
+        ref.bits[i] = !(i >= begin && i < end);
+      }
+      EXPECT_EQ(got, ref.Words()) << begin << ".." << end;
+    }
+  }
+}
+
+TEST(BitopsTest, AnyInRangeAndPopcountRange) {
+  std::vector<uint64_t> w(3, 0);
+  bitops::SetBitRange(w.data(), 70, 72);  // bits 70, 71
+  EXPECT_FALSE(bitops::AnyInRange(w.data(), 0, 70));
+  EXPECT_TRUE(bitops::AnyInRange(w.data(), 0, 71));
+  EXPECT_TRUE(bitops::AnyInRange(w.data(), 71, 192));
+  EXPECT_FALSE(bitops::AnyInRange(w.data(), 72, 192));
+  EXPECT_FALSE(bitops::AnyInRange(w.data(), 10, 10));  // empty range
+  EXPECT_EQ(bitops::PopcountRange(w.data(), 0, 192), 2u);
+  EXPECT_EQ(bitops::PopcountRange(w.data(), 71, 192), 1u);
+  EXPECT_EQ(bitops::PopcountRange(w.data(), 72, 192), 0u);
+}
+
+TEST(BitopsTest, AndOrAndNotWords) {
+  std::vector<uint64_t> a{0xF0F0, 0xFFFF, 0x1};
+  std::vector<uint64_t> b{0x00FF, 0x0F0F, 0x1};
+  std::vector<uint64_t> x = a;
+  bitops::AndWords(x.data(), b.data(), 3);
+  EXPECT_EQ(x, (std::vector<uint64_t>{0x00F0, 0x0F0F, 0x1}));
+  x = a;
+  bitops::OrWords(x.data(), b.data(), 3);
+  EXPECT_EQ(x, (std::vector<uint64_t>{0xF0FF, 0xFFFF, 0x1}));
+  x = a;
+  bitops::AndNotWords(x.data(), b.data(), 3);
+  EXPECT_EQ(x, (std::vector<uint64_t>{0xF000, 0xF0F0, 0x0}));
+  EXPECT_EQ(bitops::PopcountWords(a.data(), 3), 8u + 16u + 1u);
+  EXPECT_TRUE(bitops::AnyAndWord(a.data(), b.data(), 3));
+  std::vector<uint64_t> zero(3, 0);
+  EXPECT_FALSE(bitops::AnyAndWord(a.data(), zero.data(), 3));
+  EXPECT_FALSE(bitops::AnyWord(zero.data(), 3));
+  EXPECT_TRUE(bitops::AnyWord(a.data(), 3));
+}
+
+TEST(BitopsTest, AppendSetBitsInRangeMatchesScan) {
+  Rng rng(11);
+  std::vector<uint64_t> w(4, 0);
+  std::vector<bool> ref(256);
+  for (size_t i = 0; i < 256; ++i) {
+    if (rng.Chance(0.3)) {
+      ref[i] = true;
+      w[i >> 6] |= uint64_t{1} << (i & 63);
+    }
+  }
+  for (size_t begin : {0u, 1u, 63u, 64u, 130u, 255u}) {
+    for (size_t end : {0u, 64u, 129u, 192u, 256u}) {
+      std::vector<uint32_t> got;
+      bitops::AppendSetBitsInRange(w.data(), begin, end, &got);
+      std::vector<uint32_t> want;
+      for (size_t i = begin; i < end; ++i) {
+        if (ref[i]) want.push_back(static_cast<uint32_t>(i));
+      }
+      EXPECT_EQ(got, want) << begin << ".." << end;
+    }
+  }
+  std::vector<uint32_t> all;
+  bitops::AppendSetBits(w.data(), 4, /*base=*/1000, &all);
+  std::vector<uint32_t> want_all;
+  for (size_t i = 0; i < 256; ++i) {
+    if (ref[i]) want_all.push_back(static_cast<uint32_t>(1000 + i));
+  }
+  EXPECT_EQ(all, want_all);
+}
+
+TEST(BitvectorTest, SetRangeClampsToSize) {
+  Bitvector b(100);
+  b.SetRange(90, 200);
+  EXPECT_EQ(b.Count(), 10u);
+  EXPECT_TRUE(b.Get(99));
+  EXPECT_FALSE(b.Get(89));
+  // Tail invariant: no stray bits beyond size().
+  EXPECT_EQ(b.words().back() >> (100 - 64), 0u);
+  b.SetRange(50, 50);  // empty
+  EXPECT_EQ(b.Count(), 10u);
+  b.SetRange(0, 100);
+  EXPECT_TRUE(b.All());
+}
+
+TEST(BitvectorTest, AssignResizedReusesCapacity) {
+  Bitvector src(100);
+  src.Set(0);
+  src.Set(64);
+  src.Set(99);
+  Bitvector dst(4096, true);
+  dst.AssignResized(src, 65);
+  EXPECT_EQ(dst.size(), 65u);
+  EXPECT_EQ(dst.SetBits(), (std::vector<uint32_t>{0, 64}));
+  dst.AssignResized(src, 200);
+  EXPECT_EQ(dst.size(), 200u);
+  EXPECT_EQ(dst.SetBits(), (std::vector<uint32_t>{0, 64, 99}));
+}
+
+}  // namespace
+}  // namespace lbr

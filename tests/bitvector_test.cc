@@ -84,6 +84,55 @@ TEST(BitvectorTest, FindFirstAndNext) {
   EXPECT_EQ(b.FindNext(0), 5u);
 }
 
+TEST(BitvectorTest, FindNextEdgeCases) {
+  // i == size()-1: no position > i exists.
+  Bitvector b(128, true);
+  EXPECT_EQ(b.FindNext(127), 128u);
+  // i at an exact word boundary minus one: the next word is consulted.
+  EXPECT_EQ(b.FindNext(63), 64u);
+  // Last-word tail: size not a multiple of 64, highest bit set.
+  Bitvector c(70);
+  c.Set(69);
+  EXPECT_EQ(c.FindNext(0), 69u);
+  EXPECT_EQ(c.FindNext(68), 69u);
+  EXPECT_EQ(c.FindNext(69), 70u);
+  // i beyond size: saturates at size().
+  EXPECT_EQ(c.FindNext(70), 70u);
+  EXPECT_EQ(c.FindNext(1000), 70u);
+  // Word-boundary size with the very last bit set.
+  Bitvector d(128);
+  d.Set(127);
+  EXPECT_EQ(d.FindNext(126), 127u);
+  EXPECT_EQ(d.FindNext(127), 128u);
+  // Empty vector.
+  Bitvector e;
+  EXPECT_EQ(e.FindNext(0), 0u);
+  EXPECT_EQ(e.FindFirst(), 0u);
+}
+
+TEST(BitvectorTest, TruncateBitsFromEdgeCases) {
+  // Truncation inside the last (partial) word.
+  Bitvector b(70, true);
+  b.TruncateBitsFrom(69);
+  EXPECT_EQ(b.Count(), 69u);
+  EXPECT_FALSE(b.Get(69));
+  // Truncation at exactly size() is a no-op.
+  Bitvector c(70, true);
+  c.TruncateBitsFrom(70);
+  EXPECT_EQ(c.Count(), 70u);
+  // Truncation at 0 clears everything.
+  Bitvector d(130, true);
+  d.TruncateBitsFrom(0);
+  EXPECT_TRUE(d.None());
+  EXPECT_EQ(d.size(), 130u);
+  // Truncation one past a word boundary keeps exactly that word + 1 bit.
+  Bitvector e(130, true);
+  e.TruncateBitsFrom(65);
+  EXPECT_EQ(e.Count(), 65u);
+  EXPECT_TRUE(e.Get(64));
+  EXPECT_FALSE(e.Get(65));
+}
+
 TEST(BitvectorTest, AndOrAndNot) {
   Bitvector a(100), b(100);
   a.Set(1);

@@ -131,6 +131,165 @@ TEST(CompressedRowTest, SingleLeadingBit) {
   EXPECT_FALSE(r.Test(1));
 }
 
+// --- kRuns-encoding paths: long runs, word-boundary crossings, the hybrid
+// crossover, and in-place ops vs their copying counterparts.
+
+std::vector<uint32_t> RangePositions(uint32_t begin, uint32_t end) {
+  std::vector<uint32_t> out;
+  for (uint32_t i = begin; i < end; ++i) out.push_back(i);
+  return out;
+}
+
+TEST(CompressedRowRunsTest, LongRunOrIntoCrossesWords) {
+  // One 1-run of 300 bits starting mid-word: SetRange must fill partial
+  // head/tail words and whole middle words.
+  CompressedRow r = FromBits(RangePositions(50, 350));
+  ASSERT_EQ(r.encoding(), CompressedRow::Encoding::kRuns);
+  Bitvector acc(512);
+  acc.Set(0);
+  r.OrInto(&acc);
+  EXPECT_EQ(acc.Count(), 301u);
+  EXPECT_TRUE(acc.Get(0));
+  EXPECT_FALSE(acc.Get(49));
+  EXPECT_TRUE(acc.Get(50));
+  EXPECT_TRUE(acc.Get(349));
+  EXPECT_FALSE(acc.Get(350));
+}
+
+TEST(CompressedRowRunsTest, LongRunAndWithMask) {
+  CompressedRow r = FromBits(RangePositions(10, 500));
+  ASSERT_EQ(r.encoding(), CompressedRow::Encoding::kRuns);
+  Bitvector mask(512);
+  for (size_t i = 0; i < 512; i += 64) mask.Set(i);  // one bit per word
+  CompressedRow masked = r.AndWith(mask);
+  EXPECT_EQ(masked.SetBits(),
+            (std::vector<uint32_t>{64, 128, 192, 256, 320, 384, 448}));
+}
+
+TEST(CompressedRowRunsTest, LongRunIntersectsWithEarlyExit) {
+  CompressedRow r = FromBits(RangePositions(100, 400));
+  ASSERT_EQ(r.encoding(), CompressedRow::Encoding::kRuns);
+  Bitvector mask(512);
+  EXPECT_FALSE(r.IntersectsWith(mask));
+  mask.Set(399);  // last bit of the run
+  EXPECT_TRUE(r.IntersectsWith(mask));
+  Bitvector before_run(512);
+  before_run.Set(99);
+  EXPECT_FALSE(r.IntersectsWith(before_run));
+  // Mask shorter than the run start: nothing can intersect.
+  Bitvector short_mask(100, true);
+  EXPECT_FALSE(r.IntersectsWith(short_mask));
+  // Mask ending inside the run.
+  Bitvector partial(150, true);
+  EXPECT_TRUE(r.IntersectsWith(partial));
+}
+
+TEST(CompressedRowRunsTest, MultiRunRowAgainstWordAlignedMask) {
+  // Three 1-runs separated by 0-gaps, spanning several words.
+  std::vector<uint32_t> positions;
+  for (uint32_t p : RangePositions(0, 70)) positions.push_back(p);
+  for (uint32_t p : RangePositions(128, 140)) positions.push_back(p);
+  for (uint32_t p : RangePositions(200, 260)) positions.push_back(p);
+  CompressedRow r = FromBits(positions);
+  ASSERT_EQ(r.encoding(), CompressedRow::Encoding::kRuns);
+  Bitvector mask(256);
+  mask.SetRange(64, 129);
+  CompressedRow masked = r.AndWith(mask);
+  std::vector<uint32_t> want;
+  for (uint32_t p : positions) {
+    if (p >= 64 && p < 129 && p < 256) want.push_back(p);
+  }
+  EXPECT_EQ(masked.SetBits(), want);
+  EXPECT_TRUE(r.IntersectsWith(mask));
+}
+
+TEST(CompressedRowRunsTest, HybridCrossoverBoundary) {
+  // {1,2}: 2 positions vs 2 run ints — a tie keeps the RLE encoding.
+  CompressedRow tie = FromBits({1, 2});
+  EXPECT_EQ(tie.encoding(), CompressedRow::Encoding::kRuns);
+  EXPECT_EQ(tie.PayloadInts(), 2u);
+  // {1,3}: 2 positions vs 4 run ints — positions win.
+  CompressedRow sparse = FromBits({1, 3});
+  EXPECT_EQ(sparse.encoding(), CompressedRow::Encoding::kPositions);
+  EXPECT_EQ(sparse.PayloadInts(), 2u);
+  // Both still answer identically.
+  for (uint32_t p = 0; p < 5; ++p) {
+    EXPECT_EQ(tie.Test(p), p == 1 || p == 2);
+    EXPECT_EQ(sparse.Test(p), p == 1 || p == 3);
+  }
+}
+
+TEST(CompressedRowRunsTest, AndWithInPlaceMatchesAndWith) {
+  Rng rng(17);
+  std::vector<uint32_t> scratch;
+  for (int iter = 0; iter < 40; ++iter) {
+    // Mix of dense run segments and sparse singles so both encodings and
+    // the crossover get exercised.
+    std::vector<uint32_t> positions;
+    uint32_t pos = 0;
+    while (pos < 600) {
+      if (rng.Chance(0.3)) {
+        uint32_t len = 1 + static_cast<uint32_t>(rng.Uniform(80));
+        for (uint32_t i = 0; i < len && pos + i < 600; ++i) {
+          positions.push_back(pos + i);
+        }
+        pos += len;
+      }
+      pos += 1 + static_cast<uint32_t>(rng.Uniform(40));
+    }
+    CompressedRow row = FromBits(positions);
+    Bitvector mask(640);
+    for (size_t i = 0; i < 640; ++i) {
+      if (rng.Chance(0.4)) mask.Set(i);
+    }
+    CompressedRow copied = row.AndWith(mask);
+    CompressedRow in_place = row;
+    in_place.AndWithInPlace(mask, &scratch);
+    // Canonical encodings: the two must be identical, not just set-equal.
+    EXPECT_EQ(in_place, copied);
+    EXPECT_EQ(in_place.Count(), copied.Count());
+  }
+}
+
+TEST(CompressedRowRunsTest, AndWithInPlaceFullSurvivalKeepsEncoding) {
+  CompressedRow r = FromBits(RangePositions(0, 100));
+  ASSERT_EQ(r.encoding(), CompressedRow::Encoding::kRuns);
+  Bitvector all(128, true);
+  CompressedRow before = r;
+  r.AndWithInPlace(all);
+  EXPECT_EQ(r, before);
+}
+
+TEST(CompressedRowRunsTest, AndWithInPlaceToEmpty) {
+  CompressedRow r = FromBits(RangePositions(10, 90));
+  Bitvector none(128);
+  r.AndWithInPlace(none);
+  EXPECT_TRUE(r.IsEmpty());
+  EXPECT_EQ(r.Count(), 0u);
+  EXPECT_EQ(r, CompressedRow());
+}
+
+TEST(CompressedRowRunsTest, SerializationRoundTripAfterInPlaceOps) {
+  // WriteTo/ReadFrom must agree with the in-place ops: masking then
+  // serializing equals serializing the copying AndWith's result.
+  std::vector<uint32_t> positions;
+  for (uint32_t p : RangePositions(0, 200)) positions.push_back(p);
+  positions.push_back(400);
+  positions.push_back(500);
+  CompressedRow row = FromBits(positions);
+  Bitvector mask(512);
+  mask.SetRange(100, 450);
+  CompressedRow in_place = row;
+  in_place.AndWithInPlace(mask);
+
+  std::stringstream ss;
+  in_place.WriteTo(&ss);
+  CompressedRow back = CompressedRow::ReadFrom(&ss);
+  EXPECT_EQ(back, in_place);
+  EXPECT_EQ(back, row.AndWith(mask));
+  EXPECT_EQ(back.SetBits(), row.AndWith(mask).SetBits());
+}
+
 // Parameterized sweep: random rows agree with an uncompressed reference on
 // every operation.
 class CompressedRowSweep : public ::testing::TestWithParam<uint64_t> {};

@@ -1,0 +1,93 @@
+#include "util/exec_context.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bitmat/bitmat.h"
+
+namespace lbr {
+namespace {
+
+TEST(ExecContextTest, ReusesReleasedBuffers) {
+  ExecContext ctx;
+  Bitvector* first;
+  {
+    ScratchBits a(&ctx, 128);
+    first = a.get();
+    EXPECT_EQ(a->size(), 128u);
+    EXPECT_TRUE(a->None());
+    a->Set(5);
+  }
+  EXPECT_EQ(ctx.bitvectors_created(), 1u);
+  {
+    // Same buffer comes back; the sized constructor presents it cleared.
+    ScratchBits b(&ctx, 64);
+    EXPECT_EQ(b.get(), first);
+    EXPECT_EQ(b->size(), 64u);
+    EXPECT_TRUE(b->None());
+  }
+  EXPECT_EQ(ctx.bitvectors_created(), 1u);
+}
+
+TEST(ExecContextTest, ConcurrentScratchesAreDistinct) {
+  ExecContext ctx;
+  ScratchBits a(&ctx, 64), b(&ctx, 64);
+  EXPECT_NE(a.get(), b.get());
+  a->Set(1);
+  EXPECT_TRUE(b->None());
+  EXPECT_EQ(ctx.bitvectors_created(), 2u);
+}
+
+TEST(ExecContextTest, NullContextFallsBackToLocal) {
+  ScratchBits a(nullptr, 32);
+  a->Set(3);
+  EXPECT_EQ(a->Count(), 1u);
+  ScratchPositions p(nullptr);
+  p->push_back(7);
+  EXPECT_EQ(p->size(), 1u);
+}
+
+TEST(ExecContextTest, PositionsComeBackCleared) {
+  ExecContext ctx;
+  {
+    ScratchPositions p(&ctx);
+    p->assign({1, 2, 3});
+  }
+  {
+    ScratchPositions p(&ctx);
+    EXPECT_TRUE(p->empty());
+  }
+  EXPECT_EQ(ctx.positions_created(), 1u);
+}
+
+TEST(ExecContextTest, SteadyStateFoldUnfoldStopsCreatingBuffers) {
+  ExecContext ctx;
+  BitMat bm(256, 256);
+  for (uint32_t r = 0; r < 255; r += 3) {
+    bm.SetRow(r, {r, r + 1});
+  }
+  Bitvector mask(256);
+  for (size_t i = 0; i < 256; i += 2) mask.Set(i);
+
+  // Warm up once, then the per-iteration buffer count must not grow.
+  {
+    ScratchBits fold(&ctx);
+    bm.FoldInto(Dim::kCol, fold.get());
+    BitMat copy = bm;
+    copy.Unfold(mask, Dim::kCol, &ctx);
+  }
+  size_t bits_after_warmup = ctx.bitvectors_created();
+  size_t pos_after_warmup = ctx.positions_created();
+  for (int iter = 0; iter < 10; ++iter) {
+    ScratchBits fold(&ctx);
+    bm.FoldInto(Dim::kCol, fold.get());
+    BitMat copy = bm;
+    copy.Unfold(mask, Dim::kCol, &ctx);
+  }
+  EXPECT_EQ(ctx.bitvectors_created(), bits_after_warmup);
+  EXPECT_EQ(ctx.positions_created(), pos_after_warmup);
+}
+
+}  // namespace
+}  // namespace lbr

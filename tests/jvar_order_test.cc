@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <climits>
+
 #include "core/selectivity.h"
 #include "sparql/parser.h"
 
