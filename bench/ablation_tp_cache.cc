@@ -1,17 +1,160 @@
 // Ablation A3: the TP-BitMat cache extension (the paper's conclusion names
 // "better cache management especially for short running queries" as future
-// work). Repeatedly runs the highly selective LUBM queries — where T_init
-// dominates T_total — with and without the cache.
+// work). Two experiments:
+//
+//  1. End-to-end: the highly selective LUBM queries — where T_init dominates
+//     T_total — with and without the cache.
+//  2. Hit-path micro timing: for each LUBM predicate slice, the cost of a
+//     cold load vs a deep-copy hit (the pre-CoW behavior, BitMat::DeepCopy)
+//     vs a CoW-snapshot hit (GetOrLoad today). This quantifies what the
+//     copy-on-write row handles buy on the hit path.
+//
+// With LBR_BENCH_JSON=<path> (or as argv[1]) the hit-path results are also
+// written as a google-benchmark-style JSON document (like micro_bitops'
+// --benchmark_out) so CI can archive the numbers in the perf trajectory.
 
+#include <cmath>
+#include <fstream>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "bench_common.h"
+#include "bitmat/tp_cache.h"
 #include "workload/lubm_gen.h"
 
 namespace lbr::bench {
 namespace {
 
-void Run() {
+TriplePattern VarPredVar(const char* pred_iri) {
+  return TriplePattern(PatternTerm::Var("a"),
+                       PatternTerm::Fixed(Term::Iri(pred_iri)),
+                       PatternTerm::Var("b"));
+}
+
+// Seconds per op: repeats `fn` with a geometrically growing iteration count
+// until one timed sample is long enough to trust the clock. `fn` must
+// return a value that is accumulated into a sink so the work cannot be
+// optimized away.
+template <typename Fn>
+double TimePerOp(Fn&& fn, uint64_t* sink) {
+  *sink += fn();  // warm-up
+  uint64_t iters = 1;
+  for (;;) {
+    Stopwatch w;
+    for (uint64_t i = 0; i < iters; ++i) *sink += fn();
+    double s = w.Seconds();
+    if (s > 0.02 || iters >= (1u << 22)) {
+      return s / static_cast<double>(iters);
+    }
+    iters *= 4;
+  }
+}
+
+struct HitPathResult {
+  std::string pred;
+  uint64_t triples = 0;
+  double cold_sec = 0;
+  double deep_copy_sec = 0;
+  double cow_sec = 0;
+};
+
+std::vector<HitPathResult> RunHitPath(const TripleIndex& index,
+                                      const Dictionary& dict) {
+  const std::vector<std::pair<std::string, const char*>> preds = {
+      {"type", lubm::kType},
+      {"takesCourse", lubm::kTakesCourse},
+      {"worksFor", lubm::kWorksFor},
+      {"publicationAuthor", lubm::kPublicationAuthor},
+      {"advisor", lubm::kAdvisor},
+  };
+  std::vector<HitPathResult> results;
+  uint64_t sink = 0;
+  for (const auto& [label, iri] : preds) {
+    TriplePattern tp = VarPredVar(iri);
+    HitPathResult r;
+    r.pred = label;
+
+    r.cold_sec = TimePerOp(
+        [&] {
+          TpBitMat m = LoadTpBitMat(index, dict, tp, true);
+          return m.bm.Count();
+        },
+        &sink);
+
+    // Unbounded budget: at high LBR_SCALE a slice could exceed the default
+    // 4M-triple budget, silently turning every "hit" below into a cold
+    // load and corrupting the archived speedup numbers.
+    TpCache cache(/*triple_budget=*/~uint64_t{0});
+    TpBitMat snapshot = cache.GetOrLoad(index, dict, tp, true);
+    r.triples = snapshot.bm.Count();
+
+    // The pre-CoW hit: every row payload is duplicated.
+    r.deep_copy_sec = TimePerOp(
+        [&] {
+          BitMat copy = snapshot.bm.DeepCopy();
+          return copy.Count();
+        },
+        &sink);
+
+    // The CoW hit, end to end: key build + LRU bump + snapshot copy-out.
+    r.cow_sec = TimePerOp(
+        [&] {
+          TpBitMat m = cache.GetOrLoad(index, dict, tp, true);
+          return m.bm.Count();
+        },
+        &sink);
+    if (cache.hits() == 0) {
+      std::cerr << "hit-path timing for " << label
+                << " never hit the cache; numbers invalid\n";
+      std::exit(1);
+    }
+
+    results.push_back(r);
+  }
+  if (sink == 0) std::cout << "";  // keep the sink observable
+  return results;
+}
+
+void WriteHitPathJson(const std::vector<HitPathResult>& results,
+                      const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write " << path << "\n";
+    return;
+  }
+  auto ns = [](double sec) { return sec * 1e9; };
+  out << "{\n  \"context\": {\"bench\": \"ablation_tp_cache\", "
+      << "\"workload\": \"LUBM-like\"},\n  \"benchmarks\": [\n";
+  bool first = true;
+  double log_speedup_sum = 0;
+  for (const HitPathResult& r : results) {
+    auto emit = [&](const std::string& name, double sec, double speedup) {
+      if (!first) out << ",\n";
+      first = false;
+      out << "    {\"name\": \"TpCacheHitPath/" << r.pred << "/" << name
+          << "\", \"run_type\": \"iteration\", \"real_time\": " << ns(sec)
+          << ", \"cpu_time\": " << ns(sec)
+          << ", \"time_unit\": \"ns\", \"triples\": " << r.triples;
+      if (speedup > 0) out << ", \"speedup_vs_deep_copy\": " << speedup;
+      out << "}";
+    };
+    emit("cold_load", r.cold_sec, 0);
+    emit("deep_copy_hit", r.deep_copy_sec, 0);
+    emit("cow_snapshot_hit", r.cow_sec, r.deep_copy_sec / r.cow_sec);
+    log_speedup_sum += std::log(r.deep_copy_sec / r.cow_sec);
+  }
+  double geomean =
+      std::exp(log_speedup_sum / static_cast<double>(results.size()));
+  out << ",\n    {\"name\": \"TpCacheHitPath/geomean_speedup_deep_copy_over_"
+      << "cow\", \"run_type\": \"aggregate\", \"real_time\": " << geomean
+      << ", \"cpu_time\": " << geomean << ", \"time_unit\": \"x\"}\n";
+  out << "  ]\n}\n";
+  std::cout << "hit-path JSON written to " << path << " (geomean CoW speedup "
+            << geomean << "x over deep copy)\n";
+}
+
+void Run(const char* json_path_arg) {
   double scale = ScaleFromEnv();
   int runs = RunsFromEnv() * 5;  // short queries: more reps for stability
 
@@ -50,12 +193,35 @@ void Run() {
   table.Print(
       "Ablation A3: TP-BitMat cache on short selective queries "
       "(paper future work)");
+
+  // --- Hit-path micro timing: cold load vs deep-copy hit vs CoW hit.
+  std::vector<HitPathResult> hits = RunHitPath(index, graph.dict());
+  TablePrinter hit_table(
+      {"predicate", "triples", "cold load", "deep-copy hit", "CoW hit",
+       "CoW speedup"});
+  for (const HitPathResult& r : hits) {
+    hit_table.AddRow({r.pred, TablePrinter::Count(r.triples),
+                      TablePrinter::Seconds(r.cold_sec),
+                      TablePrinter::Seconds(r.deep_copy_sec),
+                      TablePrinter::Seconds(r.cow_sec),
+                      TablePrinter::Count(static_cast<uint64_t>(
+                          r.deep_copy_sec / r.cow_sec)) +
+                          "x"});
+  }
+  hit_table.Print(
+      "TP-cache hit path: CoW snapshot vs the pre-CoW deep copy");
+
+  const char* env_path = std::getenv("LBR_BENCH_JSON");
+  std::string json_path = json_path_arg != nullptr ? json_path_arg
+                          : env_path != nullptr    ? env_path
+                                                   : "";
+  if (!json_path.empty()) WriteHitPathJson(hits, json_path);
 }
 
 }  // namespace
 }  // namespace lbr::bench
 
-int main() {
-  lbr::bench::Run();
+int main(int argc, char** argv) {
+  lbr::bench::Run(argc > 1 ? argv[1] : nullptr);
   return 0;
 }

@@ -204,7 +204,11 @@ void BM_BitMatFoldCol_Kernel(benchmark::State& state) {
   BitMat bm = RandomBitMat(3, 4096, 4096, 0.02);
   ExecContext ctx;
   ScratchBits out(&ctx);
+  BitMat::RowHandle row0 = bm.SharedRow(0);
   for (auto _ : state) {
+    // Re-setting a row bumps the version and defeats the fold memo, so this
+    // measures the actual word-parallel fold (memo hits are timed below).
+    bm.SetRowShared(0, row0);
     bm.FoldInto(Dim::kCol, out.get());
     benchmark::DoNotOptimize(*out.get());
   }
@@ -212,6 +216,39 @@ void BM_BitMatFoldCol_Kernel(benchmark::State& state) {
                           static_cast<int64_t>(bm.Count()));
 }
 BENCHMARK(BM_BitMatFoldCol_Kernel);
+
+void BM_BitMatFoldCol_Memoized(benchmark::State& state) {
+  // The version-stamped fold memo: repeated folds of an unchanged BitMat
+  // are a word copy of the cached result, no row iteration.
+  BitMat bm = RandomBitMat(3, 4096, 4096, 0.02);
+  ExecContext ctx;
+  ScratchBits out(&ctx);
+  bm.FoldInto(Dim::kCol, out.get());  // mark (second-touch policy)
+  bm.FoldInto(Dim::kCol, out.get());  // store the memo
+  for (auto _ : state) {
+    bm.FoldInto(Dim::kCol, out.get());
+    benchmark::DoNotOptimize(*out.get());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(bm.Count()));
+}
+BENCHMARK(BM_BitMatFoldCol_Memoized);
+
+void BM_BitMatCowCopyVsDeepCopy(benchmark::State& state) {
+  // CoW snapshot copy (arg 0) vs the pre-CoW deep copy (arg 1) — the
+  // TP-cache hit-path difference, isolated from key lookup.
+  BitMat bm = RandomBitMat(3, 4096, 4096, 0.02);
+  const bool deep = state.range(0) != 0;
+  for (auto _ : state) {
+    if (deep) {
+      benchmark::DoNotOptimize(bm.DeepCopy());
+    } else {
+      BitMat copy = bm;
+      benchmark::DoNotOptimize(copy);
+    }
+  }
+}
+BENCHMARK(BM_BitMatCowCopyVsDeepCopy)->Arg(0)->Arg(1);
 
 void BM_BitMatUnfoldCol_PerBit(benchmark::State& state) {
   Rng rng(4);

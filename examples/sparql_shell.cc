@@ -147,6 +147,7 @@ int main(int argc, char** argv) {
                   << (stats.aborted_early ? "; aborted early (empty master)"
                                           : "")
                   << "\n";
+        std::cout << ExplainCacheStats(stats);
       }
     } catch (const std::exception& e) {
       std::cout << "error: " << e.what() << "\n";

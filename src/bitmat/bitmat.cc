@@ -3,6 +3,7 @@
 #include <cassert>
 #include <istream>
 #include <ostream>
+#include <utility>
 
 namespace lbr {
 
@@ -17,11 +18,19 @@ void BitMat::SetRow(uint32_t r, const std::vector<uint32_t>& positions) {
 }
 
 void BitMat::SetRow(uint32_t r, CompressedRow row) {
+  SetRowShared(r, row.IsEmpty()
+                      ? RowHandle()
+                      : std::make_shared<const CompressedRow>(std::move(row)));
+}
+
+void BitMat::SetRowShared(uint32_t r, RowHandle row) {
   assert(r < num_rows_);
-  count_ -= rows_[r].Count();
+  if (row != nullptr && row->IsEmpty()) row = nullptr;
+  if (rows_[r] != nullptr) count_ -= rows_[r]->Count();
   rows_[r] = std::move(row);
-  count_ += rows_[r].Count();
-  non_empty_rows_.Set(r, !rows_[r].IsEmpty());
+  if (rows_[r] != nullptr) count_ += rows_[r]->Count();
+  non_empty_rows_.Set(r, rows_[r] != nullptr);
+  Touch();
 }
 
 Bitvector BitMat::Fold(Dim retain) const {
@@ -30,40 +39,90 @@ Bitvector BitMat::Fold(Dim retain) const {
   return out;
 }
 
-void BitMat::FoldInto(Dim retain, Bitvector* out) const {
+void BitMat::FoldInto(Dim retain, Bitvector* out, ExecContext* ctx) const {
   if (retain == Dim::kRow) {
+    // Incrementally maintained metadata — already "memoized" by
+    // construction; not counted in the fold-cache telemetry.
     out->AssignResized(non_empty_rows_, num_rows_);
     return;
   }
+  if (ColFoldMemoized()) {
+    // Word copy of the memo; no row is touched.
+    out->AssignResized(*col_fold_.bits, num_cols_);
+    if (ctx != nullptr) ctx->CountFoldHit();
+    return;
+  }
+  ComputeColFoldInto(out);
+  if (col_fold_.miss_version == version_) {
+    // Second fold at this version: the result is evidently reused — store
+    // it so every further fold is a word copy.
+    col_fold_.bits = std::make_shared<const Bitvector>(*out);
+    col_fold_.version = version_;
+  } else {
+    col_fold_.miss_version = version_;
+  }
+  if (ctx != nullptr) ctx->CountFoldMiss();
+}
+
+void BitMat::ComputeColFoldInto(Bitvector* out) const {
   out->Resize(num_cols_);
   out->Clear();
   // Only non-empty rows contribute; each ORs in word-at-a-time.
   non_empty_rows_.ForEachSetBit(
-      [this, out](uint32_t r) { rows_[r].OrInto(out); });
+      [this, out](uint32_t r) { rows_[r]->OrInto(out); });
+}
+
+void BitMat::MemoizeColFold() const {
+  if (ColFoldMemoized()) return;
+  auto fold = std::make_shared<Bitvector>();
+  ComputeColFoldInto(fold.get());
+  col_fold_.bits = std::move(fold);
+  col_fold_.version = version_;
+}
+
+BitMat::RowHandle BitMat::MaskedRow(const RowHandle& row,
+                                    const Bitvector& mask,
+                                    std::vector<uint32_t>* scratch) {
+  if (row->IsSubsetOf(mask)) return row;  // no bit dropped: keep sharing
+  scratch->clear();
+  row->AppendMaskedPositions(mask, scratch);
+  if (scratch->empty()) return nullptr;  // nothing survives
+  return std::make_shared<const CompressedRow>(
+      CompressedRow::FromPositions(*scratch));
 }
 
 void BitMat::Unfold(const Bitvector& mask, Dim retain, ExecContext* ctx) {
+  bool changed = false;
   if (retain == Dim::kRow) {
-    // Clear entire rows whose mask bit is 0.
+    // Clear entire rows whose mask bit is 0 — a handle drop, no payload
+    // walk; surviving rows stay shared.
     for (uint32_t r = 0; r < num_rows_; ++r) {
-      if (rows_[r].IsEmpty()) continue;
+      if (rows_[r] == nullptr) continue;
       if (r >= mask.size() || !mask.Get(r)) {
-        count_ -= rows_[r].Count();
-        rows_[r] = CompressedRow();
+        count_ -= rows_[r]->Count();
+        rows_[r] = nullptr;
         non_empty_rows_.Set(r, false);
+        changed = true;
       }
     }
   } else {
-    // AND every row with the mask, re-encoding in place.
+    // AND every row with the mask. A row that loses no bit keeps its shared
+    // handle (aliased copies are untouched); a changed row is re-encoded
+    // into a fresh handle from pooled scratch (MaskedRow, the shared CoW
+    // masking step).
     ScratchPositions scratch(ctx);
     for (uint32_t r = 0; r < num_rows_; ++r) {
-      if (rows_[r].IsEmpty()) continue;
-      count_ -= rows_[r].Count();
-      rows_[r].AndWithInPlace(mask, scratch.get());
-      count_ += rows_[r].Count();
-      non_empty_rows_.Set(r, !rows_[r].IsEmpty());
+      if (rows_[r] == nullptr) continue;
+      RowHandle masked = MaskedRow(rows_[r], mask, scratch.get());
+      if (masked == rows_[r]) continue;  // no bit dropped
+      count_ -= rows_[r]->Count();
+      rows_[r] = std::move(masked);
+      if (rows_[r] != nullptr) count_ += rows_[r]->Count();
+      non_empty_rows_.Set(r, rows_[r] != nullptr);
+      changed = true;
     }
   }
+  if (changed) Touch();
 }
 
 BitMat BitMat::Transposed() const {
@@ -77,9 +136,19 @@ BitMat BitMat::Transposed() const {
   return t;
 }
 
+BitMat BitMat::DeepCopy() const {
+  BitMat out(num_rows_, num_cols_);
+  for (uint32_t r = 0; r < num_rows_; ++r) {
+    if (rows_[r] != nullptr) out.SetRow(r, CompressedRow(*rows_[r]));
+  }
+  return out;
+}
+
 size_t BitMat::PayloadBytes() const {
   size_t bytes = 0;
-  for (const CompressedRow& r : rows_) bytes += r.PayloadBytes();
+  for (const RowHandle& r : rows_) {
+    if (r != nullptr) bytes += r->PayloadBytes();
+  }
   return bytes;
 }
 
@@ -89,13 +158,13 @@ void BitMat::WriteTo(std::ostream* out) const {
   // Only non-empty rows are written: (row_index, row) pairs.
   uint32_t non_empty = 0;
   for (uint32_t r = 0; r < num_rows_; ++r) {
-    if (!rows_[r].IsEmpty()) ++non_empty;
+    if (rows_[r] != nullptr) ++non_empty;
   }
   out->write(reinterpret_cast<const char*>(&non_empty), sizeof(non_empty));
   for (uint32_t r = 0; r < num_rows_; ++r) {
-    if (rows_[r].IsEmpty()) continue;
+    if (rows_[r] == nullptr) continue;
     out->write(reinterpret_cast<const char*>(&r), sizeof(r));
-    rows_[r].WriteTo(out);
+    rows_[r]->WriteTo(out);
   }
 }
 
@@ -114,8 +183,18 @@ BitMat BitMat::ReadFrom(std::istream* in) {
 }
 
 bool BitMat::operator==(const BitMat& other) const {
-  return num_rows_ == other.num_rows_ && num_cols_ == other.num_cols_ &&
-         count_ == other.count_ && rows_ == other.rows_;
+  if (num_rows_ != other.num_rows_ || num_cols_ != other.num_cols_ ||
+      count_ != other.count_) {
+    return false;
+  }
+  for (uint32_t r = 0; r < num_rows_; ++r) {
+    const RowHandle& a = rows_[r];
+    const RowHandle& b = other.rows_[r];
+    if (a == b) continue;  // same handle (or both empty)
+    if (a == nullptr || b == nullptr) return false;
+    if (*a != *b) return false;
+  }
+  return true;
 }
 
 }  // namespace lbr

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <vector>
 
 #include "util/bitvector.h"
@@ -27,8 +28,27 @@ enum class Dim : uint8_t {
 ///                      (bitwise OR over the other dimension);
 ///  - unfold(BM, mask, dim) == clear every bit whose `dim` coordinate is 0
 ///                      in the mask (the semi-join step).
+///
+/// Ownership model (DESIGN.md §4): rows are shared **immutable** handles
+/// (`RowHandle`). Copying a BitMat is O(rows) refcount bumps, and mutating
+/// ops (`SetRow`, `Unfold`) replace only the handles of rows they actually
+/// change — a copy-on-write discipline that makes TpCache hits near-free.
+/// Every bit-changing op bumps `version()`; a per-matrix column-fold cache
+/// stamped with the version lets `FoldInto(kCol)` return the memoized fold
+/// without row iteration while the matrix is unchanged.
+///
+/// Thread confinement: the fold memo is mutable state written under const
+/// (`FoldInto`), so a BitMat object — even one only read — must not be
+/// shared between threads without external synchronization. Sharing row
+/// payload across thread-confined BitMat copies is safe (handles are
+/// immutable and refcounts are atomic).
 class BitMat {
  public:
+  /// A shared immutable row. Null means an empty row (no set bits); a
+  /// non-null handle is never mutated through — changed rows get a fresh
+  /// handle instead.
+  using RowHandle = std::shared_ptr<const CompressedRow>;
+
   BitMat() = default;
   /// Creates an empty matrix with the given dimensions.
   BitMat(uint32_t num_rows, uint32_t num_cols);
@@ -44,26 +64,72 @@ class BitMat {
   void SetRow(uint32_t r, const std::vector<uint32_t>& positions);
   /// Replaces row `r` with an already-compressed row.
   void SetRow(uint32_t r, CompressedRow row);
+  /// Replaces row `r` with a shared handle (no payload copy). Empty rows
+  /// are normalized to the null handle. Named separately from SetRow so a
+  /// braced position list never overload-resolves against shared_ptr.
+  void SetRowShared(uint32_t r, RowHandle row);
 
-  const CompressedRow& Row(uint32_t r) const { return rows_[r]; }
+  const CompressedRow& Row(uint32_t r) const {
+    static const CompressedRow kEmptyRow;
+    return rows_[r] != nullptr ? *rows_[r] : kEmptyRow;
+  }
+  /// The shared handle of row `r` (null when empty). Lets callers alias the
+  /// row into another BitMat without copying payload.
+  const RowHandle& SharedRow(uint32_t r) const { return rows_[r]; }
 
   /// Bit test at (r, c). Out-of-range coordinates (either dimension) are
   /// false, not UB.
   bool Test(uint32_t r, uint32_t c) const {
-    return r < num_rows_ && c < num_cols_ && rows_[r].Test(c);
+    return r < num_rows_ && c < num_cols_ && rows_[r] != nullptr &&
+           rows_[r]->Test(c);
   }
+
+  /// Monotonically increasing mutation stamp: bumped by every op that
+  /// changes bit content (`SetRow` always; `Unfold` when at least one bit
+  /// was cleared). Reads never change it. Derived results memoized at
+  /// version v stay valid exactly while version() == v.
+  uint64_t version() const { return version_; }
 
   /// fold(BM, dim) -> bit array over that dimension (Section 4).
   Bitvector Fold(Dim retain) const;
 
-  /// Allocation-free fold: writes the fold into `*out` (resized + cleared),
-  /// reusing its word capacity. Runs decode into whole words.
-  void FoldInto(Dim retain, Bitvector* out) const;
+  /// Fold into `*out` (resized + cleared), reusing its word capacity. Runs
+  /// decode into whole words.
+  ///
+  /// Column folds are memoized on the second fold at an unchanged
+  /// version(): the first fold after a mutation only records that it
+  /// happened (fold-once-then-mutate patterns like the semi-join slave pay
+  /// no memo cost), the second stores the result, and later calls copy the
+  /// memo's words without touching any row. `ctx` (optional) only receives
+  /// hit/miss telemetry. Row folds are the incrementally maintained
+  /// NonEmptyRows() metadata and are always O(words); they bypass the
+  /// cache counters.
+  void FoldInto(Dim retain, Bitvector* out, ExecContext* ctx = nullptr) const;
+
+  /// True iff the next FoldInto(kCol) would be served from the memo.
+  bool ColFoldMemoized() const {
+    return col_fold_.bits != nullptr && col_fold_.version == version_;
+  }
+
+  /// Computes and stores the column-fold memo immediately, bypassing the
+  /// second-touch policy — for owners that know the fold will be reused
+  /// (TpCache warms entries before inserting them so every snapshot of a
+  /// warm cache starts memoized). No-op when already memoized.
+  void MemoizeColFold() const;
+
+  /// Masks a non-null row handle: returns `row` itself when the mask drops
+  /// no bit (callers keep sharing), null when nothing survives, or a fresh
+  /// handle with the surviving bits. The single implementation of the CoW
+  /// row-masking step, shared by Unfold and the TP cache's masked copy-out
+  /// (SetRowMaskedShared). `scratch` keeps its capacity across calls.
+  static RowHandle MaskedRow(const RowHandle& row, const Bitvector& mask,
+                             std::vector<uint32_t>* scratch);
 
   /// unfold(BM, mask, dim): for every 0 in `mask`, clears all bits at that
   /// coordinate of `retain`. Updates counts and the non-empty-row cache.
-  /// With a `ctx`, rows are re-encoded in place through pooled scratch —
-  /// zero heap allocations per call once the arena is warm.
+  /// Copy-on-write: rows that lose no bit keep their shared handle (copies
+  /// of this matrix stay aliased to them); only changed rows are re-encoded
+  /// into fresh handles, through pooled `ctx` scratch when given.
   void Unfold(const Bitvector& mask, Dim retain, ExecContext* ctx = nullptr);
 
   /// Condensed representation of the non-empty rows (Appendix D metadata);
@@ -74,15 +140,27 @@ class BitMat {
   /// column-keyed access to a TP whose BitMat is row-oriented.
   BitMat Transposed() const;
 
+  /// A copy whose rows are freshly allocated instead of shared — the
+  /// pre-CoW copying behavior. Kept for the ablation bench that quantifies
+  /// what the CoW snapshot saves, and for callers that want to sever all
+  /// payload aliasing. Note that severing aliasing does NOT make a BitMat
+  /// shareable across threads: even const reads (FoldInto) update the
+  /// mutable fold memo, so a BitMat object must stay confined to one
+  /// thread (or be externally synchronized) regardless of how it was
+  /// copied. Per-thread engines each load/copy their own matrices.
+  BitMat DeepCopy() const;
+
   /// Calls fn(row, col) for every set bit in row-major order.
   template <typename Fn>
   void ForEachBit(Fn&& fn) const {
     for (uint32_t r = 0; r < num_rows_; ++r) {
-      rows_[r].ForEachSetBit([&fn, r](uint32_t c) { fn(r, c); });
+      if (rows_[r] == nullptr) continue;
+      rows_[r]->ForEachSetBit([&fn, r](uint32_t c) { fn(r, c); });
     }
   }
 
-  /// Payload bytes across all rows (index-size accounting).
+  /// Payload bytes across all rows (index-size accounting). Shared rows are
+  /// counted once per referencing matrix (as-if-owned sizes).
   size_t PayloadBytes() const;
 
   /// Binary serialization.
@@ -92,13 +170,37 @@ class BitMat {
   bool operator==(const BitMat& other) const;
 
  private:
-  void RecomputeRowMeta(uint32_t r);
+  /// The raw column fold (resize + clear + OR of every non-empty row),
+  /// shared by the miss path of FoldInto and by MemoizeColFold.
+  void ComputeColFoldInto(Bitvector* out) const;
+
+  /// Records a bit-content change: bumps the version and drops the fold
+  /// memo (stale memos would be ignored anyway — the version stamp no
+  /// longer matches — but dropping frees the words eagerly).
+  void Touch() {
+    ++version_;
+    col_fold_.bits.reset();
+  }
 
   uint32_t num_rows_ = 0;
   uint32_t num_cols_ = 0;
   uint64_t count_ = 0;
-  std::vector<CompressedRow> rows_;
+  uint64_t version_ = 0;
+  std::vector<RowHandle> rows_;
   Bitvector non_empty_rows_;
+
+  /// Memoized column fold, valid while `version == version_`. Shared with
+  /// copies of this matrix (both sides only read it; a mutation on either
+  /// side bumps that side's version, orphaning its stamp). `miss_version`
+  /// implements the second-touch policy: a fold only stores the memo when
+  /// a previous fold already ran at the same version, so matrices folded
+  /// once and then mutated never pay the memo's allocation + copy.
+  struct FoldMemo {
+    std::shared_ptr<const Bitvector> bits;
+    uint64_t version = 0;
+    uint64_t miss_version = ~uint64_t{0};
+  };
+  mutable FoldMemo col_fold_;
 };
 
 }  // namespace lbr

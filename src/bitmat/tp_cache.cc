@@ -31,13 +31,21 @@ std::string TpCache::KeyFor(const TriplePattern& tp,
   auto norm = [](const PatternTerm& t, const char* placeholder) {
     return t.is_var ? std::string(placeholder) : t.term.ToString();
   };
-  return norm(tp.s, "?s") + "\x1f" + norm(tp.p, "?p") + "\x1f" +
-         norm(tp.o, "?o") + "\x1f" +
-         // Same-variable TPs load a diagonal; they must not share entries
-         // with distinct-variable TPs.
-         ((tp.s.is_var && tp.o.is_var && tp.s.var == tp.o.var) ? "diag"
-                                                               : "full") +
-         "\x1f" + (prefer_subject_rows ? "S" : "O");
+  std::string key;
+  key.reserve(64);
+  key += norm(tp.s, "?s");
+  key += '\x1f';
+  key += norm(tp.p, "?p");
+  key += '\x1f';
+  key += norm(tp.o, "?o");
+  key += '\x1f';
+  // Same-variable TPs load a diagonal; they must not share entries with
+  // distinct-variable TPs.
+  key += (tp.s.is_var && tp.o.is_var && tp.s.var == tp.o.var) ? "diag"
+                                                              : "full";
+  key += '\x1f';
+  key += prefer_subject_rows ? 'S' : 'O';
+  return key;
 }
 
 TpBitMat TpCache::GetOrLoad(const TripleIndex& index, const Dictionary& dict,
@@ -47,11 +55,11 @@ TpBitMat TpCache::GetOrLoad(const TripleIndex& index, const Dictionary& dict,
   auto it = entries_.find(key);
   if (it != entries_.end()) {
     ++hits_;
-    lru_.erase(it->second.lru_it);
-    lru_.push_front(key);
-    it->second.lru_it = lru_.begin();
-    // Return a copy with the caller's variable names re-derived from the
-    // dimension kinds (the key normalizes names away).
+    // O(1) LRU touch: relink the node, no allocation or string copy.
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    // Return a CoW snapshot — O(rows) handle bumps, no payload copy — with
+    // the caller's variable names re-derived from the dimension kinds (the
+    // key normalizes names away).
     TpBitMat copy = it->second.mat;
     copy.row_var = VarForKind(tp, copy.row_kind);
     copy.col_var = VarForKind(tp, copy.col_kind);
@@ -61,6 +69,10 @@ TpBitMat TpCache::GetOrLoad(const TripleIndex& index, const Dictionary& dict,
   TpBitMat loaded = LoadTpBitMat(index, dict, tp, prefer_subject_rows);
   uint64_t cost = loaded.bm.Count();
   if (cost <= budget_) {
+    // Warm the column-fold memo before inserting: snapshots share it, so
+    // every future hit starts with its first fold already memoized instead
+    // of re-iterating rows once per query.
+    loaded.bm.MemoizeColFold();
     lru_.push_front(key);
     entries_[key] = Entry{loaded, lru_.begin()};
     held_ += cost;
@@ -89,9 +101,7 @@ TpBitMat TpCache::GetOrLoadMasked(const TripleIndex& index,
     return LoadTpBitMat(index, dict, tp, prefer_subject_rows, masks, ctx);
   }
   ++hits_;
-  lru_.erase(it->second.lru_it);
-  lru_.push_front(key);
-  it->second.lru_it = lru_.begin();
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
 
   const TpBitMat& cached = it->second.mat;
   TpBitMat out;
@@ -106,11 +116,11 @@ TpBitMat TpCache::GetOrLoadMasked(const TripleIndex& index,
         (r >= masks.row_mask->size() || !masks.row_mask->Get(r))) {
       return;
     }
-    if (masks.col_mask != nullptr) {
-      SetRowMasked(r, cached.bm.Row(r), *masks.col_mask, scratch.get(),
-                   &out.bm);
+    const BitMat::RowHandle& row = cached.bm.SharedRow(r);
+    if (masks.col_mask == nullptr) {
+      out.bm.SetRowShared(r, row);  // row survives whole: share the handle
     } else {
-      out.bm.SetRow(r, cached.bm.Row(r));
+      SetRowMaskedShared(r, row, *masks.col_mask, scratch.get(), &out.bm);
     }
   });
   return out;

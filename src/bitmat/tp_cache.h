@@ -23,6 +23,12 @@ namespace lbr {
 ///
 /// Only maskless loads are inserted (masked loads are query-specific).
 /// Budgeted by total triples (set bits) held; eviction is strict LRU.
+///
+/// Hits are copy-on-write snapshots (DESIGN.md §4): the returned TpBitMat
+/// shares the cached entry's row handles, so a hit costs O(rows) refcount
+/// bumps instead of a payload deep copy, and any later mutation of the
+/// snapshot (Unfold, SetRow) clones only the rows it changes — the cached
+/// entry is never altered.
 class TpCache {
  public:
   /// `triple_budget`: maximum total set bits held across cached BitMats.
@@ -32,14 +38,17 @@ class TpCache {
   /// Cache key for a TP + orientation.
   static std::string KeyFor(const TriplePattern& tp, bool prefer_subject_rows);
 
-  /// Returns a copy of the cached BitMat, or loads (unmasked), inserts, and
-  /// returns it. The caller owns the copy and may Unfold it freely.
+  /// Returns a CoW snapshot of the cached BitMat, or loads (unmasked),
+  /// inserts, and returns it. The caller may Unfold/SetRow the snapshot
+  /// freely — mutations clone only the touched rows, never the cached
+  /// entry.
   TpBitMat GetOrLoad(const TripleIndex& index, const Dictionary& dict,
                      const TriplePattern& tp, bool prefer_subject_rows);
 
   /// Like GetOrLoad but applies active-pruning masks while copying out of
-  /// the cache (single pass instead of copy + Unfold). The cached entry
-  /// itself stays unmasked. `ctx` provides pooled scratch for the masking.
+  /// the cache: rows the masks leave intact are shared by handle; only
+  /// rows that lose bits are re-encoded. The cached entry itself stays
+  /// unmasked. `ctx` provides pooled scratch for the masking.
   TpBitMat GetOrLoadMasked(const TripleIndex& index, const Dictionary& dict,
                            const TriplePattern& tp, bool prefer_subject_rows,
                            const ActiveMasks& masks,

@@ -92,6 +92,17 @@ inline void SetRowMasked(uint32_t id, const CompressedRow& row,
   bm->SetRow(id, std::move(masked));
 }
 
+/// Handle-sharing variant of SetRowMasked for copy-on-write sources (the
+/// TP cache's masked copy-out): when the mask drops no bit of `row`, the
+/// shared handle itself is stored — no payload copy, no re-encode; only
+/// rows that actually lose bits are rebuilt. `row` must be non-null.
+inline void SetRowMaskedShared(uint32_t id, const BitMat::RowHandle& row,
+                               const Bitvector& col_mask,
+                               std::vector<uint32_t>* scratch, BitMat* bm) {
+  BitMat::RowHandle masked = BitMat::MaskedRow(row, col_mask, scratch);
+  if (masked != nullptr) bm->SetRowShared(id, std::move(masked));
+}
+
 /// Loads the BitMat holding all triples matching `tp` (Section 5's `init`
 /// step). `prefer_subject_rows` picks the S-O (true) or O-S (false)
 /// orientation for two-variable TPs with a fixed predicate — the engine

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 #include <set>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "core/bestmatch.h"
 #include "core/global_ids.h"
@@ -178,7 +180,9 @@ Engine::BranchResult Engine::ExecuteBranch(
               gosn.TpIsMasterOf(prev.tp_id, st.tp_id) ||
               gosn.TpIsPeer(prev.tp_id, st.tp_id);
           if (!can_restrict) continue;
-          prev.mat.bm.FoldInto(prev.mat.DimOf(var), fold_s.get());
+          // O(prev-TPs) folds per loaded TP: the version-stamped memo makes
+          // refolds of not-yet-pruned previous TPs word copies.
+          prev.mat.bm.FoldInto(prev.mat.DimOf(var), fold_s.get(), &exec_ctx_);
           AlignMaskInto(*fold_s, prev.mat.KindOf(var), kind,
                         index_->num_common(), size, aligned_s.get());
           if (!restricted) {
@@ -310,7 +314,9 @@ Engine::BranchResult Engine::ExecuteBranch(
   // Collect FULL rows (every branch variable) so that phantom-row cleanup
   // and best-match see pre-projection granularity; project afterwards.
   std::vector<RawRow> full_rows;
-  std::set<RawRow> seen_nulled;  // dedup key for nulled phantom rows
+  // Dedup key for nulled phantom rows; hashed — this insert runs once per
+  // emitted result row.
+  std::unordered_set<RawRow, RawRowHash> seen_nulled;
   bool any_nulled = false;
   join.Run([&](const RawRow& row, bool nulled) {
     if (nulled) {
@@ -360,11 +366,24 @@ uint64_t Engine::Execute(const ParsedQuery& query, const RowSink& sink,
   UnfResult unf = ToUnionNormalForm(*body);
   st->num_union_branches = static_cast<int>(unf.branches.size());
 
+  // Snapshot the cumulative cache counters so the stats report per-query
+  // deltas (TpCache and the fold memo both outlive individual queries).
+  const uint64_t tp_hits0 = tp_cache_.hits();
+  const uint64_t tp_misses0 = tp_cache_.misses();
+  const uint64_t fold_hits0 = exec_ctx_.fold_cache_hits();
+  const uint64_t fold_misses0 = exec_ctx_.fold_cache_misses();
+
   std::vector<RawRow> all_rows;
   for (const auto& branch : unf.branches) {
     BranchResult br = ExecuteBranch(*branch, projection, st);
     for (RawRow& row : br.rows) all_rows.push_back(std::move(row));
   }
+
+  st->tp_cache_hits = tp_cache_.hits() - tp_hits0;
+  st->tp_cache_misses = tp_cache_.misses() - tp_misses0;
+  st->tp_cache_held_triples = tp_cache_.held_triples();
+  st->fold_cache_hits = exec_ctx_.fold_cache_hits() - fold_hits0;
+  st->fold_cache_misses = exec_ctx_.fold_cache_misses() - fold_misses0;
 
   // Rule-3 UNION rewrites can introduce spurious results across branches
   // (footnote 6 of the paper): rows subsumed by another branch's fuller
@@ -392,7 +411,7 @@ uint64_t Engine::Execute(const ParsedQuery& query, const RowSink& sink,
       if (!all_projected) continue;
       // Keep ceil(count / arm_count) copies of each distinct unmatched row
       // (the rewrite emitted arm_count copies per original row).
-      std::map<RawRow, int> kept;
+      std::unordered_map<RawRow, int, RawRowHash> kept;
       std::vector<RawRow> filtered;
       filtered.reserve(all_rows.size());
       for (RawRow& row : all_rows) {

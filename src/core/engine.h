@@ -52,6 +52,14 @@ struct QueryStats {
   bool aborted_early = false;  ///< Empty-result "simple optimization" fired.
   int num_supernodes = 0;
   int num_union_branches = 1;
+  // Cache observability (the CoW snapshot / fold-memo extension): per-query
+  // TpCache hit/miss deltas, the cache's current held-triple load, and the
+  // fold-memo hit/miss deltas across init + prune.
+  uint64_t tp_cache_hits = 0;
+  uint64_t tp_cache_misses = 0;
+  uint64_t tp_cache_held_triples = 0;
+  uint64_t fold_cache_hits = 0;
+  uint64_t fold_cache_misses = 0;
 };
 
 /// A fully decoded result table (SELECT projection applied).

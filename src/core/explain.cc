@@ -3,6 +3,7 @@
 #include <set>
 #include <sstream>
 
+#include "core/engine.h"
 #include "core/goj.h"
 #include "core/gosn.h"
 #include "core/jvar_order.h"
@@ -127,6 +128,17 @@ std::string ExplainQuery(const TripleIndex& index, const Dictionary& dict,
 std::string ExplainQuery(const TripleIndex& index, const Dictionary& dict,
                          const std::string& sparql) {
   return ExplainQuery(index, dict, Parser::Parse(sparql));
+}
+
+std::string ExplainCacheStats(const QueryStats& stats) {
+  std::ostringstream os;
+  os << "cache stats:\n";
+  os << "  tp cache: " << stats.tp_cache_hits << " hit(s), "
+     << stats.tp_cache_misses << " miss(es), " << stats.tp_cache_held_triples
+     << " triple(s) held\n";
+  os << "  fold cache: " << stats.fold_cache_hits << " hit(s), "
+     << stats.fold_cache_misses << " miss(es)\n";
+  return os.str();
 }
 
 }  // namespace lbr

@@ -9,6 +9,8 @@
 
 namespace lbr {
 
+struct QueryStats;
+
 /// Produces a human-readable query plan — the "explain" view of what
 /// Algorithm 5.1 will do for this query:
 ///   - the serialized algebra and the UNF branch count,
@@ -26,6 +28,12 @@ std::string ExplainQuery(const TripleIndex& index, const Dictionary& dict,
 /// Convenience overload: parses `sparql` first.
 std::string ExplainQuery(const TripleIndex& index, const Dictionary& dict,
                          const std::string& sparql);
+
+/// Post-execution companion to ExplainQuery: renders the caching behavior a
+/// query actually exhibited — TpCache hits/misses and held triples, and the
+/// version-stamped fold-memo hits/misses — from its QueryStats. Appended by
+/// tools (e.g. the SPARQL shell's timing mode) after running the query.
+std::string ExplainCacheStats(const QueryStats& stats);
 
 }  // namespace lbr
 

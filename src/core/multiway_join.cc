@@ -43,6 +43,7 @@ MultiwayJoin::MultiwayJoin(const Gosn& gosn, const GlobalIds& ids,
   visited_.assign(tps_->size(), false);
   transpose_cache_.resize(tps_->size());
   has_transpose_.assign(tps_->size(), false);
+  transpose_version_.assign(tps_->size(), 0);
 }
 
 int MultiwayJoin::VarIndex(const std::string& name) const {
@@ -56,9 +57,11 @@ const MultiwayJoin::Entry* MultiwayJoin::FirstEntry(int var) const {
 }
 
 const BitMat& MultiwayJoin::TransposeOf(int tp_id) {
-  if (!has_transpose_[tp_id]) {
-    transpose_cache_[tp_id] = (*tps_)[tp_id].mat.bm.Transposed();
+  const BitMat& bm = (*tps_)[tp_id].mat.bm;
+  if (!has_transpose_[tp_id] || transpose_version_[tp_id] != bm.version()) {
+    transpose_cache_[tp_id] = bm.Transposed();
     has_transpose_[tp_id] = true;
+    transpose_version_[tp_id] = bm.version();
   }
   return transpose_cache_[tp_id];
 }

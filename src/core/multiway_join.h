@@ -100,8 +100,11 @@ class MultiwayJoin {
 
   std::vector<std::vector<Entry>> vmap_;  // per var column
   std::vector<bool> visited_;
+  // Memoized transposes, stamped with the source BitMat's version so a
+  // mutation between Run calls invalidates the entry.
   std::vector<BitMat> transpose_cache_;
   std::vector<bool> has_transpose_;
+  std::vector<uint64_t> transpose_version_;
 
   Sink sink_;
   uint64_t emitted_ = 0;

@@ -21,12 +21,14 @@ void SemiJoin(const std::string& jvar, TpState* slave, const TpState& master,
 
   ScratchBits beta_s(ctx), mfold_s(ctx), aligned_s(ctx);
   Bitvector& beta = *beta_s;
-  slave->mat.bm.FoldInto(slave->mat.DimOf(jvar), &beta);
+  slave->mat.bm.FoldInto(slave->mat.DimOf(jvar), &beta, ctx);
   size_t before = beta.Count();
 
-  // fold(BM_master, dim_j) aligned to the slave's domain.
+  // fold(BM_master, dim_j) aligned to the slave's domain. Across the
+  // fixpoint's two passes most masters are refolded unchanged — the
+  // version-stamped memo turns those into word copies.
   Bitvector& mfold = *mfold_s;
-  master.mat.bm.FoldInto(master.mat.DimOf(jvar), &mfold);
+  master.mat.bm.FoldInto(master.mat.DimOf(jvar), &mfold, ctx);
   DomainKind master_kind = master.mat.KindOf(jvar);
   const Bitvector* master_fold = &mfold;
   if (master_kind != slave_kind || mfold.size() != slave_size) {
@@ -52,13 +54,15 @@ void ClusteredSemiJoin(const std::string& jvar,
                        uint32_t num_common, ExecContext* ctx) {
   if (cluster.size() < 2) return;
   // Fold every member once; alignment to each target is a cheap word copy.
+  // Members unchanged since their last fold (common on the second fixpoint
+  // pass) are served from the fold memo without row iteration.
   std::vector<ScratchBits> folds;
   std::vector<DomainKind> kinds;
   folds.reserve(cluster.size());
   kinds.reserve(cluster.size());
   for (const TpState* member : cluster) {
     folds.emplace_back(ctx);
-    member->mat.bm.FoldInto(member->mat.DimOf(jvar), folds.back().get());
+    member->mat.bm.FoldInto(member->mat.DimOf(jvar), folds.back().get(), ctx);
     kinds.push_back(member->mat.KindOf(jvar));
   }
   ScratchBits beta_s(ctx), aligned_s(ctx);

@@ -16,6 +16,21 @@ constexpr uint64_t kNullBinding = std::numeric_limits<uint64_t>::max();
 /// table.
 using RawRow = std::vector<uint64_t>;
 
+/// Hash for RawRow keys in unordered containers on the per-result-row path
+/// (phantom-row dedup, UNION multiplicity repair): a boost-style combine of
+/// the bindings, O(columns) with no allocation.
+struct RawRowHash {
+  size_t operator()(const RawRow& row) const {
+    uint64_t h = 0x9e3779b97f4a7c15ull ^ row.size();
+    for (uint64_t v : row) {
+      v *= 0xff51afd7ed558ccdull;  // splitmix64-style mixing of each slot
+      v ^= v >> 33;
+      h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
 /// True iff `sub` is subsumed by `super` (sub ❁ super, Section 3.1): every
 /// non-null binding of `sub` equals the corresponding binding of `super`,
 /// and `super` has strictly more non-null bindings.

@@ -54,6 +54,23 @@ bool AnyInRange(const uint64_t* w, size_t begin, size_t end) {
   return (w[last] & SpanMask(0, ((end - 1) & 63) + 1)) != 0;
 }
 
+bool AllInRange(const uint64_t* w, size_t begin, size_t end) {
+  if (begin >= end) return true;
+  size_t first = begin >> 6;
+  size_t last = (end - 1) >> 6;
+  if (first == last) {
+    uint64_t span = SpanMask(begin & 63, ((end - 1) & 63) + 1);
+    return (w[first] & span) == span;
+  }
+  uint64_t head = SpanMask(begin & 63, 64);
+  if ((w[first] & head) != head) return false;
+  for (size_t i = first + 1; i < last; ++i) {
+    if (w[i] != ~uint64_t{0}) return false;
+  }
+  uint64_t tail = SpanMask(0, ((end - 1) & 63) + 1);
+  return (w[last] & tail) == tail;
+}
+
 uint64_t PopcountRange(const uint64_t* w, size_t begin, size_t end) {
   if (begin >= end) return 0;
   size_t first = begin >> 6;

@@ -86,6 +86,11 @@ void ClearBitRange(uint64_t* w, size_t begin, size_t end);
 /// True iff any bit in [begin, end) of `w` is set. Early-exits.
 bool AnyInRange(const uint64_t* w, size_t begin, size_t end);
 
+/// True iff every bit in [begin, end) of `w` is set. Early-exits on the
+/// first hole — the word-parallel form of "does a 1-run survive a mask
+/// whole", used by the copy-on-write unchanged-row tests.
+bool AllInRange(const uint64_t* w, size_t begin, size_t end);
+
 /// Number of set bits in [begin, end) of `w`.
 uint64_t PopcountRange(const uint64_t* w, size_t begin, size_t end);
 

@@ -214,6 +214,34 @@ bool CompressedRow::IntersectsWith(const Bitvector& mask) const {
   return false;
 }
 
+bool CompressedRow::IsSubsetOf(const Bitvector& mask) const {
+  switch (encoding_) {
+    case Encoding::kEmpty:
+      return true;
+    case Encoding::kPositions: {
+      for (uint32_t p : payload_) {
+        if (p >= mask.size() || !mask.Get(p)) return false;
+      }
+      return true;
+    }
+    case Encoding::kRuns: {
+      const uint64_t* words = mask.words().data();
+      uint64_t pos = 0;
+      bool bit = first_bit_;
+      for (uint32_t run : payload_) {
+        if (bit) {
+          if (pos + run > mask.size()) return false;  // bits past the mask
+          if (!bitops::AllInRange(words, pos, pos + run)) return false;
+        }
+        pos += run;
+        bit = !bit;
+      }
+      return true;
+    }
+  }
+  return true;
+}
+
 void CompressedRow::AppendSetBits(std::vector<uint32_t>* out) const {
   ForEachSetBit([out](uint32_t p) { out->push_back(p); });
 }

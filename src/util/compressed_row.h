@@ -67,6 +67,20 @@ class CompressedRow {
   /// Run-encoded rows test whole 64-bit mask words with early exit.
   bool IntersectsWith(const Bitvector& mask) const;
 
+  /// True iff every set bit of this row is also set in `mask` — i.e. the
+  /// mask would drop nothing. Word-parallel on run rows, early exit on the
+  /// first hole, no allocation; the fast path of the copy-on-write unfold
+  /// ("unchanged rows keep their shared handle"). Bits at positions >=
+  /// mask.size() count as dropped.
+  bool IsSubsetOf(const Bitvector& mask) const;
+
+  /// Appends the positions surviving `mask` (ascending) to `*out` without
+  /// re-encoding; the word-parallel core shared by AndWith/AndWithInPlace.
+  /// Callers that must not mutate a shared row (BitMat's copy-on-write
+  /// Unfold) use this to decide whether any bit is dropped before cloning.
+  void AppendMaskedPositions(const Bitvector& mask,
+                             std::vector<uint32_t>* out) const;
+
   /// Appends all set-bit positions (ascending) to `*out`.
   void AppendSetBits(std::vector<uint32_t>* out) const;
   std::vector<uint32_t> SetBits() const;
@@ -117,10 +131,6 @@ class CompressedRow {
   /// `positions` must not alias row->payload_.
   static void EncodeOptimalInto(const std::vector<uint32_t>& positions,
                                 bool allow_positions, CompressedRow* row);
-  /// Appends the positions surviving `mask` (ascending) to `*out`; the
-  /// word-parallel core shared by AndWith and AndWithInPlace.
-  void AppendMaskedPositions(const Bitvector& mask,
-                             std::vector<uint32_t>* out) const;
 
   Encoding encoding_ = Encoding::kEmpty;
   bool first_bit_ = false;       // Only meaningful for kRuns.

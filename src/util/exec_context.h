@@ -66,11 +66,22 @@ class ExecContext {
   size_t bitvectors_created() const { return bits_created_; }
   size_t positions_created() const { return positions_created_; }
 
+  /// Fold-memoization telemetry: BitMat::FoldInto reports here whether a
+  /// column fold was served from the version-stamped cache (hit) or had to
+  /// iterate rows (miss). Counters are cumulative; the engine snapshots
+  /// them around a query to derive per-query deltas for QueryStats.
+  void CountFoldHit() { ++fold_cache_hits_; }
+  void CountFoldMiss() { ++fold_cache_misses_; }
+  uint64_t fold_cache_hits() const { return fold_cache_hits_; }
+  uint64_t fold_cache_misses() const { return fold_cache_misses_; }
+
  private:
   std::vector<std::unique_ptr<Bitvector>> bit_free_;
   std::vector<std::unique_ptr<std::vector<uint32_t>>> pos_free_;
   size_t bits_created_ = 0;
   size_t positions_created_ = 0;
+  uint64_t fold_cache_hits_ = 0;
+  uint64_t fold_cache_misses_ = 0;
 };
 
 /// RAII scratch Bitvector: pooled when `ctx` is non-null, function-local

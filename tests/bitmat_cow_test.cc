@@ -1,0 +1,223 @@
+// Copy-on-write aliasing semantics, version-counter monotonicity, and the
+// version-stamped fold memo of BitMat (DESIGN.md §4): copies share row
+// handles; mutations clone only touched rows and never leak into siblings;
+// FoldInto serves repeat column folds from the memo without row iteration.
+
+#include "bitmat/bitmat.h"
+
+#include <gtest/gtest.h>
+
+#include "util/exec_context.h"
+
+namespace lbr {
+namespace {
+
+BitMat SampleBitMat() {
+  // 4x6 matrix: row 0 {1,3}, row 1 empty, row 2 {0,1,2}, row 3 {5}.
+  BitMat bm(4, 6);
+  bm.SetRow(0, {1, 3});
+  bm.SetRow(2, {0, 1, 2});
+  bm.SetRow(3, {5});
+  return bm;
+}
+
+TEST(BitMatCowTest, CopySharesRowHandles) {
+  BitMat a = SampleBitMat();
+  BitMat b = a;
+  EXPECT_EQ(a.SharedRow(0).get(), b.SharedRow(0).get());
+  EXPECT_EQ(a.SharedRow(2).get(), b.SharedRow(2).get());
+  EXPECT_EQ(a.SharedRow(1), nullptr);
+  EXPECT_EQ(b, a);
+}
+
+TEST(BitMatCowTest, SetRowOnCopyDoesNotAlterOriginal) {
+  BitMat a = SampleBitMat();
+  BitMat b = a;
+  b.SetRow(0, {4});
+  EXPECT_TRUE(a.Test(0, 1));
+  EXPECT_TRUE(a.Test(0, 3));
+  EXPECT_FALSE(a.Test(0, 4));
+  EXPECT_TRUE(b.Test(0, 4));
+  EXPECT_EQ(a.Count(), 6u);
+  EXPECT_EQ(b.Count(), 5u);
+  // Untouched rows are still shared.
+  EXPECT_EQ(a.SharedRow(2).get(), b.SharedRow(2).get());
+}
+
+TEST(BitMatCowTest, UnfoldColClonesOnlyTouchedRows) {
+  BitMat a = SampleBitMat();
+  BitMat b = a;
+  Bitvector mask(6);
+  mask.Set(1);
+  mask.Set(3);
+  b.Unfold(mask, Dim::kCol);
+  // Row 0 ({1,3}) survives whole: the handle stays shared with `a`.
+  EXPECT_EQ(b.SharedRow(0).get(), a.SharedRow(0).get());
+  // Row 2 lost bits: fresh handle in `b`, original intact in `a`.
+  EXPECT_NE(b.SharedRow(2).get(), a.SharedRow(2).get());
+  EXPECT_EQ(a.Row(2).Count(), 3u);
+  EXPECT_EQ(b.Row(2).Count(), 1u);
+  // Row 3 ({5}) lost everything: null handle in `b`.
+  EXPECT_EQ(b.SharedRow(3), nullptr);
+  EXPECT_EQ(a.Row(3).Count(), 1u);
+}
+
+TEST(BitMatCowTest, UnfoldRowDropsHandlesAndSharesSurvivors) {
+  BitMat a = SampleBitMat();
+  BitMat b = a;
+  Bitvector mask(4);
+  mask.Set(2);
+  b.Unfold(mask, Dim::kRow);
+  EXPECT_EQ(b.SharedRow(0), nullptr);
+  EXPECT_EQ(b.SharedRow(2).get(), a.SharedRow(2).get());
+  EXPECT_EQ(a.Count(), 6u);
+  EXPECT_EQ(b.Count(), 3u);
+}
+
+TEST(BitMatCowTest, DeepCopySeversAliasing) {
+  BitMat a = SampleBitMat();
+  BitMat b = a.DeepCopy();
+  EXPECT_EQ(b, a);
+  EXPECT_NE(b.SharedRow(0).get(), a.SharedRow(0).get());
+  EXPECT_NE(b.SharedRow(2).get(), a.SharedRow(2).get());
+}
+
+TEST(BitMatCowTest, VersionIsMonotonicAndBumpedByMutations) {
+  BitMat bm(4, 6);
+  uint64_t v = bm.version();
+  bm.SetRow(0, {1, 3});
+  EXPECT_GT(bm.version(), v);
+  v = bm.version();
+
+  // Reads never change the version.
+  bm.Fold(Dim::kCol);
+  bm.Test(0, 1);
+  bm.Transposed();
+  EXPECT_EQ(bm.version(), v);
+
+  // A no-op unfold (mask keeps everything) changes no bit: no bump.
+  Bitvector full(6);
+  full.Fill();
+  bm.Unfold(full, Dim::kCol);
+  EXPECT_EQ(bm.version(), v);
+
+  // A bit-clearing unfold bumps.
+  Bitvector narrow(6);
+  narrow.Set(1);
+  bm.Unfold(narrow, Dim::kCol);
+  EXPECT_GT(bm.version(), v);
+}
+
+TEST(BitMatCowTest, FoldIntoMemoizesColumnFoldOnSecondTouch) {
+  ExecContext ctx;
+  BitMat bm = SampleBitMat();
+  EXPECT_FALSE(bm.ColFoldMemoized());
+
+  // First fold at this version: computed, only marked (fold-once-then-
+  // mutate patterns must not pay the memo's allocation).
+  Bitvector first;
+  bm.FoldInto(Dim::kCol, &first, &ctx);
+  EXPECT_EQ(ctx.fold_cache_misses(), 1u);
+  EXPECT_EQ(ctx.fold_cache_hits(), 0u);
+  EXPECT_FALSE(bm.ColFoldMemoized());
+
+  // Second fold at the same version: computed and stored.
+  Bitvector second;
+  bm.FoldInto(Dim::kCol, &second, &ctx);
+  EXPECT_EQ(ctx.fold_cache_misses(), 2u);
+  EXPECT_TRUE(bm.ColFoldMemoized());
+  EXPECT_EQ(second, first);
+
+  // Third fold with version() unchanged: served from the memo — the hit
+  // counter proves no row iteration ran — with identical content.
+  Bitvector third;
+  bm.FoldInto(Dim::kCol, &third, &ctx);
+  EXPECT_EQ(ctx.fold_cache_hits(), 1u);
+  EXPECT_EQ(ctx.fold_cache_misses(), 2u);
+  EXPECT_EQ(third, first);
+
+  // Row folds are incremental metadata, not counted by the memo telemetry.
+  Bitvector rows;
+  bm.FoldInto(Dim::kRow, &rows, &ctx);
+  EXPECT_EQ(ctx.fold_cache_hits(), 1u);
+  EXPECT_EQ(ctx.fold_cache_misses(), 2u);
+}
+
+TEST(BitMatCowTest, MemoizeColFoldStoresImmediately) {
+  // The explicit warm-up path (used by TpCache on insert) bypasses the
+  // second-touch policy: the very next fold is a hit.
+  ExecContext ctx;
+  BitMat bm = SampleBitMat();
+  bm.MemoizeColFold();
+  EXPECT_TRUE(bm.ColFoldMemoized());
+  Bitvector out;
+  bm.FoldInto(Dim::kCol, &out, &ctx);
+  EXPECT_EQ(ctx.fold_cache_hits(), 1u);
+  EXPECT_EQ(ctx.fold_cache_misses(), 0u);
+  EXPECT_EQ(out.SetBits(), (std::vector<uint32_t>{0, 1, 2, 3, 5}));
+}
+
+TEST(BitMatCowTest, FoldMemoInvalidatedByMutation) {
+  ExecContext ctx;
+  BitMat bm = SampleBitMat();
+  Bitvector out;
+  bm.FoldInto(Dim::kCol, &out, &ctx);
+  bm.FoldInto(Dim::kCol, &out, &ctx);  // second touch stores
+  ASSERT_TRUE(bm.ColFoldMemoized());
+
+  bm.SetRow(0, {0});
+  EXPECT_FALSE(bm.ColFoldMemoized());
+  bm.FoldInto(Dim::kCol, &out, &ctx);
+  EXPECT_EQ(ctx.fold_cache_misses(), 3u);
+  EXPECT_EQ(out.SetBits(), (std::vector<uint32_t>{0, 1, 2, 5}));
+}
+
+TEST(BitMatCowTest, FoldMemoSharedAcrossCopiesUntilDivergence) {
+  ExecContext ctx;
+  BitMat a = SampleBitMat();
+  Bitvector out;
+  a.FoldInto(Dim::kCol, &out, &ctx);
+  a.FoldInto(Dim::kCol, &out, &ctx);  // second touch stores
+
+  // The copy inherits the memo: its first fold is already a hit.
+  BitMat b = a;
+  b.FoldInto(Dim::kCol, &out, &ctx);
+  EXPECT_EQ(ctx.fold_cache_hits(), 1u);
+
+  // Mutating the copy orphans only its own stamp; the original still hits.
+  Bitvector narrow(6);
+  narrow.Set(1);
+  b.Unfold(narrow, Dim::kCol);
+  EXPECT_FALSE(b.ColFoldMemoized());
+  EXPECT_TRUE(a.ColFoldMemoized());
+  a.FoldInto(Dim::kCol, &out, &ctx);
+  EXPECT_EQ(ctx.fold_cache_hits(), 2u);
+  b.FoldInto(Dim::kCol, &out, &ctx);
+  EXPECT_EQ(ctx.fold_cache_misses(), 3u);
+  EXPECT_EQ(out.SetBits(), (std::vector<uint32_t>{1}));
+}
+
+TEST(BitMatCowTest, MemoizedFoldMatchesRecomputedFoldAfterRoundTrips) {
+  // Interleave mutations and folds; every fold must equal a from-scratch
+  // fold of an equal matrix.
+  ExecContext ctx;
+  BitMat bm(8, 32);
+  for (uint32_t r = 0; r < 8; ++r) {
+    bm.SetRow(r, {r, r + 8, r + 16});
+  }
+  for (int step = 0; step < 4; ++step) {
+    Bitvector memoized;
+    bm.FoldInto(Dim::kCol, &memoized, &ctx);  // mark
+    bm.FoldInto(Dim::kCol, &memoized, &ctx);  // store
+    bm.FoldInto(Dim::kCol, &memoized, &ctx);  // memo path
+    EXPECT_EQ(memoized, bm.DeepCopy().Fold(Dim::kCol));
+    Bitvector mask(32);
+    for (uint32_t c = static_cast<uint32_t>(step); c < 32; c += 2) {
+      mask.Set(c);
+    }
+    bm.Unfold(mask, Dim::kCol);
+  }
+}
+
+}  // namespace
+}  // namespace lbr

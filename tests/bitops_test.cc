@@ -73,6 +73,26 @@ TEST(BitopsTest, AnyInRangeAndPopcountRange) {
   EXPECT_EQ(bitops::PopcountRange(w.data(), 72, 192), 0u);
 }
 
+TEST(BitopsTest, AllInRange) {
+  std::vector<uint64_t> w(3, 0);
+  bitops::SetBitRange(w.data(), 60, 140);  // spans three words
+  EXPECT_TRUE(bitops::AllInRange(w.data(), 60, 140));
+  EXPECT_TRUE(bitops::AllInRange(w.data(), 63, 65));   // word boundary
+  EXPECT_TRUE(bitops::AllInRange(w.data(), 100, 100));  // empty range
+  EXPECT_FALSE(bitops::AllInRange(w.data(), 59, 140));  // hole before
+  EXPECT_FALSE(bitops::AllInRange(w.data(), 60, 141));  // hole after
+  EXPECT_FALSE(bitops::AllInRange(w.data(), 0, 192));
+  // Single-word ranges with a punched hole.
+  bitops::ClearBitRange(w.data(), 100, 101);
+  EXPECT_FALSE(bitops::AllInRange(w.data(), 96, 104));
+  EXPECT_TRUE(bitops::AllInRange(w.data(), 101, 140));
+  // Per-bit cross-check against Get semantics.
+  for (size_t b = 60; b < 140; ++b) {
+    bool expected = (b != 100);
+    EXPECT_EQ(bitops::AllInRange(w.data(), b, b + 1), expected) << b;
+  }
+}
+
 TEST(BitopsTest, AndOrAndNotWords) {
   std::vector<uint64_t> a{0xF0F0, 0xFFFF, 0x1};
   std::vector<uint64_t> b{0x00FF, 0x0F0F, 0x1};

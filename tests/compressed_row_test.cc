@@ -82,6 +82,24 @@ TEST(CompressedRowTest, IntersectsWith) {
   EXPECT_FALSE(r.IntersectsWith(small));
 }
 
+TEST(CompressedRowTest, IsSubsetOf) {
+  EXPECT_TRUE(CompressedRow().IsSubsetOf(Bitvector(8)));  // empty row
+
+  CompressedRow r = FromBits({10, 20, 30});
+  Bitvector mask(64);
+  EXPECT_FALSE(r.IsSubsetOf(mask));
+  mask.Set(10);
+  mask.Set(20);
+  EXPECT_FALSE(r.IsSubsetOf(mask));  // 30 missing
+  mask.Set(30);
+  EXPECT_TRUE(r.IsSubsetOf(mask));
+  // Bits at positions past the mask's size count as dropped.
+  Bitvector short_mask(25, true);
+  EXPECT_FALSE(r.IsSubsetOf(short_mask));
+  // Agreement with AndWith: subset iff the AND drops nothing.
+  EXPECT_EQ(r.IsSubsetOf(mask), r.AndWith(mask).Count() == r.Count());
+}
+
 TEST(CompressedRowTest, RoundTripThroughBitvector) {
   Bitvector bits(500);
   for (size_t i = 0; i < 500; i += 7) bits.Set(i);
@@ -164,6 +182,25 @@ TEST(CompressedRowRunsTest, LongRunAndWithMask) {
   CompressedRow masked = r.AndWith(mask);
   EXPECT_EQ(masked.SetBits(),
             (std::vector<uint32_t>{64, 128, 192, 256, 320, 384, 448}));
+}
+
+TEST(CompressedRowRunsTest, IsSubsetOfRunRows) {
+  CompressedRow r = FromBits(RangePositions(100, 400));
+  ASSERT_EQ(r.encoding(), CompressedRow::Encoding::kRuns);
+  Bitvector full(512, true);
+  EXPECT_TRUE(r.IsSubsetOf(full));
+  Bitvector holed = full;
+  holed.Set(250, false);  // hole mid-run
+  EXPECT_FALSE(r.IsSubsetOf(holed));
+  Bitvector edge = full;
+  edge.Set(399, false);  // last bit of the run
+  EXPECT_FALSE(r.IsSubsetOf(edge));
+  // Mask ending inside the run: the tail of the run is dropped.
+  Bitvector partial(150, true);
+  EXPECT_FALSE(r.IsSubsetOf(partial));
+  // Exactly covering mask.
+  Bitvector exact(400, true);
+  EXPECT_TRUE(r.IsSubsetOf(exact));
 }
 
 TEST(CompressedRowRunsTest, LongRunIntersectsWithEarlyExit) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "bitmat/triple_index.h"
+#include "core/engine.h"
 #include "test_util.h"
 
 namespace lbr {
@@ -78,6 +79,19 @@ TEST_F(ExplainTest, FiltersListedWithScopes) {
 TEST_F(ExplainTest, ProjectionListed) {
   std::string plan = Explain(testing::SitcomQuery());
   EXPECT_NE(plan.find("projection: ?friend ?sitcom"), std::string::npos);
+}
+
+TEST_F(ExplainTest, CacheStatsRendered) {
+  QueryStats stats;
+  stats.tp_cache_hits = 3;
+  stats.tp_cache_misses = 1;
+  stats.tp_cache_held_triples = 42;
+  stats.fold_cache_hits = 7;
+  stats.fold_cache_misses = 2;
+  std::string out = ExplainCacheStats(stats);
+  EXPECT_NE(out.find("tp cache: 3 hit(s), 1 miss(es), 42 triple(s) held"),
+            std::string::npos);
+  EXPECT_NE(out.find("fold cache: 7 hit(s), 2 miss(es)"), std::string::npos);
 }
 
 }  // namespace

@@ -177,5 +177,109 @@ TEST_F(TpCacheTest, CachedCopiesAreIsolated) {
   EXPECT_EQ(copy2.bm.Count(), 3u);  // original intact
 }
 
+TEST_F(TpCacheTest, HitIsZeroCopySnapshot) {
+  // A hit shares the cached entry's row handles — no payload duplication.
+  TpCache cache;
+  TpBitMat first = cache.GetOrLoad(index_, graph_.dict(), Tp("?x", "p", "?y"),
+                                   true);
+  TpBitMat second = cache.GetOrLoad(index_, graph_.dict(),
+                                    Tp("?x", "p", "?y"), true);
+  bool any_row = false;
+  first.bm.NonEmptyRows().ForEachSetBit([&](uint32_t r) {
+    any_row = true;
+    EXPECT_EQ(first.bm.SharedRow(r).get(), second.bm.SharedRow(r).get());
+  });
+  EXPECT_TRUE(any_row);
+}
+
+TEST_F(TpCacheTest, MutatingSnapshotNeverAltersCacheOrSibling) {
+  // The satellite's aliasing contract: Unfold, SetRow, and masked copy-out
+  // on one snapshot leave the cached entry and sibling snapshots intact.
+  TpCache cache;
+  TpBitMat snap1 = cache.GetOrLoad(index_, graph_.dict(), Tp("?x", "p", "?y"),
+                                   true);
+  TpBitMat snap2 = cache.GetOrLoad(index_, graph_.dict(), Tp("?x", "p", "?y"),
+                                   true);
+
+  // Column unfold clones only the touched rows of snap1.
+  Bitvector col_mask(snap1.bm.num_cols());
+  col_mask.Set(*graph_.dict().ObjectId(Term::Iri("c")));
+  snap1.bm.Unfold(col_mask, Dim::kCol);
+  EXPECT_LT(snap1.bm.Count(), 3u);
+  EXPECT_EQ(snap2.bm.Count(), 3u);
+
+  // Direct SetRow on snap2: snap1 and the cache stay isolated.
+  snap2.bm.SetRow(0, CompressedRow());
+  TpBitMat snap3 = cache.GetOrLoad(index_, graph_.dict(), Tp("?x", "p", "?y"),
+                                   true);
+  EXPECT_EQ(snap3.bm.Count(), 3u);
+
+  // Masked copy-out shares untouched rows with the cache but still
+  // isolates them: wiping the masked result must not wipe the entry.
+  Bitvector row_mask(index_.num_subjects(), true);
+  ActiveMasks masks;
+  masks.row_mask = &row_mask;
+  TpBitMat masked = cache.GetOrLoadMasked(index_, graph_.dict(),
+                                          Tp("?x", "p", "?y"), true, masks);
+  EXPECT_EQ(masked.bm.Count(), 3u);
+  Bitvector none(masked.bm.num_rows());
+  masked.bm.Unfold(none, Dim::kRow);
+  TpBitMat snap4 = cache.GetOrLoad(index_, graph_.dict(), Tp("?x", "p", "?y"),
+                                   true);
+  EXPECT_EQ(snap4.bm.Count(), 3u);
+}
+
+TEST_F(TpCacheTest, MaskedCopyOutSharesUntouchedRows) {
+  TpCache cache;
+  TpBitMat cached = cache.GetOrLoad(index_, graph_.dict(),
+                                    Tp("?x", "p", "?y"), true);
+  // Row mask only: every surviving row is shared by handle.
+  Bitvector row_mask(index_.num_subjects());
+  uint32_t b_id = *graph_.dict().SubjectId(Term::Iri("b"));
+  row_mask.Set(b_id);
+  ActiveMasks masks;
+  masks.row_mask = &row_mask;
+  TpBitMat masked = cache.GetOrLoadMasked(index_, graph_.dict(),
+                                          Tp("?x", "p", "?y"), true, masks);
+  EXPECT_EQ(masked.bm.SharedRow(b_id).get(), cached.bm.SharedRow(b_id).get());
+
+  // Column mask keeping all of row b's bits: still shared. Object "c" is
+  // row b's only bit.
+  Bitvector col_mask(index_.num_objects());
+  col_mask.Set(*graph_.dict().ObjectId(Term::Iri("c")));
+  ActiveMasks col_masks;
+  col_masks.col_mask = &col_mask;
+  TpBitMat col_masked = cache.GetOrLoadMasked(
+      index_, graph_.dict(), Tp("?x", "p", "?y"), true, col_masks);
+  EXPECT_EQ(col_masked.bm.SharedRow(b_id).get(),
+            cached.bm.SharedRow(b_id).get());
+  // Row a ({b, c}) loses a bit: fresh handle.
+  uint32_t a_id = *graph_.dict().SubjectId(Term::Iri("a"));
+  EXPECT_NE(col_masked.bm.SharedRow(a_id).get(),
+            cached.bm.SharedRow(a_id).get());
+  EXPECT_EQ(col_masked.bm.Row(a_id).Count(), 1u);
+  EXPECT_EQ(cached.bm.Row(a_id).Count(), 2u);
+}
+
+TEST_F(TpCacheTest, QueryStatsSurfaceCacheCounters) {
+  EngineOptions options;
+  options.enable_tp_cache = true;
+  Engine engine(&index_, &graph_.dict(), options);
+  // Triangle query: every TP holds two jvars, so the prune fixpoint must
+  // fold column dimensions (the memoized path) on every pass.
+  const std::string query =
+      "SELECT * WHERE { ?a <p> ?b . ?b <p> ?c . ?a <p> ?c . }";
+
+  QueryStats cold;
+  engine.ExecuteToTable(query, &cold);
+  EXPECT_GT(cold.tp_cache_misses, 0u);
+  EXPECT_GT(cold.fold_cache_misses, 0u);
+
+  QueryStats warm;
+  engine.ExecuteToTable(query, &warm);
+  EXPECT_GT(warm.tp_cache_hits, 0u);
+  EXPECT_GT(warm.tp_cache_held_triples, 0u);
+}
+
 }  // namespace
 }  // namespace lbr
