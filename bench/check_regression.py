@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Bench-regression gate for CI.
+
+Diffs a google-benchmark-style JSON result (micro_bitops.json,
+ablation_tp_cache.json, ...) against a checked-in baseline under
+bench/baselines/ and fails when the geometric-mean slowdown across the
+shared benchmark names exceeds the threshold (default 25%).
+
+Only `run_type == "iteration"` entries with a time unit are compared;
+aggregates (geomean speedups, unit "x") are derived numbers and skipped.
+The geomean over many benchmarks damps single-benchmark noise, and the
+generous default threshold absorbs runner-to-runner variance; a real
+regression in the kernel layer moves most entries at once.
+
+Usage:
+  check_regression.py --baseline bench/baselines/micro_bitops.json \
+                      --current build/micro_bitops.json [--max-slowdown 1.25]
+
+Exit codes: 0 ok, 1 regression, 2 unusable input (missing files, no
+comparable benchmarks).
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def load_benchmarks(path):
+    """Returns {name: real_time} for comparable entries."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    out = {}
+    for b in doc.get("benchmarks", []):
+        name = b.get("name")
+        if not name or b.get("run_type") == "aggregate":
+            continue
+        if b.get("time_unit") not in ("ns", "us", "ms", "s"):
+            continue  # unit-less aggregates like speedup factors
+        t = b.get("real_time")
+        if isinstance(t, (int, float)) and t > 0:
+            out[name] = float(t)
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True, help="checked-in baseline JSON")
+    ap.add_argument("--current", required=True, help="freshly produced JSON")
+    ap.add_argument(
+        "--max-slowdown",
+        type=float,
+        default=1.25,
+        help="fail when geomean(current/baseline) exceeds this (default 1.25)",
+    )
+    args = ap.parse_args()
+
+    base = load_benchmarks(args.baseline)
+    cur = load_benchmarks(args.current)
+    shared = sorted(set(base) & set(cur))
+    missing = sorted(set(base) - set(cur))
+    new = sorted(set(cur) - set(base))
+
+    if missing:
+        print(f"note: {len(missing)} baseline benchmark(s) absent from current "
+              f"run (renamed or removed?): {', '.join(missing[:5])}"
+              f"{' ...' if len(missing) > 5 else ''}")
+    if new:
+        print(f"note: {len(new)} new benchmark(s) without a baseline "
+              f"(refresh bench/baselines/): {', '.join(new[:5])}"
+              f"{' ...' if len(new) > 5 else ''}")
+    if not shared:
+        print("error: no benchmark names shared between baseline and current; "
+              "the gate cannot run. Refresh the baseline files.",
+              file=sys.stderr)
+        sys.exit(2)
+
+    worst = []
+    log_sum = 0.0
+    width = max(len(n) for n in shared)
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  ratio")
+    for name in shared:
+        ratio = cur[name] / base[name]
+        log_sum += math.log(ratio)
+        worst.append((ratio, name))
+        print(f"{name:<{width}}  {base[name]:>12.1f}  {cur[name]:>12.1f}  "
+              f"{ratio:>5.2f}x")
+    geomean = math.exp(log_sum / len(shared))
+    worst.sort(reverse=True)
+
+    print(f"\ngeomean slowdown over {len(shared)} benchmark(s): "
+          f"{geomean:.3f}x (limit {args.max_slowdown:.2f}x)")
+    if geomean > args.max_slowdown:
+        print("REGRESSION: geomean exceeds the limit; worst offenders:")
+        for ratio, name in worst[:5]:
+            print(f"  {name}: {ratio:.2f}x")
+        sys.exit(1)
+    print("ok")
+
+
+if __name__ == "__main__":
+    main()

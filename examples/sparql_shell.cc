@@ -4,15 +4,24 @@
 //   .stats            toggle per-query metrics
 //   .format tsv|csv|table   switch the output serialization
 //   .save <path>      persist the loaded data as a single-file database
+//   .batch <path>     run a file of blank-line-separated queries across
+//                     the thread pool (shared warm TP cache)
 //   .quit             exit
 //
-// Usage:  sparql_shell [data.nt | data.lbr]
+// Usage:  sparql_shell [--threads N] [data.nt | data.lbr]
 //         echo 'SELECT ...' | sparql_shell data.nt
+//
+// --threads N (default 1) sizes the worker pool: interactive queries shard
+// their prune/fold row work across it, and .batch fans whole queries over
+// it with one engine per worker against the shared TP cache.
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/database.h"
 #include "core/engine.h"
@@ -21,6 +30,7 @@
 #include "rdf/graph.h"
 #include "rdf/ntriples.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -60,21 +70,42 @@ bool StartsWithWord(const std::string& line, const std::string& word) {
 int main(int argc, char** argv) {
   using namespace lbr;
 
+  int num_threads = 1;
+  std::string data_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--threads" && i + 1 < argc) {
+      num_threads = std::atoi(argv[++i]);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      num_threads = std::atoi(arg.c_str() + 10);
+    } else {
+      data_path = arg;
+    }
+  }
+  if (num_threads < 1) num_threads = ThreadPool::HardwareThreads();
+
+  std::unique_ptr<ThreadPool> pool;
   EngineOptions options;
   options.enable_tp_cache = true;  // shell reruns queries: cache pays off
+  if (num_threads > 1) {
+    pool = std::make_unique<ThreadPool>(num_threads);
+    options.pool = pool.get();
+    std::cerr << "thread pool: " << num_threads << " slots ("
+              << pool->num_workers() << " workers + caller)\n";
+  }
 
   Database db = [&] {
     Stopwatch load;
-    if (argc > 1 && EndsWith(argv[1], ".lbr")) {
-      Database opened = Database::Open(argv[1], options);
-      std::cerr << "opened database " << argv[1] << " ("
+    if (!data_path.empty() && EndsWith(data_path, ".lbr")) {
+      Database opened = Database::Open(data_path, options);
+      std::cerr << "opened database " << data_path << " ("
                 << opened.num_triples() << " triples) in " << load.Seconds()
                 << " s\n";
       return opened;
     }
-    if (argc > 1) {
-      Database built = Database::BuildFromNTriples(argv[1], options);
-      std::cerr << "built database from " << argv[1] << " ("
+    if (!data_path.empty()) {
+      Database built = Database::BuildFromNTriples(data_path, options);
+      std::cerr << "built database from " << data_path << " ("
                 << built.num_triples() << " triples) in " << load.Seconds()
                 << " s\n";
       return built;
@@ -84,11 +115,64 @@ int main(int argc, char** argv) {
   }();
   Engine& engine = db.engine();
 
+  // Reads a .batch file: queries separated by blank lines.
+  auto read_batch_file = [](const std::string& path) {
+    std::vector<std::string> queries;
+    std::ifstream in(path);
+    if (!in) return queries;
+    std::string current, file_line;
+    while (std::getline(in, file_line)) {
+      if (file_line.empty()) {
+        if (!current.empty()) queries.push_back(current);
+        current.clear();
+      } else {
+        current += file_line;
+        current += '\n';
+      }
+    }
+    if (!current.empty()) queries.push_back(current);
+    return queries;
+  };
+
+  auto run_batch = [&](const std::string& path) {
+    std::vector<std::string> queries = read_batch_file(path);
+    if (queries.empty()) {
+      std::cout << "no queries in " << path << "\n";
+      return;
+    }
+    Stopwatch watch;
+    std::vector<BatchResult> results = db.ExecuteBatch(queries, pool.get());
+    double wall = watch.Seconds();
+    uint64_t total_rows = 0, failures = 0;
+    uint64_t hits = 0, misses = 0, contention = 0, flight_waits = 0;
+    for (size_t i = 0; i < results.size(); ++i) {
+      const BatchResult& r = results[i];
+      if (!r.ok()) {
+        ++failures;
+        std::cout << "  q" << i << ": error: " << r.error << "\n";
+        continue;
+      }
+      total_rows += r.stats.num_results;
+      hits += r.stats.tp_cache_hits;
+      misses += r.stats.tp_cache_misses;
+      contention += r.stats.tp_cache_contention;
+      flight_waits += r.stats.tp_cache_flight_waits;
+      std::cout << "  q" << i << ": " << r.stats.num_results << " rows in "
+                << r.stats.t_total_sec << " s\n";
+    }
+    std::cout << "batch: " << queries.size() << " queries ("
+              << failures << " failed), " << total_rows << " rows in " << wall
+              << " s wall on " << (pool != nullptr ? pool->num_slots() : 1)
+              << " thread(s); tp cache " << hits << " hit(s) / " << misses
+              << " miss(es), " << contention << " contended lock(s), "
+              << flight_waits << " single-flight wait(s)\n";
+  };
+
   bool show_stats = true;
   std::string format = "table";
   std::cerr << "enter SPARQL queries (end with a blank line); "
                "'EXPLAIN <query>' for plans; '.stats', '.format tsv|csv|"
-               "table', '.save <path>', '.quit'\n";
+               "table', '.save <path>', '.batch <path>', '.quit'\n";
 
   std::string buffer;
   std::string line;
@@ -116,6 +200,10 @@ int main(int argc, char** argv) {
         std::string path = text.substr(6);
         db.Save(path);
         std::cout << "saved to " << path << "\n";
+        return;
+      }
+      if (text.rfind(".batch ", 0) == 0) {
+        run_batch(text.substr(7));
         return;
       }
       QueryStats stats;
@@ -157,7 +245,8 @@ int main(int argc, char** argv) {
   while (std::getline(std::cin, line)) {
     if (line == ".quit") break;
     if (line == ".stats" || line.rfind(".format ", 0) == 0 ||
-        line.rfind(".save ", 0) == 0 || StartsWithWord(line, "EXPLAIN")) {
+        line.rfind(".save ", 0) == 0 || line.rfind(".batch ", 0) == 0 ||
+        StartsWithWord(line, "EXPLAIN")) {
       buffer = line;
       run_buffer();
       continue;

@@ -12,6 +12,8 @@
 
 namespace lbr {
 
+class ThreadPool;
+
 /// Which BitMat dimension to retain in a fold / mask in an unfold.
 enum class Dim : uint8_t {
   kRow = 0,
@@ -104,7 +106,14 @@ class BitMat {
   /// hit/miss telemetry. Row folds are the incrementally maintained
   /// NonEmptyRows() metadata and are always O(words); they bypass the
   /// cache counters.
-  void FoldInto(Dim retain, Bitvector* out, ExecContext* ctx = nullptr) const;
+  ///
+  /// With a `pool`, a memo-miss column fold shards its row range across the
+  /// pool's workers (per-worker partial folds merged with word-wide ORs);
+  /// memo hits and row folds stay serial word copies. The matrix itself
+  /// must still be confined to the calling thread — the workers only read
+  /// the immutable row payload.
+  void FoldInto(Dim retain, Bitvector* out, ExecContext* ctx = nullptr,
+                ThreadPool* pool = nullptr) const;
 
   /// True iff the next FoldInto(kCol) would be served from the memo.
   bool ColFoldMemoized() const {
@@ -115,7 +124,7 @@ class BitMat {
   /// second-touch policy — for owners that know the fold will be reused
   /// (TpCache warms entries before inserting them so every snapshot of a
   /// warm cache starts memoized). No-op when already memoized.
-  void MemoizeColFold() const;
+  void MemoizeColFold(ThreadPool* pool = nullptr) const;
 
   /// Masks a non-null row handle: returns `row` itself when the mask drops
   /// no bit (callers keep sharing), null when nothing survives, or a fresh
@@ -130,7 +139,14 @@ class BitMat {
   /// Copy-on-write: rows that lose no bit keep their shared handle (copies
   /// of this matrix stay aliased to them); only changed rows are re-encoded
   /// into fresh handles, through pooled `ctx` scratch when given.
-  void Unfold(const Bitvector& mask, Dim retain, ExecContext* ctx = nullptr);
+  ///
+  /// With a `pool`, the per-row masking is sharded across workers in
+  /// 64-row-aligned chunks (so the non-empty-row bit array's words are
+  /// never shared between workers); each chunk masks through its worker's
+  /// own scratch arena. The count/version bookkeeping is merged on the
+  /// calling thread.
+  void Unfold(const Bitvector& mask, Dim retain, ExecContext* ctx = nullptr,
+              ThreadPool* pool = nullptr);
 
   /// Condensed representation of the non-empty rows (Appendix D metadata);
   /// equal to Fold(Dim::kRow) but maintained incrementally.
@@ -171,8 +187,9 @@ class BitMat {
 
  private:
   /// The raw column fold (resize + clear + OR of every non-empty row),
-  /// shared by the miss path of FoldInto and by MemoizeColFold.
-  void ComputeColFoldInto(Bitvector* out) const;
+  /// shared by the miss path of FoldInto and by MemoizeColFold. Sharded
+  /// across `pool` when given and the matrix is large enough to pay.
+  void ComputeColFoldInto(Bitvector* out, ThreadPool* pool = nullptr) const;
 
   /// Records a bit-content change: bumps the version and drops the fold
   /// memo (stale memos would be ignored anyway — the version stamp no

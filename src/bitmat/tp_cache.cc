@@ -1,5 +1,7 @@
 #include "bitmat/tp_cache.h"
 
+#include <functional>
+
 namespace lbr {
 
 namespace {
@@ -21,7 +23,30 @@ std::string VarForKind(const TriplePattern& tp, DomainKind kind) {
   return std::string();
 }
 
+// A snapshot with the caller's variable names re-derived from the cached
+// dimension kinds (the key normalizes names away). O(rows) handle bumps,
+// no payload copy.
+TpBitMat SnapshotFor(const TpBitMat& cached, const TriplePattern& tp) {
+  TpBitMat copy = cached;
+  copy.row_var = VarForKind(tp, copy.row_kind);
+  copy.col_var = VarForKind(tp, copy.col_kind);
+  return copy;
+}
+
 }  // namespace
+
+TpCache::TpCache(uint64_t triple_budget, size_t num_shards)
+    : budget_(triple_budget) {
+  if (num_shards < 1) num_shards = 1;
+  // Degenerate tiny budgets hold so few entries that striping only blurs
+  // the LRU order; collapse to one stripe (also what pins the legacy
+  // eviction tests to exact single-list semantics).
+  if (triple_budget / num_shards == 0) num_shards = 1;
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
 
 std::string TpCache::KeyFor(const TriplePattern& tp,
                             bool prefer_subject_rows) {
@@ -48,36 +73,97 @@ std::string TpCache::KeyFor(const TriplePattern& tp,
   return key;
 }
 
+TpCache::Shard& TpCache::ShardFor(const std::string& key) const {
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+std::unique_lock<std::mutex> TpCache::LockShard(Shard* shard) {
+  std::unique_lock<std::mutex> lk(shard->mu, std::try_to_lock);
+  if (!lk.owns_lock()) {
+    contention_.fetch_add(1, std::memory_order_relaxed);
+    lk.lock();
+  }
+  return lk;
+}
+
 TpBitMat TpCache::GetOrLoad(const TripleIndex& index, const Dictionary& dict,
                             const TriplePattern& tp,
                             bool prefer_subject_rows) {
   std::string key = KeyFor(tp, prefer_subject_rows);
-  auto it = entries_.find(key);
-  if (it != entries_.end()) {
-    ++hits_;
+  Shard& shard = ShardFor(key);
+  std::unique_lock<std::mutex> lk = LockShard(&shard);
+  auto it = shard.entries.find(key);
+  if (it != shard.entries.end()) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
     // O(1) LRU touch: relink the node, no allocation or string copy.
-    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
-    // Return a CoW snapshot — O(rows) handle bumps, no payload copy — with
-    // the caller's variable names re-derived from the dimension kinds (the
-    // key normalizes names away).
-    TpBitMat copy = it->second.mat;
-    copy.row_var = VarForKind(tp, copy.row_kind);
-    copy.col_var = VarForKind(tp, copy.col_kind);
-    return copy;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+    return SnapshotFor(it->second.mat, tp);
   }
-  ++misses_;
-  TpBitMat loaded = LoadTpBitMat(index, dict, tp, prefer_subject_rows);
-  uint64_t cost = loaded.bm.Count();
-  if (cost <= budget_) {
-    // Warm the column-fold memo before inserting: snapshots share it, so
-    // every future hit starts with its first fold already memoized instead
-    // of re-iterating rows once per query.
+  return LoadAndPublish(&shard, std::move(lk), key, index, dict, tp,
+                        prefer_subject_rows);
+}
+
+TpBitMat TpCache::LoadAndPublish(Shard* shard,
+                                 std::unique_lock<std::mutex> lk,
+                                 const std::string& key,
+                                 const TripleIndex& index,
+                                 const Dictionary& dict,
+                                 const TriplePattern& tp,
+                                 bool prefer_subject_rows) {
+  // Single-flight: if another thread is already loading this key, sleep
+  // until its load lands and take the result as a hit — one index scan
+  // serves every concurrent caller.
+  bool waited = false;
+  while (shard->loading.count(key) != 0) {
+    waited = true;
+    flight_waits_.fetch_add(1, std::memory_order_relaxed);
+    shard->cv.wait(lk);
+    auto it = shard->entries.find(key);
+    if (it != shard->entries.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      shard->lru.splice(shard->lru.begin(), shard->lru, it->second.lru_it);
+      return SnapshotFor(it->second.mat, tp);
+    }
+  }
+  if (waited) {
+    // The in-flight load completed but was not published (over budget, or
+    // it threw): the key is evidently not cacheable right now, so load
+    // directly without claiming single-flight — otherwise N waiters on a
+    // hot uncacheable key would take turns doing N sequential index scans.
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    lk.unlock();
+    return LoadTpBitMat(index, dict, tp, prefer_subject_rows);
+  }
+  shard->loading.insert(key);
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  lk.unlock();
+
+  TpBitMat loaded;
+  try {
+    loaded = LoadTpBitMat(index, dict, tp, prefer_subject_rows);
+    // Warm the column-fold memo before publication: entries are frozen
+    // once visible to other threads (even const folds write the memo), and
+    // warm memos make every future snapshot's first fold a word copy.
     loaded.bm.MemoizeColFold();
-    lru_.push_front(key);
-    entries_[key] = Entry{loaded, lru_.begin()};
-    held_ += cost;
-    EvictToBudget();
+  } catch (...) {
+    lk.lock();
+    shard->loading.erase(key);
+    shard->cv.notify_all();
+    throw;
   }
+
+  uint64_t cost = loaded.bm.Count();
+  lk.lock();
+  shard->loading.erase(key);
+  if (cost <= budget_) {
+    shard->lru.push_front(key);
+    shard->entries[key] = Entry{loaded, cost, shard->lru.begin()};
+    shard->held += cost;
+    held_.fetch_add(cost, std::memory_order_relaxed);
+    entries_.fetch_add(1, std::memory_order_relaxed);
+    EvictToBudget(shard);
+  }
+  shard->cv.notify_all();
   return loaded;
 }
 
@@ -91,32 +177,39 @@ TpBitMat TpCache::GetOrLoadMasked(const TripleIndex& index,
     return GetOrLoad(index, dict, tp, prefer_subject_rows);
   }
   std::string key = KeyFor(tp, prefer_subject_rows);
-  auto it = entries_.find(key);
-  if (it == entries_.end()) {
-    // Miss: load masked directly (cheapest) and also warm the cache with an
-    // unmasked load only if the budget allows a second load to pay off —
-    // here we simply do the masked load and leave warming to unmasked
-    // queries, avoiding double work on the critical path.
-    ++misses_;
-    return LoadTpBitMat(index, dict, tp, prefer_subject_rows, masks, ctx);
+  Shard& shard = ShardFor(key);
+  TpBitMat snapshot;
+  {
+    std::unique_lock<std::mutex> lk = LockShard(&shard);
+    auto it = shard.entries.find(key);
+    if (it == shard.entries.end()) {
+      // Miss: load masked directly (cheapest) and leave warming to
+      // unmasked queries — a masked load is query-specific and never
+      // inserted, so it takes no single-flight slot either.
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      lk.unlock();
+      return LoadTpBitMat(index, dict, tp, prefer_subject_rows, masks, ctx);
+    }
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+    // Take a plain CoW snapshot under the lock (O(rows) handle bumps) and
+    // run the masking on it outside, keeping the stripe hot.
+    snapshot = SnapshotFor(it->second.mat, tp);
   }
-  ++hits_;
-  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
 
-  const TpBitMat& cached = it->second.mat;
   TpBitMat out;
-  out.row_kind = cached.row_kind;
-  out.col_kind = cached.col_kind;
-  out.row_var = VarForKind(tp, cached.row_kind);
-  out.col_var = VarForKind(tp, cached.col_kind);
-  out.bm = BitMat(cached.bm.num_rows(), cached.bm.num_cols());
+  out.row_kind = snapshot.row_kind;
+  out.col_kind = snapshot.col_kind;
+  out.row_var = snapshot.row_var;
+  out.col_var = snapshot.col_var;
+  out.bm = BitMat(snapshot.bm.num_rows(), snapshot.bm.num_cols());
   ScratchPositions scratch(ctx);
-  cached.bm.NonEmptyRows().ForEachSetBit([&](uint32_t r) {
+  snapshot.bm.NonEmptyRows().ForEachSetBit([&](uint32_t r) {
     if (masks.row_mask != nullptr &&
         (r >= masks.row_mask->size() || !masks.row_mask->Get(r))) {
       return;
     }
-    const BitMat::RowHandle& row = cached.bm.SharedRow(r);
+    const BitMat::RowHandle& row = snapshot.bm.SharedRow(r);
     if (masks.col_mask == nullptr) {
       out.bm.SetRowShared(r, row);  // row survives whole: share the handle
     } else {
@@ -126,20 +219,50 @@ TpBitMat TpCache::GetOrLoadMasked(const TripleIndex& index,
   return out;
 }
 
-void TpCache::EvictToBudget() {
-  while (held_ > budget_ && !lru_.empty()) {
-    const std::string& victim = lru_.back();
-    auto it = entries_.find(victim);
-    held_ -= it->second.mat.bm.Count();
-    entries_.erase(it);
-    lru_.pop_back();
+void TpCache::EvictOne(Shard* shard) {
+  const std::string& victim = shard->lru.back();
+  auto it = shard->entries.find(victim);
+  shard->held -= it->second.cost;
+  held_.fetch_sub(it->second.cost, std::memory_order_relaxed);
+  entries_.fetch_sub(1, std::memory_order_relaxed);
+  shard->entries.erase(it);
+  shard->lru.pop_back();
+}
+
+void TpCache::EvictToBudget(Shard* shard) {
+  // The budget is global: drain this stripe's LRU tail first — but never
+  // the just-inserted front node (admission guarantees it fits the budget
+  // alone; evicting the MRU entry to protect stale entries elsewhere
+  // would invert LRU) — then reclaim other stripes' tails. Other stripes
+  // are only try-locked: blocking while holding our own stripe would
+  // deadlock against a thread doing the same from the opposite side; a
+  // stripe we skip settles the remaining debt on its own next insert.
+  while (held_.load(std::memory_order_relaxed) > budget_ &&
+         shard->lru.size() > 1) {
+    EvictOne(shard);
+  }
+  for (auto& other_ptr : shards_) {
+    if (held_.load(std::memory_order_relaxed) <= budget_) return;
+    Shard* other = other_ptr.get();
+    if (other == shard) continue;
+    std::unique_lock<std::mutex> other_lk(other->mu, std::try_to_lock);
+    if (!other_lk.owns_lock()) continue;
+    while (held_.load(std::memory_order_relaxed) > budget_ &&
+           !other->lru.empty()) {
+      EvictOne(other);
+    }
   }
 }
 
 void TpCache::Clear() {
-  entries_.clear();
-  lru_.clear();
-  held_ = 0;
+  for (auto& shard : shards_) {
+    std::unique_lock<std::mutex> lk = LockShard(shard.get());
+    held_.fetch_sub(shard->held, std::memory_order_relaxed);
+    entries_.fetch_sub(shard->entries.size(), std::memory_order_relaxed);
+    shard->held = 0;
+    shard->entries.clear();
+    shard->lru.clear();
+  }
 }
 
 }  // namespace lbr

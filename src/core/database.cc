@@ -15,6 +15,15 @@ void Database::InitEngine(EngineOptions options) {
   engine_ = std::make_unique<Engine>(index_.get(), dict_.get(), options);
 }
 
+std::vector<BatchResult> Database::ExecuteBatch(
+    const std::vector<std::string>& queries, ThreadPool* pool) {
+  BatchOptions options;
+  options.engine = engine_->options();
+  options.pool = pool;
+  options.shared_cache = engine_->shared_tp_cache();
+  return Engine::ExecuteBatch(*index_, *dict_, queries, options);
+}
+
 Database Database::Build(const std::vector<TermTriple>& triples,
                          EngineOptions options) {
   Graph graph = Graph::FromTriples(triples);

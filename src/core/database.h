@@ -42,6 +42,13 @@ class Database {
   Engine& engine() { return *engine_; }
   const Engine& engine() const { return *engine_; }
 
+  /// Fans a batch of SPARQL queries across `pool` (null = serial), one
+  /// engine per pool slot, sharing this database's index and the main
+  /// engine's TP cache — so an interactive session and a batch run warm
+  /// the same cache. Per-query failures land in BatchResult::error.
+  std::vector<BatchResult> ExecuteBatch(const std::vector<std::string>& queries,
+                                        ThreadPool* pool = nullptr);
+
   uint64_t num_triples() const { return index_->num_triples(); }
 
  private:

@@ -18,6 +18,7 @@
 #include "sparql/parser.h"
 #include "sparql/rewrite.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace lbr {
 
@@ -50,10 +51,17 @@ struct Engine::BranchResult {
 
 Engine::Engine(const TripleIndex* index, const Dictionary* dict,
                EngineOptions options)
+    : Engine(index, dict, options, nullptr) {}
+
+Engine::Engine(const TripleIndex* index, const Dictionary* dict,
+               EngineOptions options, std::shared_ptr<TpCache> shared_cache)
     : index_(index),
       dict_(dict),
       options_(options),
-      tp_cache_(options.tp_cache_budget) {}
+      tp_cache_(shared_cache != nullptr
+                    ? std::move(shared_cache)
+                    : std::make_shared<TpCache>(options.tp_cache_budget,
+                                                options.tp_cache_shards)) {}
 
 Engine::BranchResult Engine::ExecuteBranch(
     const Algebra& branch, const std::vector<std::string>& projection,
@@ -182,7 +190,8 @@ Engine::BranchResult Engine::ExecuteBranch(
           if (!can_restrict) continue;
           // O(prev-TPs) folds per loaded TP: the version-stamped memo makes
           // refolds of not-yet-pruned previous TPs word copies.
-          prev.mat.bm.FoldInto(prev.mat.DimOf(var), fold_s.get(), &exec_ctx_);
+          prev.mat.bm.FoldInto(prev.mat.DimOf(var), fold_s.get(), &exec_ctx_,
+                               options_.pool);
           AlignMaskInto(*fold_s, prev.mat.KindOf(var), kind,
                         index_->num_common(), size, aligned_s.get());
           if (!restricted) {
@@ -245,9 +254,9 @@ Engine::BranchResult Engine::ExecuteBranch(
     if (options_.enable_tp_cache) {
       // Cache path: fetch the unmasked BitMat and apply active-pruning
       // masks while copying out of the cache.
-      st.mat = tp_cache_.GetOrLoadMasked(*index_, *dict_, tps[i],
-                                         prefer_subject_rows, masks,
-                                         &exec_ctx_);
+      st.mat = tp_cache_->GetOrLoadMasked(*index_, *dict_, tps[i],
+                                          prefer_subject_rows, masks,
+                                          &exec_ctx_);
     } else {
       st.mat = LoadTpBitMat(*index_, *dict_, tps[i], prefer_subject_rows,
                             masks, &exec_ctx_);
@@ -269,7 +278,8 @@ Engine::BranchResult Engine::ExecuteBranch(
   // --- prune_triples (Alg 3.2).
   Stopwatch prune_watch;
   if (options_.enable_prune) {
-    PruneTriples(order, gosn, goj, index_->num_common(), &states, &exec_ctx_);
+    PruneTriples(order, gosn, goj, index_->num_common(), &states, &exec_ctx_,
+                 options_.pool);
   }
   if (stats != nullptr) stats->t_prune_sec += prune_watch.Seconds();
 
@@ -368,8 +378,10 @@ uint64_t Engine::Execute(const ParsedQuery& query, const RowSink& sink,
 
   // Snapshot the cumulative cache counters so the stats report per-query
   // deltas (TpCache and the fold memo both outlive individual queries).
-  const uint64_t tp_hits0 = tp_cache_.hits();
-  const uint64_t tp_misses0 = tp_cache_.misses();
+  const uint64_t tp_hits0 = tp_cache_->hits();
+  const uint64_t tp_misses0 = tp_cache_->misses();
+  const uint64_t tp_contention0 = tp_cache_->lock_contention();
+  const uint64_t tp_waits0 = tp_cache_->single_flight_waits();
   const uint64_t fold_hits0 = exec_ctx_.fold_cache_hits();
   const uint64_t fold_misses0 = exec_ctx_.fold_cache_misses();
 
@@ -379,9 +391,11 @@ uint64_t Engine::Execute(const ParsedQuery& query, const RowSink& sink,
     for (RawRow& row : br.rows) all_rows.push_back(std::move(row));
   }
 
-  st->tp_cache_hits = tp_cache_.hits() - tp_hits0;
-  st->tp_cache_misses = tp_cache_.misses() - tp_misses0;
-  st->tp_cache_held_triples = tp_cache_.held_triples();
+  st->tp_cache_hits = tp_cache_->hits() - tp_hits0;
+  st->tp_cache_misses = tp_cache_->misses() - tp_misses0;
+  st->tp_cache_held_triples = tp_cache_->held_triples();
+  st->tp_cache_contention = tp_cache_->lock_contention() - tp_contention0;
+  st->tp_cache_flight_waits = tp_cache_->single_flight_waits() - tp_waits0;
   st->fold_cache_hits = exec_ctx_.fold_cache_hits() - fold_hits0;
   st->fold_cache_misses = exec_ctx_.fold_cache_misses() - fold_misses0;
 
@@ -465,6 +479,59 @@ ResultTable Engine::ExecuteToTable(const std::string& sparql,
                                    QueryStats* stats) {
   ParsedQuery q = Parser::Parse(sparql);
   return ExecuteToTable(q, stats);
+}
+
+std::vector<BatchResult> Engine::ExecuteBatch(
+    const TripleIndex& index, const Dictionary& dict,
+    const std::vector<std::string>& queries, const BatchOptions& options) {
+  std::vector<BatchResult> results(queries.size());
+  if (queries.empty()) return results;
+
+  EngineOptions engine_options = options.engine;
+  // Queries are the unit of parallelism here; intra-query sharding would
+  // only fight the batch for the same workers (nested collectives inline).
+  engine_options.pool = nullptr;
+
+  std::shared_ptr<TpCache> cache = options.shared_cache;
+  if (cache == nullptr && engine_options.enable_tp_cache) {
+    cache = std::make_shared<TpCache>(engine_options.tp_cache_budget,
+                                      engine_options.tp_cache_shards);
+  }
+
+  // One engine per pool slot: engines are single-threaded (private arena +
+  // per-query state), so each worker reuses its own warm engine across the
+  // queries it drains, while the TP cache is shared by all of them.
+  int slots = options.pool != nullptr ? options.pool->num_slots() : 1;
+  std::vector<std::unique_ptr<Engine>> engines;
+  engines.reserve(slots);
+  for (int s = 0; s < slots; ++s) {
+    engines.push_back(
+        std::make_unique<Engine>(&index, &dict, engine_options, cache));
+  }
+
+  auto run_one = [&](uint32_t qi, Engine* engine) {
+    BatchResult& out = results[qi];
+    try {
+      out.table = engine->ExecuteToTable(queries[qi], &out.stats);
+    } catch (const std::exception& e) {
+      out.error = e.what();
+    }
+  };
+
+  if (options.pool == nullptr) {
+    for (uint32_t qi = 0; qi < queries.size(); ++qi) {
+      run_one(qi, engines[0].get());
+    }
+    return results;
+  }
+  options.pool->ParallelFor(
+      0, static_cast<uint32_t>(queries.size()), /*grain=*/1,
+      [&](uint32_t begin, uint32_t end, ExecContext* /*ctx*/, int slot) {
+        for (uint32_t qi = begin; qi < end; ++qi) {
+          run_one(qi, engines[slot].get());
+        }
+      });
+  return results;
 }
 
 }  // namespace lbr

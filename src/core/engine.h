@@ -16,6 +16,8 @@
 
 namespace lbr {
 
+class ThreadPool;
+
 /// Strategy knob for the jvar-ordering ablation (Table/figure A2).
 enum class JvarOrderStrategy {
   kPaper,          ///< Algorithm 3.1 (default).
@@ -35,6 +37,12 @@ struct EngineOptions {
   bool enable_tp_cache = false;
   /// Triple budget for the TP cache (total set bits held).
   uint64_t tp_cache_budget = 4u << 20;
+  /// Lock stripes for the TP cache (concurrent engines sharing one cache).
+  size_t tp_cache_shards = 8;
+  /// Worker pool (not owned; may be null) for sharding prune/fold row work
+  /// across threads. The engine itself stays single-threaded — the pool
+  /// only parallelizes the interior of fold/unfold ops (DESIGN.md §5).
+  ThreadPool* pool = nullptr;
 };
 
 /// Per-query statistics mirroring the evaluation metrics of Section 6.1.
@@ -54,18 +62,46 @@ struct QueryStats {
   int num_union_branches = 1;
   // Cache observability (the CoW snapshot / fold-memo extension): per-query
   // TpCache hit/miss deltas, the cache's current held-triple load, and the
-  // fold-memo hit/miss deltas across init + prune.
+  // fold-memo hit/miss deltas across init + prune. When several engines
+  // share one cache (batch execution), the deltas include concurrent
+  // queries' traffic — read them as cache-wide activity during this query.
   uint64_t tp_cache_hits = 0;
   uint64_t tp_cache_misses = 0;
   uint64_t tp_cache_held_triples = 0;
   uint64_t fold_cache_hits = 0;
   uint64_t fold_cache_misses = 0;
+  // Contention observability (shared-cache deployments): shard-lock
+  // acquisitions that found the lock held, and single-flight sleeps behind
+  // another thread's load of the same pattern, during this query.
+  uint64_t tp_cache_contention = 0;
+  uint64_t tp_cache_flight_waits = 0;
 };
 
 /// A fully decoded result table (SELECT projection applied).
 struct ResultTable {
   std::vector<std::string> var_names;
   std::vector<std::vector<std::optional<Term>>> rows;
+};
+
+/// One query's outcome in a batch execution (Engine::ExecuteBatch).
+struct BatchResult {
+  ResultTable table;
+  QueryStats stats;
+  std::string error;  ///< Non-empty when the query failed (parse/unsupported).
+  bool ok() const { return error.empty(); }
+};
+
+/// Configuration for Engine::ExecuteBatch / Database::ExecuteBatch.
+struct BatchOptions {
+  /// Per-worker engine configuration. `engine.pool` is ignored — worker
+  /// threads are already parallel, and nested collectives would inline
+  /// anyway; intra-query sharding is a single-client optimization.
+  EngineOptions engine;
+  /// Fan-out pool; null runs the batch serially on the calling thread.
+  ThreadPool* pool = nullptr;
+  /// Cache shared by every worker engine. Null creates a fresh one when
+  /// `engine.enable_tp_cache` is set.
+  std::shared_ptr<TpCache> shared_cache;
 };
 
 /// The Left Bit Right query engine (Algorithm 5.1).
@@ -85,6 +121,12 @@ class Engine {
   Engine(const TripleIndex* index, const Dictionary* dict,
          EngineOptions options = {});
 
+  /// Builds an engine sharing a TP cache with other engines (the server
+  /// deployment: N threads, one warm cache of CoW snapshots). A null
+  /// `shared_cache` falls back to a private cache.
+  Engine(const TripleIndex* index, const Dictionary* dict,
+         EngineOptions options, std::shared_ptr<TpCache> shared_cache);
+
   /// Row callback: bindings follow `projection` order; kNullBinding slots
   /// are OPTIONAL misses.
   using RowSink = std::function<void(const RawRow&)>;
@@ -103,13 +145,26 @@ class Engine {
   ResultTable ExecuteToTable(const std::string& sparql,
                              QueryStats* stats = nullptr);
 
+  /// Batch driver: fans `queries` (SPARQL text) across `options.pool`, one
+  /// engine per pool slot, all sharing one index and one TP cache. Each
+  /// query runs single-threaded on its worker (engines are not re-entrant);
+  /// parallelism comes from queries running side by side against the shared
+  /// warm cache. Per-query failures are captured in BatchResult::error, not
+  /// thrown. Results are positionally aligned with `queries`.
+  static std::vector<BatchResult> ExecuteBatch(
+      const TripleIndex& index, const Dictionary& dict,
+      const std::vector<std::string>& queries,
+      const BatchOptions& options = {});
+
   const TripleIndex& index() const { return *index_; }
   const Dictionary& dict() const { return *dict_; }
   const EngineOptions& options() const { return options_; }
 
   /// The TP BitMat cache (meaningful when enable_tp_cache is set).
-  const TpCache& tp_cache() const { return tp_cache_; }
-  void ClearTpCache() { tp_cache_.Clear(); }
+  const TpCache& tp_cache() const { return *tp_cache_; }
+  void ClearTpCache() { tp_cache_->Clear(); }
+  /// The shareable cache handle, for wiring sibling engines to one cache.
+  std::shared_ptr<TpCache> shared_tp_cache() const { return tp_cache_; }
 
  private:
   struct BranchResult;
@@ -120,7 +175,7 @@ class Engine {
   const TripleIndex* index_;
   const Dictionary* dict_;
   EngineOptions options_;
-  TpCache tp_cache_;
+  std::shared_ptr<TpCache> tp_cache_;
   /// Scratch arena threaded through init/prune/join; buffer capacity is
   /// retained across queries, so a warm engine's hot path stays off the
   /// heap. Makes the engine single-threaded per instance (as before).

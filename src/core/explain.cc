@@ -138,6 +138,11 @@ std::string ExplainCacheStats(const QueryStats& stats) {
      << " triple(s) held\n";
   os << "  fold cache: " << stats.fold_cache_hits << " hit(s), "
      << stats.fold_cache_misses << " miss(es)\n";
+  if (stats.tp_cache_contention > 0 || stats.tp_cache_flight_waits > 0) {
+    os << "  tp cache contention: " << stats.tp_cache_contention
+       << " contended lock(s), " << stats.tp_cache_flight_waits
+       << " single-flight wait(s)\n";
+  }
   return os.str();
 }
 

@@ -15,20 +15,20 @@ uint32_t DimSize(const TpState& tp, const std::string& jvar) {
 }  // namespace
 
 void SemiJoin(const std::string& jvar, TpState* slave, const TpState& master,
-              uint32_t num_common, ExecContext* ctx) {
+              uint32_t num_common, ExecContext* ctx, ThreadPool* pool) {
   DomainKind slave_kind = slave->mat.KindOf(jvar);
   uint32_t slave_size = DimSize(*slave, jvar);
 
   ScratchBits beta_s(ctx), mfold_s(ctx), aligned_s(ctx);
   Bitvector& beta = *beta_s;
-  slave->mat.bm.FoldInto(slave->mat.DimOf(jvar), &beta, ctx);
+  slave->mat.bm.FoldInto(slave->mat.DimOf(jvar), &beta, ctx, pool);
   size_t before = beta.Count();
 
   // fold(BM_master, dim_j) aligned to the slave's domain. Across the
   // fixpoint's two passes most masters are refolded unchanged — the
   // version-stamped memo turns those into word copies.
   Bitvector& mfold = *mfold_s;
-  master.mat.bm.FoldInto(master.mat.DimOf(jvar), &mfold, ctx);
+  master.mat.bm.FoldInto(master.mat.DimOf(jvar), &mfold, ctx, pool);
   DomainKind master_kind = master.mat.KindOf(jvar);
   const Bitvector* master_fold = &mfold;
   if (master_kind != slave_kind || mfold.size() != slave_size) {
@@ -45,13 +45,14 @@ void SemiJoin(const std::string& jvar, TpState* slave, const TpState& master,
   // Unfold only when the intersection actually removed bindings (beta is a
   // subset of the slave's fold, so equal counts mean equal sets).
   if (beta.Count() != before) {
-    slave->mat.bm.Unfold(beta, slave->mat.DimOf(jvar), ctx);
+    slave->mat.bm.Unfold(beta, slave->mat.DimOf(jvar), ctx, pool);
   }
 }
 
 void ClusteredSemiJoin(const std::string& jvar,
                        const std::vector<TpState*>& cluster,
-                       uint32_t num_common, ExecContext* ctx) {
+                       uint32_t num_common, ExecContext* ctx,
+                       ThreadPool* pool) {
   if (cluster.size() < 2) return;
   // Fold every member once; alignment to each target is a cheap word copy.
   // Members unchanged since their last fold (common on the second fixpoint
@@ -62,7 +63,8 @@ void ClusteredSemiJoin(const std::string& jvar,
   kinds.reserve(cluster.size());
   for (const TpState* member : cluster) {
     folds.emplace_back(ctx);
-    member->mat.bm.FoldInto(member->mat.DimOf(jvar), folds.back().get(), ctx);
+    member->mat.bm.FoldInto(member->mat.DimOf(jvar), folds.back().get(), ctx,
+                            pool);
     kinds.push_back(member->mat.KindOf(jvar));
   }
   ScratchBits beta_s(ctx), aligned_s(ctx);
@@ -89,14 +91,14 @@ void ClusteredSemiJoin(const std::string& jvar,
       beta.TruncateBitsFrom(num_common);
     }
     if (beta.Count() != before) {
-      target->mat.bm.Unfold(beta, target->mat.DimOf(jvar), ctx);
+      target->mat.bm.Unfold(beta, target->mat.DimOf(jvar), ctx, pool);
     }
   }
 }
 
 void PruneTriples(const JvarOrder& order, const Gosn& gosn, const Goj& goj,
                   uint32_t num_common, std::vector<TpState>* tps,
-                  ExecContext* ctx) {
+                  ExecContext* ctx, ThreadPool* pool) {
   auto pass = [&](const std::vector<int>& jvar_order) {
     for (int j : jvar_order) {
       const std::string& jvar = goj.jvars()[j];
@@ -109,7 +111,7 @@ void PruneTriples(const JvarOrder& order, const Gosn& gosn, const Goj& goj,
           if (master_id == slave_id) continue;
           if (!gosn.TpIsMasterOf(master_id, slave_id)) continue;
           SemiJoin(jvar, &(*tps)[slave_id], (*tps)[master_id], num_common,
-                   ctx);
+                   ctx, pool);
         }
       }
 
@@ -132,7 +134,7 @@ void PruneTriples(const JvarOrder& order, const Gosn& gosn, const Goj& goj,
             cluster.push_back(&(*tps)[other]);
           }
         }
-        ClusteredSemiJoin(jvar, cluster, num_common, ctx);
+        ClusteredSemiJoin(jvar, cluster, num_common, ctx, pool);
       }
     }
   };

@@ -10,6 +10,7 @@
 #include "core/jvar_order.h"
 #include "core/tp_state.h"
 #include "util/exec_context.h"
+#include "util/thread_pool.h"
 
 namespace lbr {
 
@@ -19,15 +20,19 @@ namespace lbr {
 /// Folds over different dimension domains (subject vs object position) are
 /// aligned through AlignMask, truncating at the Vso bound. Only the slave's
 /// BitMat is modified. All fold/mask buffers come from `ctx` when given.
+/// With a `pool`, the memo-miss folds and the unfold shard their row ranges
+/// across the pool's workers (DESIGN.md §5).
 void SemiJoin(const std::string& jvar, TpState* slave, const TpState& master,
-              uint32_t num_common, ExecContext* ctx = nullptr);
+              uint32_t num_common, ExecContext* ctx = nullptr,
+              ThreadPool* pool = nullptr);
 
 /// Clustered semi-join (Definition 3.1, Algorithm 5.3): intersects the
 /// `jvar` bindings of every TP in the cluster and unfolds each TP with the
 /// intersection.
 void ClusteredSemiJoin(const std::string& jvar,
                        const std::vector<TpState*>& cluster,
-                       uint32_t num_common, ExecContext* ctx = nullptr);
+                       uint32_t num_common, ExecContext* ctx = nullptr,
+                       ThreadPool* pool = nullptr);
 
 /// prune_triples (Algorithm 3.2): walks order_bu then order_td; for each
 /// jvar, first semi-joins every master/slave TP pair sharing it (slave takes
@@ -41,9 +46,14 @@ void ClusteredSemiJoin(const std::string& jvar,
 /// mask buffers — no per-iteration Bitvector allocations. Folds of TPs no
 /// semi-join has changed (most of the second pass) are served from the
 /// BitMats' version-stamped fold memos without row iteration (DESIGN.md §4).
+///
+/// With a `pool`, each semi-join pass shards its per-TP fold and unfold row
+/// work across the pool's workers. The semi-join sequence itself stays
+/// ordered (pass k+1 consumes pass k's restrictions), so results are
+/// bit-identical to the serial fixpoint.
 void PruneTriples(const JvarOrder& order, const Gosn& gosn, const Goj& goj,
                   uint32_t num_common, std::vector<TpState>* tps,
-                  ExecContext* ctx = nullptr);
+                  ExecContext* ctx = nullptr, ThreadPool* pool = nullptr);
 
 }  // namespace lbr
 

@@ -92,6 +92,27 @@ TEST_F(TpCacheTest, EvictsLruWhenOverBudget) {
   EXPECT_EQ(cache.misses(), 3u);  // p had to be reloaded
 }
 
+TEST_F(TpCacheTest, EntryLargerThanStripeSliceIsStillCached) {
+  // The budget is global, not a per-stripe slice: with 8 stripes and a
+  // budget of 16, an entry of cost 3 (> 16/8) must still be admitted.
+  TpCache cache(/*triple_budget=*/16, /*num_shards=*/8);
+  cache.GetOrLoad(index_, graph_.dict(), Tp("?x", "p", "?y"), true);  // 3 bits
+  EXPECT_EQ(cache.size(), 1u);
+  cache.GetOrLoad(index_, graph_.dict(), Tp("?x", "p", "?y"), true);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST_F(TpCacheTest, GlobalBudgetEnforcedAcrossStripes) {
+  // Two stripes, budget 3: after inserting p (3 bits) and q (1 bit) the
+  // held total must be reclaimed down to the budget no matter which
+  // stripes the keys hash to.
+  TpCache cache(/*triple_budget=*/3, /*num_shards=*/2);
+  cache.GetOrLoad(index_, graph_.dict(), Tp("?x", "p", "?y"), true);
+  cache.GetOrLoad(index_, graph_.dict(), Tp("?x", "q", "?y"), true);
+  EXPECT_LE(cache.held_triples(), 3u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
 TEST_F(TpCacheTest, ClearResets) {
   TpCache cache;
   cache.GetOrLoad(index_, graph_.dict(), Tp("?x", "p", "?y"), true);
