@@ -16,6 +16,11 @@ Usage:
   check_regression.py --baseline bench/baselines/micro_bitops.json \
                       --current build/micro_bitops.json [--max-slowdown 1.25]
 
+Baselines are hardware-bound: after an intentional perf shift, or when the
+gate trips on a new runner class with no code change, refresh them from
+that CI run's `bench-json` artifact with bench/update_baselines.py (see
+bench/README.md for the full procedure).
+
 Exit codes: 0 ok, 1 regression, 2 unusable input (missing files, no
 comparable benchmarks).
 """

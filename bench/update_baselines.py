@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Refresh bench/baselines/ from a downloaded `bench-json` CI artifact.
+
+The Release CI leg uploads every benchmark JSON it produced as the
+`bench-json` artifact. When a change intentionally shifts the numbers — or
+when the gate trips on a new runner class with no code change (the checked
+in baselines were recorded on different hardware) — download that run's
+artifact, unzip it, and point this script at the directory:
+
+    gh run download <run-id> -n bench-json -D /tmp/bench-json
+    python3 bench/update_baselines.py /tmp/bench-json
+    git add bench/baselines && git commit
+
+Only files that already exist in bench/baselines/ are refreshed by
+default, so un-gated benches (e.g. ablation_parallel, whose thread-sweep
+numbers are runner-dependent and deliberately excluded from the gate) are
+not promoted accidentally; pass --add <name.json> to start gating a new
+bench. Every file is JSON-validated and summarized before it is written.
+
+Exit codes: 0 ok, 2 unusable input.
+"""
+
+import argparse
+import json
+import shutil
+import sys
+from pathlib import Path
+
+
+def summarize(path):
+    """Validates a benchmark JSON; returns (#iteration entries, note)."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return None, f"unreadable: {e}"
+    benches = doc.get("benchmarks")
+    if not isinstance(benches, list) or not benches:
+        return None, "no 'benchmarks' array"
+    n = sum(1 for b in benches if b.get("run_type") != "aggregate")
+    return n, f"{n} iteration entries"
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("artifact_dir",
+                    help="directory with the downloaded bench-json artifact")
+    ap.add_argument("--baselines",
+                    default=str(Path(__file__).parent / "baselines"),
+                    help="baseline directory to refresh (default: %(default)s)")
+    ap.add_argument("--add", action="append", default=[], metavar="NAME.json",
+                    help="also copy this artifact file even though no "
+                         "baseline exists yet (starts gating a new bench)")
+    args = ap.parse_args()
+
+    src = Path(args.artifact_dir)
+    dst = Path(args.baselines)
+    if not src.is_dir():
+        print(f"error: {src} is not a directory", file=sys.stderr)
+        sys.exit(2)
+    if not dst.is_dir():
+        print(f"error: {dst} is not a directory", file=sys.stderr)
+        sys.exit(2)
+
+    existing = {p.name for p in dst.glob("*.json")}
+    wanted = sorted(existing | set(args.add))
+    copied = 0
+    for name in wanted:
+        cand = src / name
+        if not cand.is_file():
+            print(f"  {name}: not in artifact, kept as is")
+            continue
+        n, note = summarize(cand)
+        if n is None:
+            print(f"error: {cand}: {note}", file=sys.stderr)
+            sys.exit(2)
+        shutil.copyfile(cand, dst / name)
+        print(f"  {name}: refreshed ({note})")
+        copied += 1
+    if copied == 0:
+        print("error: nothing refreshed — does the artifact directory hold "
+              "the *.json files (unzip the artifact first)?", file=sys.stderr)
+        sys.exit(2)
+    print(f"{copied} baseline(s) updated in {dst}; review and commit.")
+
+
+if __name__ == "__main__":
+    main()

@@ -254,6 +254,13 @@ BitMat BitMat::Transposed() const {
   return t;
 }
 
+void BitMat::AppendColumnPositions(uint32_t c,
+                                   std::vector<uint32_t>* out) const {
+  non_empty_rows_.ForEachSetBit([this, c, out](uint32_t r) {
+    if (rows_[r]->Test(c)) out->push_back(r);
+  });
+}
+
 BitMat BitMat::DeepCopy() const {
   BitMat out(num_rows_, num_cols_);
   for (uint32_t r = 0; r < num_rows_; ++r) {

@@ -156,6 +156,13 @@ class BitMat {
   /// column-keyed access to a TP whose BitMat is row-oriented.
   BitMat Transposed() const;
 
+  /// Appends the (ascending) row indexes whose bit in column `c` is set —
+  /// one transposed row, extracted without materializing the transpose.
+  /// Cost is O(populated rows × row test), so callers that end up visiting
+  /// many columns should fall forward to Transposed() (the multiway join's
+  /// lazy per-column transpose cache does exactly that).
+  void AppendColumnPositions(uint32_t c, std::vector<uint32_t>* out) const;
+
   /// A copy whose rows are freshly allocated instead of shared — the
   /// pre-CoW copying behavior. Kept for the ablation bench that quantifies
   /// what the CoW snapshot saves, and for callers that want to sever all

@@ -319,6 +319,7 @@ Engine::BranchResult Engine::ExecuteBranch(
   MultiwayJoin::Options join_options;
   join_options.nullification = nb_reqd;
   join_options.filters = gosn.filters();
+  join_options.enum_mode = options_.join_enum_mode;
   MultiwayJoin join(gosn, ids, *dict_, &states, stps, join_options);
 
   // Collect FULL rows (every branch variable) so that phantom-row cleanup
@@ -328,16 +329,18 @@ Engine::BranchResult Engine::ExecuteBranch(
   // emitted result row.
   std::unordered_set<RawRow, RawRowHash> seen_nulled;
   bool any_nulled = false;
-  join.Run([&](const RawRow& row, bool nulled) {
-    if (nulled) {
-      any_nulled = true;
-      // A nulled row is one enumeration attempt of a slave group that
-      // failed under the original join order; all attempts collapse to the
-      // same nulled row — keep one (Rao et al.'s minimum union).
-      if (!seen_nulled.insert(row).second) return;
-    }
-    full_rows.push_back(row);
-  });
+  join.Run(
+      [&](const RawRow& row, bool nulled) {
+        if (nulled) {
+          any_nulled = true;
+          // A nulled row is one enumeration attempt of a slave group that
+          // failed under the original join order; all attempts collapse to
+          // the same nulled row — keep one (Rao et al.'s minimum union).
+          if (!seen_nulled.insert(row).second) return;
+        }
+        full_rows.push_back(row);
+      },
+      &exec_ctx_);
 
   // --- best-match (Alg 5.1 lines 10-13), needed when the query is cyclic
   // with multi-jvar slaves, or when FaN/nullification nulled some group.

@@ -10,6 +10,7 @@
 #include "bitmat/tp_cache.h"
 #include "bitmat/triple_index.h"
 #include "core/row.h"
+#include "core/tp_state.h"
 #include "rdf/graph.h"
 #include "sparql/ast.h"
 #include "util/exec_context.h"
@@ -43,6 +44,10 @@ struct EngineOptions {
   /// across threads. The engine itself stays single-threaded — the pool
   /// only parallelizes the interior of fold/unfold ops (DESIGN.md §5).
   ThreadPool* pool = nullptr;
+  /// Candidate enumeration inside the multiway join: word-parallel
+  /// intersection (default) or the legacy per-bit probing. Results are
+  /// identical; the knob exists for bench/ablation_join (DESIGN.md §6).
+  JoinEnumMode join_enum_mode = JoinEnumMode::kIntersect;
 };
 
 /// Per-query statistics mirroring the evaluation metrics of Section 6.1.
@@ -62,7 +67,8 @@ struct QueryStats {
   int num_union_branches = 1;
   // Cache observability (the CoW snapshot / fold-memo extension): per-query
   // TpCache hit/miss deltas, the cache's current held-triple load, and the
-  // fold-memo hit/miss deltas across init + prune. When several engines
+  // fold-memo hit/miss deltas across init + prune + the join's candidate
+  // intersection. When several engines
   // share one cache (batch execution), the deltas include concurrent
   // queries' traffic — read them as cache-wide activity during this query.
   uint64_t tp_cache_hits = 0;

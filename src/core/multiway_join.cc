@@ -1,12 +1,50 @@
 #include "core/multiway_join.h"
 
 #include <algorithm>
+#include <optional>
 #include <set>
 
+#include "bitmat/tp_loader.h"
 #include "core/nullification.h"
 #include "sparql/filter_eval.h"
+#include "util/bitops.h"
 
 namespace lbr {
+
+namespace {
+
+/// Predicate-domain locals never align with subject/object locals (the
+/// Section 5 limitation); a constraint across that divide is skipped —
+/// dropping a constraint is always sound, and the per-bit path handles
+/// the mismatch one level down (ToLocal -> kImpossible -> rollback).
+inline bool KindsCompatible(DomainKind a, DomainKind b) {
+  return (a == DomainKind::kPredicate) == (b == DomainKind::kPredicate);
+}
+
+/// Candidate count below which an enumeration filters inline (a mask probe
+/// plus bound-row Tests per candidate, no position buffer) instead of the
+/// buffered word-parallel path. Purely a cost knob — every path visits the
+/// same candidates in the same order.
+constexpr uint64_t kBufferedThreshold = 64;
+
+/// Position count at which FilterPositions switches from per-position
+/// Test probes against a transposed column to extracting the column once
+/// (lazy transpose cache) and merging it through the candidate list.
+constexpr size_t kTightMaterializeThreshold = 64;
+
+/// Candidate-set ∧ mask → positions, for either candidate container.
+inline void AppendIntersection(const Bitvector& cands, const Bitvector& mask,
+                               std::vector<uint32_t>* out) {
+  cands.AppendAndSetBits(mask, out);
+}
+inline void AppendIntersection(const CompressedRow& cands,
+                               const Bitvector& mask,
+                               std::vector<uint32_t>* out) {
+  cands.AppendMaskedPositions(mask, out);
+}
+
+
+}  // namespace
 
 MultiwayJoin::MultiwayJoin(const Gosn& gosn, const GlobalIds& ids,
                            const Dictionary& dict, std::vector<TpState>* tps,
@@ -18,7 +56,8 @@ MultiwayJoin::MultiwayJoin(const Gosn& gosn, const GlobalIds& ids,
       stps_(std::move(stps_order)),
       options_(std::move(options)) {
   // Variable table: every variable of every TP plus filter variables,
-  // sorted for a deterministic column order.
+  // sorted for a deterministic column order. The sorted vector doubles as
+  // the lookup structure: VarIndex binary-searches it.
   std::set<std::string> vars;
   for (const TpState& tp : *tps_) {
     for (const std::string& v : tp.tp.Vars()) vars.insert(v);
@@ -26,29 +65,51 @@ MultiwayJoin::MultiwayJoin(const Gosn& gosn, const GlobalIds& ids,
   for (const ScopedFilter& f : options_.filters) {
     f.expr.CollectVars(&vars);
   }
-  for (const std::string& v : vars) {
-    var_index_[v] = static_cast<int>(var_names_.size());
-    var_names_.push_back(v);
-  }
+  var_names_.assign(vars.begin(), vars.end());
 
   row_var_of_tp_.assign(tps_->size(), -1);
   col_var_of_tp_.assign(tps_->size(), -1);
   for (size_t i = 0; i < tps_->size(); ++i) {
     const TpBitMat& mat = (*tps_)[i].mat;
-    if (!mat.row_var.empty()) row_var_of_tp_[i] = var_index_[mat.row_var];
-    if (!mat.col_var.empty()) col_var_of_tp_[i] = var_index_[mat.col_var];
+    if (!mat.row_var.empty()) row_var_of_tp_[i] = VarIndex(mat.row_var);
+    if (!mat.col_var.empty()) col_var_of_tp_[i] = VarIndex(mat.col_var);
   }
 
   vmap_.assign(var_names_.size(), {});
   visited_.assign(tps_->size(), false);
   transpose_cache_.resize(tps_->size());
-  has_transpose_.assign(tps_->size(), false);
-  transpose_version_.assign(tps_->size(), 0);
+  static_masks_.resize(tps_->size());
+
+  // Per variable: the absolute-master TPs that constrain it (only masters
+  // may prune candidates — a candidate they reject rolls the branch back
+  // with zero emissions, Alg 5.4 line 27-28, so skipping it up front
+  // removes recursion work without changing any emitted row; a slave TP's
+  // miss produces a NULL binding, not a rollback).
+  masters_of_var_.assign(var_names_.size(), {});
+  for (const TpState& tp : *tps_) {
+    if (!gosn_.IsAbsoluteMaster(tp.sn_id)) continue;
+    for (size_t v = 0; v < var_names_.size(); ++v) {
+      if (!tp.mat.HasVar(var_names_[v])) continue;
+      MasterConstraint mc;
+      mc.tp_id = tp.tp_id;
+      mc.vdim = tp.mat.DimOf(var_names_[v]);
+      mc.kind = tp.mat.KindOf(var_names_[v]);
+      if (mc.vdim == Dim::kRow) {
+        mc.other_var = col_var_of_tp_[tp.tp_id];
+        mc.other_kind = tp.mat.col_kind;
+      } else {
+        mc.other_var = row_var_of_tp_[tp.tp_id];
+        mc.other_kind = tp.mat.row_kind;
+      }
+      masters_of_var_[v].push_back(mc);
+    }
+  }
 }
 
 int MultiwayJoin::VarIndex(const std::string& name) const {
-  auto it = var_index_.find(name);
-  return it == var_index_.end() ? -1 : it->second;
+  auto it = std::lower_bound(var_names_.begin(), var_names_.end(), name);
+  if (it == var_names_.end() || *it != name) return -1;
+  return static_cast<int>(it - var_names_.begin());
 }
 
 const MultiwayJoin::Entry* MultiwayJoin::FirstEntry(int var) const {
@@ -56,20 +117,200 @@ const MultiwayJoin::Entry* MultiwayJoin::FirstEntry(int var) const {
   return &vmap_[var].front();
 }
 
-const BitMat& MultiwayJoin::TransposeOf(int tp_id) {
+const CompressedRow& MultiwayJoin::TransposedColumn(int tp_id, uint32_t col) {
+  static const CompressedRow kEmptyRow;
   const BitMat& bm = (*tps_)[tp_id].mat.bm;
-  if (!has_transpose_[tp_id] || transpose_version_[tp_id] != bm.version()) {
-    transpose_cache_[tp_id] = bm.Transposed();
-    has_transpose_[tp_id] = true;
-    transpose_version_[tp_id] = bm.version();
+  TransposeCache& tc = transpose_cache_[tp_id];
+  if (!tc.valid || tc.version != bm.version()) {
+    // First use, or the source mutated between Runs: start a fresh entry.
+    tc.valid = true;
+    tc.version = bm.version();
+    tc.full = false;
+    tc.full_mat = BitMat();
+    tc.cols.clear();
   }
-  return transpose_cache_[tp_id];
+  if (tc.full) return tc.full_mat.Row(col);
+  auto it = std::lower_bound(
+      tc.cols.begin(), tc.cols.end(), col,
+      [](const std::pair<uint32_t, BitMat::RowHandle>& e, uint32_t c) {
+        return e.first < c;
+      });
+  if (it == tc.cols.end() || it->first != col) {
+    if (tc.cols.size() >= options_.lazy_transpose_threshold) {
+      // Enough distinct columns visited that finishing the whole transpose
+      // beats further per-column row scans.
+      tc.full_mat = bm.Transposed();
+      tc.full = true;
+      ++transpose_full_builds_;
+      tc.cols.clear();
+      tc.cols.shrink_to_fit();
+      return tc.full_mat.Row(col);
+    }
+    ScratchPositions pos(ctx_);
+    bm.AppendColumnPositions(col, pos.get());
+    BitMat::RowHandle handle =
+        pos->empty() ? nullptr
+                     : std::make_shared<const CompressedRow>(
+                           CompressedRow::FromPositions(*pos));
+    it = tc.cols.insert(it, {col, std::move(handle)});
+    ++transpose_cols_built_;
+  }
+  // The returned reference aims at the shared pointee, which inserts into
+  // (and moves within) tc.cols never relocate.
+  return it->second != nullptr ? *it->second : kEmptyRow;
 }
 
-uint64_t MultiwayJoin::Run(const Sink& sink) {
+const Bitvector* MultiwayJoin::StaticFoldMask(int var, int chosen_tp,
+                                              Dim dim, DomainKind dst_kind,
+                                              uint32_t dst_size) {
+  if (var < 0) return nullptr;
+  StaticMask& sm = static_masks_[chosen_tp][static_cast<size_t>(dim)];
+  if (sm.built) {
+    // Version check against every folded contributor: a mutation between
+    // Runs orphans the entry. (An early-stopped build recorded only the
+    // folds it consumed — the mask is their intersection, a sound superset
+    // of the full one, and stays valid while exactly they are unchanged.)
+    for (const auto& [tp_id, version] : sm.sources) {
+      if ((*tps_)[tp_id].mat.bm.version() != version) {
+        sm.built = false;
+        break;
+      }
+    }
+  }
+  if (!sm.built) {
+    sm.built = true;
+    sm.restricted = false;
+    sm.inert = false;
+    sm.sources.clear();
+    // The visited state is irrelevant here: a visited TP binds its
+    // variables, and this mask is only consulted while `var` is free — so
+    // every master in masters_of_var_ is necessarily unvisited then.
+    ScratchBits src(ctx_), aligned(ctx_);
+    for (const MasterConstraint& mc : masters_of_var_[var]) {
+      if (mc.tp_id == chosen_tp) continue;
+      if (!KindsCompatible(mc.kind, dst_kind)) continue;
+      // The fold over var's dimension — row folds are the free
+      // NonEmptyRows metadata, column folds hit the BitMat's memo.
+      (*tps_)[mc.tp_id].mat.bm.FoldInto(mc.vdim, src.get(), ctx_);
+      sm.sources.emplace_back(mc.tp_id, (*tps_)[mc.tp_id].mat.bm.version());
+      if (!sm.restricted) {
+        AlignMaskInto(*src, mc.kind, dst_kind, ids_.num_common, dst_size,
+                      &sm.mask);
+        sm.restricted = true;
+      } else {
+        AlignMaskInto(*src, mc.kind, dst_kind, ids_.num_common, dst_size,
+                      aligned.get());
+        sm.mask.And(*aligned);
+      }
+      if (sm.mask.None()) break;  // nothing can survive; stop refining
+    }
+    // Pass-rate check against the chosen TP's own candidate population
+    // (its fold over this dimension — raw domain density would mislead:
+    // candidates correlate with populated entities). A mask that passes
+    // nearly every real candidate cannot pay for its per-node AND; the
+    // bound-row filtering still applies without it.
+    if (sm.restricted) {
+      const BitMat& cbm = (*tps_)[chosen_tp].mat.bm;
+      ScratchBits own(ctx_);
+      cbm.FoldInto(dim, own.get(), ctx_);
+      uint64_t total = own->Count();
+      own->And(sm.mask);
+      uint64_t pass = own->Count();
+      sm.inert = total > 0 && pass * 8 >= total * 7;
+      // The inert decision depends on the chosen TP's own fold, so its
+      // version is a staleness source too.
+      sm.sources.emplace_back(chosen_tp, cbm.version());
+    }
+  }
+  return sm.restricted && !sm.inert ? &sm.mask : nullptr;
+}
+
+int MultiwayJoin::PrepareBoundChecks(
+    int var, int chosen_tp, DomainKind dst_kind,
+    std::array<BoundCheck, kMaxBoundChecks>* out) {
+  int n = 0;
+  for (const MasterConstraint& mc : masters_of_var_[var]) {
+    if (n == kMaxBoundChecks) break;  // a constraint subset is still sound
+    if (mc.tp_id == chosen_tp || visited_[mc.tp_id]) continue;
+    // Only TPs whose other dimension is already bound add anything beyond
+    // the static fold mask; diagonal TPs (other_var == var, free here)
+    // are covered by their fold.
+    if (mc.other_var < 0 || mc.other_var == var) continue;
+    if (!KindsCompatible(mc.kind, dst_kind)) continue;
+    const Entry* e = FirstEntry(mc.other_var);
+    if (e == nullptr) continue;
+    std::optional<uint32_t> bound;
+    if (e->value != kNullBinding) {
+      bound = ids_.ToLocal(mc.other_kind, e->value);
+    }
+    // A master whose bound side is NULL or outside its domain (or whose
+    // bound row is empty) can never match: the whole branch will roll
+    // back, so no candidate survives.
+    if (!bound) return -1;
+    BoundCheck& bc = (*out)[n];
+    bc.tp_id = mc.tp_id;
+    bc.bm = &(*tps_)[mc.tp_id].mat.bm;
+    bc.row = mc.vdim == Dim::kCol ? &bc.bm->Row(*bound) : nullptr;
+    bc.bound = *bound;
+    bc.cross = mc.kind != dst_kind;
+    if (bc.row != nullptr && bc.row->IsEmpty()) return -1;
+    ++n;
+  }
+  return n;
+}
+
+bool MultiwayJoin::PassesBoundChecks(
+    const std::array<BoundCheck, kMaxBoundChecks>& checks, int n,
+    uint32_t p) const {
+  for (int i = 0; i < n; ++i) {
+    const BoundCheck& bc = checks[i];
+    if (bc.cross && p >= ids_.num_common) return false;
+    if (bc.row != nullptr ? !bc.row->Test(p) : !bc.bm->Test(p, bc.bound)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void MultiwayJoin::FilterPositions(
+    const std::array<BoundCheck, kMaxBoundChecks>& checks, int n,
+    std::vector<uint32_t>* positions) {
+  for (int i = 0; i < n && !positions->empty(); ++i) {
+    const BoundCheck& bc = checks[i];
+    if (bc.cross) {
+      // Cross-domain S/O constraint: only candidates in the shared Vso
+      // range can match; the list is sorted, so this is one binary search.
+      auto cut = std::lower_bound(positions->begin(), positions->end(),
+                                  ids_.num_common);
+      positions->erase(cut, positions->end());
+    }
+    if (bc.row != nullptr) {
+      // Candidates and the constraint row live in the same sorted space:
+      // one linear merge over the compressed sequences, no per-candidate
+      // search, no materialization.
+      bc.row->IntersectSortedPositions(positions);
+    } else if (positions->size() >= kTightMaterializeThreshold) {
+      // Var on the TP's rows: the constraint is a column. Decode it once
+      // through the lazy transpose cache, then merge.
+      TransposedColumn(bc.tp_id, bc.bound).IntersectSortedPositions(positions);
+    } else {
+      // A handful of candidates: direct bit tests beat extracting the
+      // column (which walks every populated row).
+      size_t kept = 0;
+      for (uint32_t p : *positions) {
+        if (bc.bm->Test(p, bc.bound)) (*positions)[kept++] = p;
+      }
+      positions->resize(kept);
+    }
+  }
+}
+
+uint64_t MultiwayJoin::Run(const Sink& sink, ExecContext* ctx) {
   sink_ = sink;
+  ctx_ = ctx;
   emitted_ = 0;
   if (!tps_->empty()) Recurse(0);
+  ctx_ = nullptr;
   return emitted_;
 }
 
@@ -93,21 +334,13 @@ void MultiwayJoin::VisitWith(const TpState& tp, uint64_t row_value,
                              uint64_t col_value, size_t visited_count) {
   int rv = row_var_of_tp_[tp.tp_id];
   int cv = col_var_of_tp_[tp.tp_id];
-  size_t pushed = 0;
-  if (rv >= 0) {
-    vmap_[rv].push_back(Entry{tp.tp_id, row_value});
-    ++pushed;
-  }
-  if (cv >= 0 && cv != rv) {
-    vmap_[cv].push_back(Entry{tp.tp_id, col_value});
-    ++pushed;
-  }
+  if (rv >= 0) vmap_[rv].push_back(Entry{tp.tp_id, row_value});
+  if (cv >= 0 && cv != rv) vmap_[cv].push_back(Entry{tp.tp_id, col_value});
   visited_[tp.tp_id] = true;
   Recurse(visited_count + 1);
   visited_[tp.tp_id] = false;
   if (rv >= 0) vmap_[rv].pop_back();
   if (cv >= 0 && cv != rv) vmap_[cv].pop_back();
-  (void)pushed;
 }
 
 void MultiwayJoin::VisitNull(const TpState& tp, size_t visited_count) {
@@ -177,9 +410,88 @@ void MultiwayJoin::Recurse(size_t visited_count) {
   bool matched = false;
   const BitMat& bm = tp.mat.bm;
   const bool diagonal = (rv >= 0 && rv == cv);
+  const bool intersect = options_.enum_mode == JoinEnumMode::kIntersect;
 
   auto global_row = [&](uint32_t r) { return ids_.ToGlobal(tp.mat.row_kind, r); };
   auto global_col = [&](uint32_t c) { return ids_.ToGlobal(tp.mat.col_kind, c); };
+
+  // Enumerates a candidate set over one of the chosen TP's dimensions,
+  // pruned by the masters' static fold mask and bound-row constraints
+  // before any recursion. Small sets filter inline — the exact tests the
+  // per-bit path would pay one recursion level down, without the recursion
+  // on failures and with no buffering; large sets collect surviving
+  // positions word-parallel and merge the constraint rows through them.
+  // The visit order — and therefore every emitted row — is identical on
+  // every path: intersection only removes candidates whose subtree rolls
+  // back (DESIGN.md §6).
+  // The prepared core: constraints already resolved by the caller (the
+  // both-free case resolves the column side once and reuses it across the
+  // whole row loop — the bindings cannot change between rows).
+  auto enumerate_prepared = [&](const auto& cands, uint32_t size,
+                                uint64_t approx_count, const Bitvector* sm,
+                                const std::array<BoundCheck,
+                                                 kMaxBoundChecks>& checks,
+                                int nchecks, auto&& visit) {
+    if (approx_count < kBufferedThreshold) {
+      cands.ForEachSetBit([&](uint32_t p) {
+        ++enum_candidates_;
+        if (sm != nullptr && !(p < sm->size() && sm->Get(p))) {
+          ++enum_pruned_static_;
+          return;
+        }
+        if (!PassesBoundChecks(checks, nchecks, p)) {
+          ++enum_pruned_bound_;
+          return;
+        }
+        visit(p);
+      });
+      return;
+    }
+    ScratchPositions pos(ctx_);
+    uint64_t seen = 0;
+    if (sm == nullptr) {
+      cands.AppendSetBits(pos.get());
+      seen = pos->size();
+    } else if (approx_count < size / bitops::kWordBits) {
+      // Sparse candidates: probing the mask per candidate beats a word
+      // AND across the whole domain.
+      cands.ForEachSetBit([&](uint32_t p) {
+        ++seen;
+        if (p < sm->size() && sm->Get(p)) pos->push_back(p);
+      });
+    } else {
+      // Exact population (approx_count is only an upper-bound heuristic for
+      // bit-array candidates: BitMat::Count() counts triples, not rows).
+      seen = cands.Count();
+      AppendIntersection(cands, *sm, pos.get());
+    }
+    enum_candidates_ += seen;
+    enum_pruned_static_ += seen - pos->size();
+    size_t after_static = pos->size();
+    FilterPositions(checks, nchecks, pos.get());
+    enum_pruned_bound_ += after_static - pos->size();
+    for (uint32_t p : *pos) visit(p);
+  };
+  auto enumerate = [&](const auto& cands, int var, Dim dim, DomainKind kind,
+                       uint32_t size, uint64_t approx_count, auto&& visit) {
+    if (!intersect || var < 0 || masters_of_var_[var].empty()) {
+      cands.ForEachSetBit(visit);
+      return;
+    }
+    std::array<BoundCheck, kMaxBoundChecks> checks;
+    int nchecks = PrepareBoundChecks(var, chosen, kind, &checks);
+    if (nchecks < 0) return;  // a master can never match: zero candidates
+    const Bitvector* sm = StaticFoldMask(var, chosen, dim, kind, size);
+    if (sm == nullptr && nchecks == 0) {
+      cands.ForEachSetBit(visit);
+      return;
+    }
+    enumerate_prepared(cands, size, approx_count, sm, checks, nchecks, visit);
+  };
+  auto enumerate_row = [&](const CompressedRow& cands, int var, Dim dim,
+                           DomainKind kind, uint32_t size, auto&& visit) {
+    enumerate(cands, var, dim, kind, size, cands.Count(), visit);
+  };
 
   if (rc == Constraint::kImpossible || cc == Constraint::kImpossible) {
     // fallthrough: no triple matches.
@@ -197,10 +509,11 @@ void MultiwayJoin::Recurse(size_t visited_count) {
         VisitWith(tp, global_row(row_local), 0, visited_count);
       }
     } else {
-      bm.NonEmptyRows().ForEachSetBit([&](uint32_t r) {
-        matched = true;
-        VisitWith(tp, global_row(r), 0, visited_count);
-      });
+      enumerate(bm.NonEmptyRows(), rv, Dim::kRow, tp.mat.row_kind,
+                     bm.num_rows(), bm.Count(), [&](uint32_t r) {
+                       matched = true;
+                       VisitWith(tp, global_row(r), 0, visited_count);
+                     });
     }
   } else if (diagonal) {
     // (?x p ?x): the diagonal was enforced at load time; enumerate rows.
@@ -211,12 +524,14 @@ void MultiwayJoin::Recurse(size_t visited_count) {
                   visited_count);
       }
     } else {
-      bm.NonEmptyRows().ForEachSetBit([&](uint32_t r) {
-        if (bm.Test(r, r)) {
-          matched = true;
-          VisitWith(tp, global_row(r), global_col(r), visited_count);
-        }
-      });
+      enumerate(bm.NonEmptyRows(), rv, Dim::kRow, tp.mat.row_kind,
+                     bm.num_rows(), bm.Count(), [&](uint32_t r) {
+                       if (bm.Test(r, r)) {
+                         matched = true;
+                         VisitWith(tp, global_row(r), global_col(r),
+                                   visited_count);
+                       }
+                     });
     }
   } else if (rc == Constraint::kLocal && cc == Constraint::kLocal) {
     if (bm.Test(row_local, col_local)) {
@@ -225,23 +540,58 @@ void MultiwayJoin::Recurse(size_t visited_count) {
                 visited_count);
     }
   } else if (rc == Constraint::kLocal) {
-    bm.Row(row_local).ForEachSetBit([&](uint32_t c) {
-      matched = true;
-      VisitWith(tp, global_row(row_local), global_col(c), visited_count);
-    });
+    enumerate_row(bm.Row(row_local), cv, Dim::kCol, tp.mat.col_kind,
+                  bm.num_cols(), [&](uint32_t c) {
+                    matched = true;
+                    VisitWith(tp, global_row(row_local), global_col(c),
+                              visited_count);
+                  });
   } else if (cc == Constraint::kLocal) {
-    const BitMat& t = TransposeOf(chosen);
-    t.Row(col_local).ForEachSetBit([&](uint32_t r) {
-      matched = true;
-      VisitWith(tp, global_row(r), global_col(col_local), visited_count);
-    });
+    enumerate_row(TransposedColumn(chosen, col_local), rv, Dim::kRow,
+                  tp.mat.row_kind, bm.num_rows(), [&](uint32_t r) {
+                    matched = true;
+                    VisitWith(tp, global_row(r), global_col(col_local),
+                              visited_count);
+                  });
   } else {
     // Neither dimension bound: enumerate every triple (first TP, or a TP
-    // whose connections were all nulled).
-    bm.ForEachBit([&](uint32_t r, uint32_t c) {
+    // whose connections were all nulled). Rows go through the row-var
+    // constraints, each surviving row's bits through the col-var
+    // constraints — a master's constraint on one variable cannot depend on
+    // the other, since neither is bound yet.
+    uint32_t cur_row = 0;  // hoisted so the column visitor is built once
+    const auto visit_col = [&](uint32_t c) {
       matched = true;
-      VisitWith(tp, global_row(r), global_col(c), visited_count);
-    });
+      VisitWith(tp, global_row(cur_row), global_col(c), visited_count);
+    };
+    // Resolve the column-side constraints once: no binding is pushed
+    // between rows at this level, so PrepareBoundChecks and the static
+    // mask cannot change across the row loop.
+    std::array<BoundCheck, kMaxBoundChecks> col_checks;
+    int col_nchecks = 0;
+    const Bitvector* col_sm = nullptr;
+    if (intersect && cv >= 0 && !masters_of_var_[cv].empty()) {
+      col_nchecks = PrepareBoundChecks(cv, chosen, tp.mat.col_kind,
+                                       &col_checks);
+      if (col_nchecks >= 0) {
+        col_sm = StaticFoldMask(cv, chosen, Dim::kCol, tp.mat.col_kind,
+                                bm.num_cols());
+      }
+    }
+    if (col_nchecks >= 0) {  // else a column master can never match
+      enumerate(
+          bm.NonEmptyRows(), rv, Dim::kRow, tp.mat.row_kind, bm.num_rows(),
+          bm.Count(), [&](uint32_t r) {
+            cur_row = r;
+            const CompressedRow& row = bm.Row(r);
+            if (col_sm == nullptr && col_nchecks == 0) {
+              row.ForEachSetBit(visit_col);
+            } else {
+              enumerate_prepared(row, bm.num_cols(), row.Count(), col_sm,
+                                 col_checks, col_nchecks, visit_col);
+            }
+          });
+    }
   }
 
   if (!matched) {

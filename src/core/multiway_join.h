@@ -1,8 +1,8 @@
 #ifndef LBR_CORE_MULTIWAY_JOIN_H_
 #define LBR_CORE_MULTIWAY_JOIN_H_
 
+#include <array>
 #include <functional>
-#include <map>
 #include <string>
 #include <vector>
 
@@ -12,6 +12,7 @@
 #include "core/row.h"
 #include "core/tp_state.h"
 #include "rdf/dictionary.h"
+#include "util/exec_context.h"
 
 namespace lbr {
 
@@ -22,6 +23,14 @@ namespace lbr {
 /// entry stack per variable, tagged by the binding TP); no intermediate
 /// tables or hash joins are built. Unmatched slave TPs produce NULL
 /// bindings; unmatched absolute-master TPs roll the branch back.
+///
+/// Candidate enumeration (DESIGN.md §6): before recursing over the set
+/// bits of a candidate row, the row is intersected word-parallel with the
+/// constraints that unvisited absolute-master TPs sharing the variable
+/// already impose (their fold over the variable's dimension, or — when
+/// their other dimension is bound — the exact row/column). Candidates a
+/// master would roll back are skipped before the recursion is paid, which
+/// shrinks the branching factor without changing a single emitted row.
 ///
 /// At emission time the engine's decision flags drive:
 ///  - nullification: repair of partially-NULL slave groups (required for
@@ -41,6 +50,11 @@ class MultiwayJoin {
     bool nullification = false;
     /// Scoped filters to apply FaN-style (innermost first).
     std::vector<ScopedFilter> filters;
+    /// Candidate enumeration strategy (ablation knob; results identical).
+    JoinEnumMode enum_mode = JoinEnumMode::kIntersect;
+    /// Distinct columns of one TP extracted lazily before the transpose
+    /// cache falls forward to a full BitMat::Transposed() materialization.
+    uint32_t lazy_transpose_threshold = 64;
   };
 
   /// The join keeps its own per-emit scratch buffers (below), so
@@ -55,8 +69,10 @@ class MultiwayJoin {
   int VarIndex(const std::string& name) const;
 
   /// Runs the join, emitting each final row to `sink`. Returns the number
-  /// of rows emitted.
-  uint64_t Run(const Sink& sink);
+  /// of rows emitted. `ctx` (optional) supplies pooled scratch for the
+  /// candidate-intersection masks and position buffers; without it every
+  /// Recurse level falls back to function-local buffers.
+  uint64_t Run(const Sink& sink, ExecContext* ctx = nullptr);
 
   /// True if any row needed nullification repair or FaN nulling — the
   /// engine must then run best-match over the emitted rows.
@@ -66,10 +82,72 @@ class MultiwayJoin {
   /// used as the best-match grouping key.
   std::vector<int> MasterColumns() const;
 
+  /// Transposed rows served from the lazy per-column cache vs full
+  /// materializations (telemetry for tests/benches; cumulative over Runs).
+  uint64_t transpose_cols_built() const { return transpose_cols_built_; }
+  uint64_t transpose_full_builds() const { return transpose_full_builds_; }
+
+  /// Enumeration telemetry (cumulative over Runs, intersect mode only):
+  /// candidates entering the constrained enumerations, and how many the
+  /// static fold masks / bound-master rows eliminated before recursion.
+  uint64_t enum_candidates() const { return enum_candidates_; }
+  uint64_t enum_pruned_static() const { return enum_pruned_static_; }
+  uint64_t enum_pruned_bound() const { return enum_pruned_bound_; }
+
  private:
   struct Entry {
     int tp_id;
     uint64_t value;  // kNullBinding for NULL.
+  };
+
+  /// The fold part of a dimension's candidate constraint: the intersection
+  /// of the (aligned) folds of every absolute-master TP sharing the
+  /// dimension's variable. A variable is only ever enumerated freely while
+  /// every master sharing it is unvisited (a visited TP binds its
+  /// variables), so the contributing set never depends on the recursion
+  /// state — one mask per (TP, dim) serves every Recurse node. Entries
+  /// persist across Runs, stamped with each contributing BitMat's
+  /// version() (like the fold memo and the transpose cache): a mutation of
+  /// any contributor between Runs triggers a rebuild.
+  struct StaticMask {
+    bool built = false;
+    bool restricted = false;  ///< At least one master constrains the var.
+    /// Mask too dense to pay for itself: most of the domain survives, so
+    /// the per-node AND would filter next to nothing — skip it (bound-row
+    /// filtering still applies). Decided once per build from Count().
+    bool inert = false;
+    Bitvector mask;
+    /// (tp_id, version at build time) of every folded contributor.
+    std::vector<std::pair<int, uint64_t>> sources;
+  };
+
+  /// One absolute-master TP constraining a variable, precomputed in the
+  /// constructor so the per-node constraint passes never re-derive the
+  /// var→dimension mapping (or compare variable names) in the hot path.
+  struct MasterConstraint {
+    int tp_id;
+    Dim vdim;               ///< Dimension of the shared var in that TP.
+    DomainKind kind;        ///< Domain kind of that dimension.
+    int other_var;          ///< Var of the other dimension (-1 if unit).
+    DomainKind other_kind;  ///< Its domain kind.
+  };
+
+  /// Lazily built transpose of one TP's BitMat: only the columns the join
+  /// actually visits are extracted (as shared row handles); past
+  /// `lazy_transpose_threshold` distinct columns the cache falls forward
+  /// to a full Transposed() matrix. Version-stamped like the fold memo —
+  /// a mutation of the source BitMat between Runs orphans the entry.
+  struct TransposeCache {
+    bool valid = false;  ///< An entry exists (version is meaningful).
+    uint64_t version = 0;
+    bool full = false;
+    BitMat full_mat;  // when `full`
+    /// Extracted columns, sorted by column index; at most
+    /// lazy_transpose_threshold entries ever exist (then the cache falls
+    /// forward), so the structure stays O(visited columns), never
+    /// O(num_cols). A present entry with a null handle is an extracted
+    /// empty column.
+    std::vector<std::pair<uint32_t, BitMat::RowHandle>> cols;
   };
 
   void Recurse(size_t visited_count);
@@ -83,7 +161,49 @@ class MultiwayJoin {
   // First entry (master-most binding) for a variable; nullptr if no entry.
   const Entry* FirstEntry(int var) const;
 
-  const BitMat& TransposeOf(int tp_id);
+  /// Column `col` of TP `tp_id`'s BitMat as a compressed row over the row
+  /// domain, served from the lazy transpose cache. The reference stays
+  /// valid until the cache entry is invalidated (source version change).
+  const CompressedRow& TransposedColumn(int tp_id, uint32_t col);
+
+  /// The cached static fold mask for enumerating `var` on `dim` of TP
+  /// `chosen_tp` (domain `dst_kind`/`dst_size`). Returns nullptr when no
+  /// absolute master shares the variable — enumerate unconstrained.
+  const Bitvector* StaticFoldMask(int var, int chosen_tp, Dim dim,
+                                  DomainKind dst_kind, uint32_t dst_size);
+
+  /// One resolved bound-row constraint: an unvisited absolute-master TP
+  /// whose other dimension is bound right now. `row` is the bound row when
+  /// the variable lives on the TP's columns; null means the variable lives
+  /// on its rows (test bm->Test(p, bound), or merge against the lazy
+  /// transposed column in the buffered path).
+  static constexpr int kMaxBoundChecks = 4;
+  struct BoundCheck {
+    int tp_id;
+    const BitMat* bm;
+    const CompressedRow* row;
+    uint32_t bound;
+    bool cross;  ///< S/O cross-domain: candidates >= |Vso| always fail.
+  };
+
+  /// Resolves the currently-applicable bound-row constraints on `var`.
+  /// Returns -1 when some master can never match under the current
+  /// bindings (no candidate survives; the branch is bound to roll back),
+  /// else the number of checks filled (capped at kMaxBoundChecks — a
+  /// subset of constraints is still a sound filter).
+  int PrepareBoundChecks(int var, int chosen_tp, DomainKind dst_kind,
+                         std::array<BoundCheck, kMaxBoundChecks>* out);
+
+  /// True iff candidate `p` passes every prepared check — the exact Tests
+  /// the per-bit path would pay one recursion level down.
+  bool PassesBoundChecks(const std::array<BoundCheck, kMaxBoundChecks>& checks,
+                         int n, uint32_t p) const;
+
+  /// Buffered form: drops from `positions` (sorted ascending) every
+  /// candidate a check rejects — linear merge against the constraint row
+  /// (lazy transposed column when the variable lives on the TP's rows).
+  void FilterPositions(const std::array<BoundCheck, kMaxBoundChecks>& checks,
+                       int n, std::vector<uint32_t>* positions);
 
   const Gosn& gosn_;
   GlobalIds ids_;
@@ -92,21 +212,29 @@ class MultiwayJoin {
   std::vector<int> stps_;
   Options options_;
 
+  /// Sorted flat variable table; VarIndex is a binary search over it (a
+  /// variable's index IS its position — no separate map).
   std::vector<std::string> var_names_;
-  std::map<std::string, int> var_index_;
   // Per-TP: variable column of the row/col dimension (-1 if unit).
   std::vector<int> row_var_of_tp_;
   std::vector<int> col_var_of_tp_;
 
   std::vector<std::vector<Entry>> vmap_;  // per var column
+  std::vector<std::vector<MasterConstraint>> masters_of_var_;  // per var
   std::vector<bool> visited_;
-  // Memoized transposes, stamped with the source BitMat's version so a
-  // mutation between Run calls invalidates the entry.
-  std::vector<BitMat> transpose_cache_;
-  std::vector<bool> has_transpose_;
-  std::vector<uint64_t> transpose_version_;
+  std::vector<TransposeCache> transpose_cache_;  // per TP
+  // Per TP: the static fold masks of its row (index 0) and column (1)
+  // dimensions, built lazily and version-stamped against their
+  // contributors (the join never mutates BitMats mid-Run).
+  std::vector<std::array<StaticMask, 2>> static_masks_;
+  uint64_t transpose_cols_built_ = 0;
+  uint64_t transpose_full_builds_ = 0;
+  uint64_t enum_candidates_ = 0;
+  uint64_t enum_pruned_static_ = 0;
+  uint64_t enum_pruned_bound_ = 0;
 
   Sink sink_;
+  ExecContext* ctx_ = nullptr;  // valid during Run
   uint64_t emitted_ = 0;
   bool nulling_applied_ = false;
 

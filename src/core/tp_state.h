@@ -8,6 +8,19 @@
 
 namespace lbr {
 
+/// Candidate-enumeration strategy of the multiway pipelined join
+/// (Alg 5.4). Both modes emit the exact same row sequence; the knob exists
+/// for the bench/ablation_join comparison.
+enum class JoinEnumMode : uint8_t {
+  /// Word-parallel intersection of the candidate row with the folds/bound
+  /// rows of unvisited absolute-master TPs sharing the variable, before
+  /// recursing (default).
+  kIntersect = 0,
+  /// Legacy per-bit enumeration: every set bit of the candidate row
+  /// recurses and is Test-probed by the sibling TPs one level down.
+  kPerBit = 1,
+};
+
 /// Per-triple-pattern query state: the TP, its supernode, its loaded BitMat
 /// (with the variable/dimension mapping), and bookkeeping counters used by
 /// the evaluation metrics of Section 6 (#initial triples, #triples after

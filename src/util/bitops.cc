@@ -120,5 +120,18 @@ void AppendSetBitsInRange(const uint64_t* w, size_t begin, size_t end,
   }
 }
 
+void AppendAndSetBits(const uint64_t* a, const uint64_t* b, size_t n,
+                      std::vector<uint32_t>* out) {
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t word = a[i] & b[i];
+    uint32_t word_base = static_cast<uint32_t>(i << 6);
+    while (word != 0) {
+      out->push_back(word_base +
+                     static_cast<uint32_t>(__builtin_ctzll(word)));
+      word &= word - 1;
+    }
+  }
+}
+
 }  // namespace bitops
 }  // namespace lbr

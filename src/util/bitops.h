@@ -106,6 +106,13 @@ void AppendSetBits(const uint64_t* w, size_t n, uint32_t base,
 void AppendSetBitsInRange(const uint64_t* w, size_t begin, size_t end,
                           std::vector<uint32_t>* out);
 
+/// Appends the positions of the set bits of a[0..n) & b[0..n) to `*out` in
+/// ascending order, without materializing the intersection — the candidate
+/// enumeration core of the multiway join (candidate bits ∧ constraint mask
+/// → positions buffer in one pass). Words whose AND is zero cost one test.
+void AppendAndSetBits(const uint64_t* a, const uint64_t* b, size_t n,
+                      std::vector<uint32_t>* out);
+
 }  // namespace bitops
 }  // namespace lbr
 

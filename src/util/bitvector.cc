@@ -35,6 +35,12 @@ void Bitvector::SetRange(size_t begin, size_t end) {
   bitops::SetBitRange(words_.data(), begin, end);
 }
 
+void Bitvector::ClearRange(size_t begin, size_t end) {
+  end = std::min(end, size_);
+  if (begin >= end) return;
+  bitops::ClearBitRange(words_.data(), begin, end);
+}
+
 size_t Bitvector::Count() const {
   return static_cast<size_t>(bitops::PopcountWords(words_.data(),
                                                    words_.size()));
@@ -101,10 +107,9 @@ void Bitvector::Not() {
 }
 
 void Bitvector::TruncateBitsFrom(size_t n) {
-  if (n >= size_) return;
   // Bits past size_ are already zero by invariant, so clearing [n, size_)
-  // suffices.
-  bitops::ClearBitRange(words_.data(), n, size_);
+  // suffices; ClearRange clamps.
+  ClearRange(n, size_);
 }
 
 Bitvector Bitvector::Resized(size_t n) const {
@@ -127,6 +132,12 @@ void Bitvector::AssignResized(const Bitvector& src, size_t n) {
 
 void Bitvector::AppendSetBits(std::vector<uint32_t>* out) const {
   bitops::AppendSetBits(words_.data(), words_.size(), 0, out);
+}
+
+void Bitvector::AppendAndSetBits(const Bitvector& other,
+                                 std::vector<uint32_t>* out) const {
+  size_t n = std::min(words_.size(), other.words_.size());
+  bitops::AppendAndSetBits(words_.data(), other.words_.data(), n, out);
 }
 
 std::vector<uint32_t> Bitvector::SetBits() const {

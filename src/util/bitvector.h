@@ -50,6 +50,9 @@ class Bitvector {
   /// of length L costs O(L/64) words, not O(L) bit writes.
   void SetRange(size_t begin, size_t end);
 
+  /// Clears every bit in [begin, end); the range is clamped to size().
+  void ClearRange(size_t begin, size_t end);
+
   /// Number of set bits.
   size_t Count() const;
   /// True iff no bit is set.
@@ -86,6 +89,12 @@ class Bitvector {
 
   /// Appends the indexes of all set bits to `*out`.
   void AppendSetBits(std::vector<uint32_t>* out) const;
+  /// Appends the indexes of the bits set in both `this` and `other` to
+  /// `*out`, ascending, without materializing the intersection. Operates on
+  /// the common word prefix (zero-tail makes trailing words contribute
+  /// nothing), so sizes need not match.
+  void AppendAndSetBits(const Bitvector& other,
+                        std::vector<uint32_t>* out) const;
   /// Returns the indexes of all set bits.
   std::vector<uint32_t> SetBits() const;
 

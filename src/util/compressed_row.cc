@@ -214,6 +214,43 @@ bool CompressedRow::IntersectsWith(const Bitvector& mask) const {
   return false;
 }
 
+void CompressedRow::IntersectSortedPositions(
+    std::vector<uint32_t>* positions) const {
+  switch (encoding_) {
+    case Encoding::kEmpty:
+      positions->clear();
+      return;
+    case Encoding::kPositions: {
+      const uint32_t* pay = payload_.data();
+      const size_t n = payload_.size();
+      size_t kept = 0, i = 0;
+      for (uint32_t p : *positions) {
+        while (i < n && pay[i] < p) ++i;
+        if (i == n) break;
+        if (pay[i] == p) (*positions)[kept++] = p;
+      }
+      positions->resize(kept);
+      return;
+    }
+    case Encoding::kRuns: {
+      size_t kept = 0, ri = 0;
+      uint64_t run_end = payload_.empty() ? 0 : payload_[0];
+      bool bit = first_bit_;
+      for (uint32_t p : *positions) {
+        while (ri < payload_.size() && run_end <= p) {
+          ++ri;
+          bit = !bit;
+          if (ri < payload_.size()) run_end += payload_[ri];
+        }
+        if (ri == payload_.size()) break;  // implicit trailing zeros
+        if (bit) (*positions)[kept++] = p;
+      }
+      positions->resize(kept);
+      return;
+    }
+  }
+}
+
 bool CompressedRow::IsSubsetOf(const Bitvector& mask) const {
   switch (encoding_) {
     case Encoding::kEmpty:

@@ -67,6 +67,14 @@ class CompressedRow {
   /// Run-encoded rows test whole 64-bit mask words with early exit.
   bool IntersectsWith(const Bitvector& mask) const;
 
+  /// Keeps only the entries of `positions` (sorted ascending) whose bit is
+  /// set in this row — a single linear merge over the two compressed
+  /// sequences (two-pointer walk on position rows, run walk on RLE rows),
+  /// in place. The compressed-space form of candidate ∧ constraint-row for
+  /// the multiway join: O(|positions| + payload) with sequential access,
+  /// where per-candidate Test probes would pay a search per entry.
+  void IntersectSortedPositions(std::vector<uint32_t>* positions) const;
+
   /// True iff every set bit of this row is also set in `mask` — i.e. the
   /// mask would drop nothing. Word-parallel on run rows, early exit on the
   /// first hole, no allocation; the fast path of the copy-on-write unfold

@@ -241,5 +241,33 @@ TEST_P(BitvectorPatternTest, CountMatchesIteration) {
 INSTANTIATE_TEST_SUITE_P(Strides, BitvectorPatternTest,
                          ::testing::Values(1, 2, 3, 7, 13, 63, 64, 65, 999));
 
+TEST(BitvectorTest, ClearRangeClampsAndClearsWordWise) {
+  Bitvector b(200, true);
+  b.ClearRange(10, 140);  // crosses two word boundaries
+  for (size_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(b.Get(i), i < 10 || i >= 140) << i;
+  }
+  b.ClearRange(190, 500);  // end clamped to size
+  EXPECT_EQ(b.Count(), 10u + (190u - 140u));
+  b.ClearRange(50, 50);  // empty range: no-op
+  EXPECT_EQ(b.Count(), 60u);
+}
+
+TEST(BitvectorTest, AppendAndSetBitsMatchesMaterializedAnd) {
+  Bitvector a(150), b(150);
+  for (size_t i = 0; i < 150; i += 2) a.Set(i);
+  for (size_t i = 0; i < 150; i += 3) b.Set(i);
+  Bitvector both = a;
+  both.And(b);
+  std::vector<uint32_t> out;
+  a.AppendAndSetBits(b, &out);
+  EXPECT_EQ(out, both.SetBits());
+  // Mismatched sizes: only the common word prefix contributes.
+  Bitvector wide(400, true);
+  out.clear();
+  a.AppendAndSetBits(wide, &out);
+  EXPECT_EQ(out, a.SetBits());
+}
+
 }  // namespace
 }  // namespace lbr

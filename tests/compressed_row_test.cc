@@ -360,5 +360,53 @@ TEST_P(CompressedRowSweep, OperationsAgreeWithBitvector) {
 INSTANTIATE_TEST_SUITE_P(Seeds, CompressedRowSweep,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
 
+TEST(CompressedRowTest, IntersectSortedPositionsBasics) {
+  std::vector<uint32_t> cands = {1, 5, 64, 65, 130, 400};
+  CompressedRow empty;
+  std::vector<uint32_t> v = cands;
+  empty.IntersectSortedPositions(&v);
+  EXPECT_TRUE(v.empty());
+
+  CompressedRow sparse = FromBits({5, 65, 200});  // kPositions
+  v = cands;
+  sparse.IntersectSortedPositions(&v);
+  EXPECT_EQ(v, (std::vector<uint32_t>{5, 65}));
+
+  CompressedRow dense = FromBits({0, 1, 2, 3, 4, 5, 64, 65, 66, 67});
+  ASSERT_EQ(dense.encoding(), CompressedRow::Encoding::kRuns);
+  v = cands;
+  dense.IntersectSortedPositions(&v);
+  EXPECT_EQ(v, (std::vector<uint32_t>{1, 5, 64, 65}));
+}
+
+// Property sweep: IntersectSortedPositions equals the per-candidate Test
+// model on random rows and candidate lists for both encodings.
+class IntersectSortedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IntersectSortedSweep, MatchesTestModel) {
+  Rng rng(GetParam());
+  const uint32_t width = 300;
+  for (double density : {0.03, 0.4, 0.9}) {
+    std::vector<uint32_t> row_bits;
+    for (uint32_t i = 0; i < width; ++i) {
+      if (rng.Chance(density)) row_bits.push_back(i);
+    }
+    CompressedRow row = FromBits(row_bits);
+    std::vector<uint32_t> cands;
+    for (uint32_t i = 0; i < width + 50; ++i) {  // some past the row's end
+      if (rng.Chance(0.3)) cands.push_back(i);
+    }
+    std::vector<uint32_t> expected;
+    for (uint32_t p : cands) {
+      if (row.Test(p)) expected.push_back(p);
+    }
+    row.IntersectSortedPositions(&cands);
+    EXPECT_EQ(cands, expected) << "density " << density;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntersectSortedSweep,
+                         ::testing::Values(21, 22, 23, 24, 25, 26));
+
 }  // namespace
 }  // namespace lbr

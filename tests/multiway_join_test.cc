@@ -182,6 +182,55 @@ TEST(MultiwayJoinTest, ExistenceGuardTp) {
   EXPECT_TRUE(miss.Run({}).empty());
 }
 
+TEST(MultiwayJoinTest, TransposeCacheInvalidatedOnSourceMutation) {
+  // One join object across two Runs: a mutation of a source BitMat between
+  // them must orphan the lazily built transposed columns (version stamp),
+  // not serve stale bits. Per-bit mode keeps the column-keyed lookup on the
+  // transpose path (intersection would already prune via the empty fold).
+  JoinFixture f(testing::MakeGraph({
+                    {"a", "p", "b"},
+                    {"c", "q", "b"},
+                    {"d", "q", "x"},
+                }),
+                "{ ?s <p> ?y . ?w <q> ?y . }");
+  std::vector<int> stps = {0, 1};
+  GlobalIds ids = GlobalIds::FromDictionary(f.graph.dict());
+  MultiwayJoin::Options options;
+  options.enum_mode = JoinEnumMode::kPerBit;
+  MultiwayJoin join(f.gosn, ids, f.graph.dict(), &f.states, stps, options);
+  EXPECT_EQ(join.Run([](const RawRow&, bool) {}), 1u);
+  EXPECT_GT(join.transpose_cols_built(), 0u);
+  EXPECT_EQ(join.transpose_full_builds(), 0u);
+
+  // Drop every triple of the ?w <q> ?y TP; the rerun must see it.
+  BitMat& qbm = f.states[1].mat.bm;
+  Bitvector none(qbm.num_rows());
+  qbm.Unfold(none, Dim::kRow);
+  EXPECT_EQ(join.Run([](const RawRow&, bool) {}), 0u);
+}
+
+TEST(MultiwayJoinTest, LazyTransposeFallsForwardPastThreshold) {
+  // Six distinct ?y bindings force six transposed-column visits on the
+  // ?w <q> ?y TP; with a threshold of 2 the cache extracts two columns
+  // lazily and then falls forward to one full materialization.
+  std::vector<std::vector<std::string>> triples;
+  for (int i = 0; i < 6; ++i) {
+    std::string y = "y" + std::to_string(i);
+    triples.push_back({"a", "p", y});
+    triples.push_back({"w" + std::to_string(i), "q", y});
+  }
+  JoinFixture f(testing::MakeGraph(triples), "{ ?s <p> ?y . ?w <q> ?y . }");
+  std::vector<int> stps = {0, 1};
+  GlobalIds ids = GlobalIds::FromDictionary(f.graph.dict());
+  MultiwayJoin::Options options;
+  options.enum_mode = JoinEnumMode::kPerBit;
+  options.lazy_transpose_threshold = 2;
+  MultiwayJoin join(f.gosn, ids, f.graph.dict(), &f.states, stps, options);
+  EXPECT_EQ(join.Run([](const RawRow&, bool) {}), 6u);
+  EXPECT_EQ(join.transpose_cols_built(), 2u);
+  EXPECT_EQ(join.transpose_full_builds(), 1u);
+}
+
 TEST(MultiwayJoinTest, ColumnConstrainedLookupUsesTranspose) {
   // Force a join where the second TP is keyed by its column dimension:
   // tp0 binds ?y (object), tp1 loaded with subject rows binds ?z from ?y...
