@@ -243,8 +243,8 @@ void WriteJson(const std::vector<JoinTiming>& rows, double geomean,
     return;
   }
   auto ns = [](double sec) { return sec * 1e9; };
-  out << "{\n  \"context\": {\"bench\": \"ablation_join\", "
-      << "\"workload\": \"LUBM-like\"},\n  \"benchmarks\": [\n";
+  out << "{\n  " << JsonContext("ablation_join", "LUBM-like")
+      << ",\n  \"benchmarks\": [\n";
   bool first = true;
   for (const JoinTiming& r : rows) {
     auto emit = [&](const std::string& mode, double sec) {

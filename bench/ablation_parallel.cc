@@ -179,9 +179,8 @@ void WriteJson(const std::vector<SweepResult>& prune,
     return;
   }
   auto ns = [](double sec) { return sec * 1e9; };
-  out << "{\n  \"context\": {\"bench\": \"ablation_parallel\", "
-      << "\"workload\": \"LUBM-like\", \"hardware_threads\": "
-      << ThreadPool::HardwareThreads() << "},\n  \"benchmarks\": [\n";
+  out << "{\n  " << JsonContext("ablation_parallel", "LUBM-like")
+      << ",\n  \"benchmarks\": [\n";
   bool first = true;
   auto emit_family = [&](const char* family,
                          const std::vector<SweepResult>& results) {

@@ -124,8 +124,8 @@ void WriteHitPathJson(const std::vector<HitPathResult>& results,
     return;
   }
   auto ns = [](double sec) { return sec * 1e9; };
-  out << "{\n  \"context\": {\"bench\": \"ablation_tp_cache\", "
-      << "\"workload\": \"LUBM-like\"},\n  \"benchmarks\": [\n";
+  out << "{\n  " << JsonContext("ablation_tp_cache", "LUBM-like")
+      << ",\n  \"benchmarks\": [\n";
   bool first = true;
   double log_speedup_sum = 0;
   for (const HitPathResult& r : results) {

@@ -6,9 +6,12 @@
 // baseline, and the no-prune LBR ablation, and prints a Table 6.x-style
 // row per query plus the Section 6.2 geometric means.
 
+#include <unistd.h>
+
 #include <cmath>
 #include <cstdlib>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -18,10 +21,27 @@
 #include "rdf/graph.h"
 #include "sparql/parser.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 #include "workload/query_sets.h"
 #include "workload/table_printer.h"
 
 namespace lbr::bench {
+
+/// The JSON "context" object every bench writer emits: bench name,
+/// workload, and the host's parallelism (hardware_threads from the C++
+/// runtime, nproc_online from the OS). Timing baselines are hardware-bound;
+/// recording the thread counts in every file lets check_regression.py warn
+/// when a baseline and a current run come from different machines.
+inline std::string JsonContext(const std::string& bench,
+                               const std::string& workload) {
+  long nproc = ::sysconf(_SC_NPROCESSORS_ONLN);
+  std::ostringstream os;
+  os << "\"context\": {\"bench\": \"" << bench << "\", \"workload\": \""
+     << workload << "\", \"hardware_threads\": "
+     << ThreadPool::HardwareThreads()
+     << ", \"nproc_online\": " << (nproc > 0 ? nproc : 1) << "}";
+  return os.str();
+}
 
 /// Scale factor from the environment (LBR_SCALE, default 1.0). The bench
 /// defaults are laptop-seconds sized; raise LBR_SCALE to stress.

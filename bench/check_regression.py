@@ -19,7 +19,10 @@ Usage:
 Baselines are hardware-bound: after an intentional perf shift, or when the
 gate trips on a new runner class with no code change, refresh them from
 that CI run's `bench-json` artifact with bench/update_baselines.py (see
-bench/README.md for the full procedure).
+bench/README.md for the full procedure). Every JSON context records the
+recording host's thread count (hardware_threads / num_cpus); when baseline
+and current run disagree, a warning flags that ratios may be hardware, not
+code.
 
 Exit codes: 0 ok, 1 regression, 2 unusable input (missing files, no
 comparable benchmarks).
@@ -32,7 +35,7 @@ import sys
 
 
 def load_benchmarks(path):
-    """Returns {name: real_time} for comparable entries."""
+    """Returns ({name: real_time} for comparable entries, context dict)."""
     try:
         with open(path) as f:
             doc = json.load(f)
@@ -49,7 +52,34 @@ def load_benchmarks(path):
         t = b.get("real_time")
         if isinstance(t, (int, float)) and t > 0:
             out[name] = float(t)
-    return out
+    context = doc.get("context")
+    return out, context if isinstance(context, dict) else {}
+
+
+def hardware_threads(context):
+    """Thread count recorded in a JSON context: our writers emit
+    `hardware_threads` (bench_common.h JsonContext); google-benchmark files
+    (micro_bitops) emit `num_cpus`. None when the file predates either."""
+    for key in ("hardware_threads", "num_cpus"):
+        v = context.get(key)
+        if isinstance(v, int) and v > 0:
+            return v
+    return None
+
+
+def warn_on_hardware_mismatch(base_ctx, cur_ctx):
+    base_hw = hardware_threads(base_ctx)
+    cur_hw = hardware_threads(cur_ctx)
+    if base_hw is None:
+        print("note: baseline records no hardware context; refresh "
+              "bench/baselines/ to enable the hardware-mismatch check")
+        return
+    if cur_hw is not None and base_hw != cur_hw:
+        print(f"warning: hardware differs — baseline recorded with "
+              f"{base_hw} hardware thread(s), current run has {cur_hw}; "
+              f"timing ratios may reflect the machine, not the code. "
+              f"Consider refreshing bench/baselines/ from this run's "
+              f"bench-json artifact (bench/README.md).")
 
 
 def main():
@@ -64,8 +94,9 @@ def main():
     )
     args = ap.parse_args()
 
-    base = load_benchmarks(args.baseline)
-    cur = load_benchmarks(args.current)
+    base, base_ctx = load_benchmarks(args.baseline)
+    cur, cur_ctx = load_benchmarks(args.current)
+    warn_on_hardware_mismatch(base_ctx, cur_ctx)
     shared = sorted(set(base) & set(cur))
     missing = sorted(set(base) - set(cur))
     new = sorted(set(cur) - set(base))

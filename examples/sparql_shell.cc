@@ -8,12 +8,16 @@
 //                     the thread pool (shared warm TP cache)
 //   .quit             exit
 //
-// Usage:  sparql_shell [--threads N] [data.nt | data.lbr]
+// Usage:  sparql_shell [--threads N] [--sched serial|waves] [data.nt | data.lbr]
 //         echo 'SELECT ...' | sparql_shell data.nt
 //
 // --threads N (default 1) sizes the worker pool: interactive queries shard
 // their prune/fold row work across it, and .batch fans whole queries over
 // it with one engine per worker against the shared TP cache.
+// --sched waves runs independent semi-joins of each prune pass
+// concurrently on the pool (conflict-scheduled waves, DESIGN.md §7);
+// serial (default) keeps the fully ordered fixpoint. Results are
+// bit-identical either way.
 
 #include <cstdlib>
 #include <fstream>
@@ -72,26 +76,39 @@ int main(int argc, char** argv) {
 
   int num_threads = 1;
   std::string data_path;
+  std::string sched = "serial";
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--threads" && i + 1 < argc) {
       num_threads = std::atoi(argv[++i]);
     } else if (arg.rfind("--threads=", 0) == 0) {
       num_threads = std::atoi(arg.c_str() + 10);
+    } else if (arg == "--sched" && i + 1 < argc) {
+      sched = argv[++i];
+    } else if (arg.rfind("--sched=", 0) == 0) {
+      sched = arg.substr(8);
     } else {
       data_path = arg;
     }
   }
   if (num_threads < 1) num_threads = ThreadPool::HardwareThreads();
+  if (sched != "serial" && sched != "waves") {
+    std::cerr << "unknown --sched mode '" << sched
+              << "' (expected serial or waves)\n";
+    return 1;
+  }
 
   std::unique_ptr<ThreadPool> pool;
   EngineOptions options;
   options.enable_tp_cache = true;  // shell reruns queries: cache pays off
+  options.semi_join_sched =
+      sched == "waves" ? SemiJoinSched::kWaves : SemiJoinSched::kSerial;
   if (num_threads > 1) {
     pool = std::make_unique<ThreadPool>(num_threads);
     options.pool = pool.get();
     std::cerr << "thread pool: " << num_threads << " slots ("
-              << pool->num_workers() << " workers + caller)\n";
+              << pool->num_workers() << " workers + caller); semi-join sched: "
+              << sched << "\n";
   }
 
   Database db = [&] {

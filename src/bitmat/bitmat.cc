@@ -104,21 +104,46 @@ void BitMat::FoldInto(Dim retain, Bitvector* out, ExecContext* ctx,
     out->AssignResized(non_empty_rows_, num_rows_);
     return;
   }
-  if (ColFoldMemoized()) {
+  uint32_t s = col_fold_.state.load(std::memory_order_acquire);
+  if (s == FoldMemo::kPublished) {
     // Word copy of the memo; no row is touched.
     out->AssignResized(*col_fold_.bits, num_cols_);
     if (ctx != nullptr) ctx->CountFoldHit();
     return;
   }
-  ComputeColFoldInto(out, pool);
-  if (col_fold_.miss_version == version_) {
-    // Second fold at this version: the result is evidently reused — store
-    // it so every further fold is a word copy.
-    col_fold_.bits = std::make_shared<const Bitvector>(*out);
-    col_fold_.version = version_;
-  } else {
-    col_fold_.miss_version = version_;
+  if (s == FoldMemo::kIdle &&
+      col_fold_.state.compare_exchange_strong(s, FoldMemo::kMissed,
+                                              std::memory_order_acq_rel)) {
+    // First fold at this version: only record that it happened (the
+    // second-touch policy). Exactly one racing fold wins this edge.
+    ComputeColFoldInto(out, pool);
+    if (ctx != nullptr) ctx->CountFoldMiss();
+    return;
   }
+  // A failed CAS reloads `s`, so it now holds the freshly observed state.
+  if (s == FoldMemo::kMissed &&
+      col_fold_.state.compare_exchange_strong(s, FoldMemo::kComputing,
+                                              std::memory_order_acq_rel)) {
+    // Second fold at this version: the result is evidently reused — the
+    // once path computes it and publishes the memo for everyone.
+    ComputeColFoldInto(out, pool);
+    col_fold_.bits = std::make_shared<const Bitvector>(*out);
+    col_fold_.state.store(FoldMemo::kPublished, std::memory_order_release);
+    if (ctx != nullptr) {
+      ctx->CountFoldMiss();
+      ctx->CountFoldOnce();
+    }
+    return;
+  }
+  if (s == FoldMemo::kPublished) {
+    // Lost the race to a publisher: its memo is ready — word-copy it.
+    out->AssignResized(*col_fold_.bits, num_cols_);
+    if (ctx != nullptr) ctx->CountFoldHit();
+    return;
+  }
+  // Another thread holds the once edge (kComputing) or just recorded the
+  // miss: fold locally without touching the memo, never blocking.
+  ComputeColFoldInto(out, pool);
   if (ctx != nullptr) ctx->CountFoldMiss();
 }
 
@@ -150,11 +175,13 @@ void BitMat::ComputeColFoldInto(Bitvector* out, ThreadPool* pool) const {
 }
 
 void BitMat::MemoizeColFold(ThreadPool* pool) const {
+  // Owner-exclusive warm path (cache entries are memoized before they are
+  // published): no CAS dance, just compute and publish.
   if (ColFoldMemoized()) return;
   auto fold = std::make_shared<Bitvector>();
   ComputeColFoldInto(fold.get(), pool);
   col_fold_.bits = std::move(fold);
-  col_fold_.version = version_;
+  col_fold_.state.store(FoldMemo::kPublished, std::memory_order_release);
 }
 
 BitMat::RowHandle BitMat::MaskedRow(const RowHandle& row,

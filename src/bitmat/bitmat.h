@@ -1,6 +1,7 @@
 #ifndef LBR_BITMAT_BITMAT_H_
 #define LBR_BITMAT_BITMAT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
@@ -39,11 +40,16 @@ enum class Dim : uint8_t {
 /// stamped with the version lets `FoldInto(kCol)` return the memoized fold
 /// without row iteration while the matrix is unchanged.
 ///
-/// Thread confinement: the fold memo is mutable state written under const
-/// (`FoldInto`), so a BitMat object — even one only read — must not be
-/// shared between threads without external synchronization. Sharing row
-/// payload across thread-confined BitMat copies is safe (handles are
-/// immutable and refcounts are atomic).
+/// Thread confinement: mutating ops (`SetRow`, `Unfold`) require exclusive
+/// ownership of the matrix. Concurrent *reads* — including `FoldInto`,
+/// which writes the mutable fold memo under const — are safe: the memo is
+/// published through a per-version atomic once-flag (DESIGN.md §7), so any
+/// number of threads may fold one matrix at a time, as the wave scheduler's
+/// shared-master semi-joins do. A writer must still be the only thread
+/// touching the matrix (the scheduler's conflict rule guarantees it), and
+/// the writer/reader handover needs external synchronization (the wave
+/// barrier). Sharing row payload across thread-confined BitMat copies is
+/// safe (handles are immutable and refcounts are atomic).
 class BitMat {
  public:
   /// A shared immutable row. Null means an empty row (no set bits); a
@@ -102,8 +108,11 @@ class BitMat {
   /// version(): the first fold after a mutation only records that it
   /// happened (fold-once-then-mutate patterns like the semi-join slave pay
   /// no memo cost), the second stores the result, and later calls copy the
-  /// memo's words without touching any row. `ctx` (optional) only receives
-  /// hit/miss telemetry. Row folds are the incrementally maintained
+  /// memo's words without touching any row. Concurrent callers are safe:
+  /// the memo is published through an atomic once-flag, so racing folds
+  /// either word-copy the published memo or compute into their own output
+  /// (DESIGN.md §7). `ctx` (optional) only receives hit/miss/once
+  /// telemetry. Row folds are the incrementally maintained
   /// NonEmptyRows() metadata and are always O(words); they bypass the
   /// cache counters.
   ///
@@ -117,7 +126,8 @@ class BitMat {
 
   /// True iff the next FoldInto(kCol) would be served from the memo.
   bool ColFoldMemoized() const {
-    return col_fold_.bits != nullptr && col_fold_.version == version_;
+    return col_fold_.state.load(std::memory_order_acquire) ==
+           FoldMemo::kPublished;
   }
 
   /// Computes and stores the column-fold memo immediately, bypassing the
@@ -198,12 +208,15 @@ class BitMat {
   /// across `pool` when given and the matrix is large enough to pay.
   void ComputeColFoldInto(Bitvector* out, ThreadPool* pool = nullptr) const;
 
-  /// Records a bit-content change: bumps the version and drops the fold
-  /// memo (stale memos would be ignored anyway — the version stamp no
-  /// longer matches — but dropping frees the words eagerly).
+  /// Records a bit-content change: bumps the version, drops the fold memo,
+  /// and resets its once-flag to kIdle. Mutation requires exclusive
+  /// ownership (no concurrent reader — the scheduler's conflict rule), so
+  /// plain writes are safe here; the next readers observe the reset state
+  /// through whatever barrier handed them the matrix.
   void Touch() {
     ++version_;
     col_fold_.bits.reset();
+    col_fold_.state.store(FoldMemo::kIdle, std::memory_order_relaxed);
   }
 
   uint32_t num_rows_ = 0;
@@ -213,16 +226,45 @@ class BitMat {
   std::vector<RowHandle> rows_;
   Bitvector non_empty_rows_;
 
-  /// Memoized column fold, valid while `version == version_`. Shared with
-  /// copies of this matrix (both sides only read it; a mutation on either
-  /// side bumps that side's version, orphaning its stamp). `miss_version`
-  /// implements the second-touch policy: a fold only stores the memo when
-  /// a previous fold already ran at the same version, so matrices folded
-  /// once and then mutated never pay the memo's allocation + copy.
+  /// Memoized column fold behind a per-version atomic once-flag
+  /// (DESIGN.md §7). The state machine encodes the second-touch policy:
+  ///
+  ///   kIdle ──fold──> kMissed ──fold──> kComputing ──publish──> kPublished
+  ///
+  /// The kIdle→kMissed and kMissed→kComputing edges are CAS transitions,
+  /// so exactly one fold per version records the miss and exactly one
+  /// computes + stores the memo; concurrent losers fold into their own
+  /// output without touching the memo (compute-locally, never blocking).
+  /// `bits` is written only by the kComputing winner and read only after
+  /// an acquire-load observes kPublished — release/acquire on `state` is
+  /// the publication fence. Any mutation resets to kIdle under exclusive
+  /// ownership (Touch), so matrices folded once and then mutated still
+  /// never pay the memo's allocation + copy.
   struct FoldMemo {
+    enum State : uint32_t {
+      kIdle = 0,       ///< No fold at the current version yet.
+      kMissed = 1,     ///< One fold ran; the next one stores the memo.
+      kComputing = 2,  ///< A thread is computing + storing the memo.
+      kPublished = 3,  ///< `bits` is valid for the current version.
+    };
     std::shared_ptr<const Bitvector> bits;
-    uint64_t version = 0;
-    uint64_t miss_version = ~uint64_t{0};
+    std::atomic<uint32_t> state{kIdle};
+
+    FoldMemo() = default;
+    /// Copies are taken under exclusive ownership of the source's owner
+    /// (thread-confined snapshots), but tolerate a racing publisher by
+    /// only reading `bits` behind an acquire-load of kPublished; an
+    /// observed in-flight kComputing degrades to kMissed in the copy.
+    FoldMemo& operator=(const FoldMemo& other) {
+      uint32_t s = other.state.load(std::memory_order_acquire);
+      bits = s == kPublished ? other.bits : nullptr;
+      if (s == kComputing) s = kMissed;
+      state.store(s, std::memory_order_relaxed);
+      return *this;
+    }
+    FoldMemo(const FoldMemo& other) { *this = other; }
+    FoldMemo(FoldMemo&& other) noexcept { *this = other; }
+    FoldMemo& operator=(FoldMemo&& other) noexcept { return *this = other; }
   };
   mutable FoldMemo col_fold_;
 };

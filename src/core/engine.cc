@@ -275,11 +275,17 @@ Engine::BranchResult Engine::ExecuteBranch(
     return result;
   }
 
-  // --- prune_triples (Alg 3.2).
+  // --- prune_triples (Alg 3.2), serial or wave-scheduled (DESIGN.md §7).
   Stopwatch prune_watch;
   if (options_.enable_prune) {
+    PruneSchedStats sched_stats;
     PruneTriples(order, gosn, goj, index_->num_common(), &states, &exec_ctx_,
-                 options_.pool);
+                 options_.pool, options_.semi_join_sched, &sched_stats);
+    if (stats != nullptr) {
+      stats->sched_tasks += sched_stats.tasks;
+      stats->sched_waves += sched_stats.waves;
+      stats->sched_conflicts += sched_stats.conflicts;
+    }
   }
   if (stats != nullptr) stats->t_prune_sec += prune_watch.Seconds();
 
@@ -387,6 +393,7 @@ uint64_t Engine::Execute(const ParsedQuery& query, const RowSink& sink,
   const uint64_t tp_waits0 = tp_cache_->single_flight_waits();
   const uint64_t fold_hits0 = exec_ctx_.fold_cache_hits();
   const uint64_t fold_misses0 = exec_ctx_.fold_cache_misses();
+  const uint64_t fold_once0 = exec_ctx_.fold_once_publishes();
 
   std::vector<RawRow> all_rows;
   for (const auto& branch : unf.branches) {
@@ -401,6 +408,7 @@ uint64_t Engine::Execute(const ParsedQuery& query, const RowSink& sink,
   st->tp_cache_flight_waits = tp_cache_->single_flight_waits() - tp_waits0;
   st->fold_cache_hits = exec_ctx_.fold_cache_hits() - fold_hits0;
   st->fold_cache_misses = exec_ctx_.fold_cache_misses() - fold_misses0;
+  st->fold_once_publishes = exec_ctx_.fold_once_publishes() - fold_once0;
 
   // Rule-3 UNION rewrites can introduce spurious results across branches
   // (footnote 6 of the paper): rows subsumed by another branch's fuller

@@ -48,6 +48,11 @@ struct EngineOptions {
   /// intersection (default) or the legacy per-bit probing. Results are
   /// identical; the knob exists for bench/ablation_join (DESIGN.md §6).
   JoinEnumMode join_enum_mode = JoinEnumMode::kIntersect;
+  /// Semi-join scheduling inside prune_triples: the fully ordered sequence
+  /// (default) or conflict-scheduled waves that run independent semi-joins
+  /// of a jvar pass concurrently on `pool` (DESIGN.md §7). Results are
+  /// bit-identical either way.
+  SemiJoinSched semi_join_sched = SemiJoinSched::kSerial;
 };
 
 /// Per-query statistics mirroring the evaluation metrics of Section 6.1.
@@ -81,6 +86,14 @@ struct QueryStats {
   // another thread's load of the same pattern, during this query.
   uint64_t tp_cache_contention = 0;
   uint64_t tp_cache_flight_waits = 0;
+  // Semi-join scheduler observability (semi_join_sched = waves): tasks
+  // compiled across the prune passes, barrier waves executed, task pairs
+  // serialized by the conflict rule, and fold memos published through the
+  // once-flag during this query (any sched mode).
+  uint64_t sched_tasks = 0;
+  uint64_t sched_waves = 0;
+  uint64_t sched_conflicts = 0;
+  uint64_t fold_once_publishes = 0;
 };
 
 /// A fully decoded result table (SELECT projection applied).

@@ -1,5 +1,6 @@
 #include "core/prune.h"
 
+#include <algorithm>
 #include <map>
 #include <set>
 
@@ -10,6 +11,153 @@ namespace {
 uint32_t DimSize(const TpState& tp, const std::string& jvar) {
   return tp.mat.DimOf(jvar) == Dim::kRow ? tp.mat.bm.num_rows()
                                          : tp.mat.bm.num_cols();
+}
+
+/// Smallest peer supernode id per supernode — the canonical peer-group
+/// key (PeersOf returns ascending ids, so its front is the minimum).
+/// Query-static, so computed once per PruneTriples call; the old code
+/// rescanned every supernode per holder per jvar (O(S²) per TP).
+std::vector<int> CanonicalPeerGroups(const Gosn& gosn) {
+  std::vector<int> canon(gosn.num_supernodes());
+  for (int sn = 0; sn < gosn.num_supernodes(); ++sn) {
+    canon[sn] = gosn.PeersOf(sn).front();
+  }
+  return canon;
+}
+
+/// One semi-join of a pass with its read/write footprint over TP ids
+/// (DESIGN.md §7). A simple semi-join writes `slave` and reads `master`; a
+/// clustered semi-join reads and writes every member of `cluster`.
+struct SemiJoinTask {
+  int jvar = -1;             ///< Index into goj.jvars().
+  int master = -1;           ///< Simple semi-join only.
+  int slave = -1;            ///< Simple semi-join only.
+  std::vector<int> cluster;  ///< Non-empty for clustered semi-joins.
+  std::vector<int> writes;   ///< TpStates this task mutates.
+  std::vector<int> reads;    ///< TpStates this task only folds.
+};
+
+bool Intersects(const std::vector<int>& a, const std::vector<int>& b) {
+  for (int x : a) {
+    for (int y : b) {
+      if (x == y) return true;
+    }
+  }
+  return false;
+}
+
+/// The conflict rule: two tasks conflict iff they share a written TpState
+/// or one writes what the other reads. Read/read sharing (two tasks
+/// folding one master) is allowed — the fold memo's once-flag makes
+/// concurrent FoldInto safe.
+bool TasksConflict(const SemiJoinTask& a, const SemiJoinTask& b) {
+  return Intersects(a.writes, b.writes) || Intersects(a.writes, b.reads) ||
+         Intersects(a.reads, b.writes);
+}
+
+/// Compiles one jvar pass into its task list, in the exact order the
+/// serial fixpoint would execute the semi-joins. The list is a static
+/// property of the query (gosn/goj/order), independent of BitMat contents.
+std::vector<SemiJoinTask> CompilePass(const std::vector<int>& jvar_order,
+                                      const Gosn& gosn, const Goj& goj,
+                                      const std::vector<int>& canon_group) {
+  std::vector<SemiJoinTask> tasks;
+  for (int j : jvar_order) {
+    const std::vector<int>& holders = goj.tps_of_jvar()[j];
+    for (int master_id : holders) {
+      for (int slave_id : holders) {
+        if (master_id == slave_id) continue;
+        if (!gosn.TpIsMasterOf(master_id, slave_id)) continue;
+        SemiJoinTask t;
+        t.jvar = j;
+        t.master = master_id;
+        t.slave = slave_id;
+        t.writes = {slave_id};
+        t.reads = {master_id};
+        tasks.push_back(std::move(t));
+      }
+    }
+    std::set<int> done_groups;
+    for (int tp_id : holders) {
+      int group = canon_group[gosn.SupernodeOf(tp_id)];
+      if (!done_groups.insert(group).second) continue;
+      SemiJoinTask t;
+      t.jvar = j;
+      for (int other : holders) {
+        if (canon_group[gosn.SupernodeOf(other)] == group) {
+          t.cluster.push_back(other);
+        }
+      }
+      if (t.cluster.size() < 2) continue;  // ClusteredSemiJoin no-ops below 2
+      t.writes = t.cluster;
+      tasks.push_back(std::move(t));
+    }
+  }
+  return tasks;
+}
+
+/// List-schedules `tasks` into maximal non-conflicting waves: task i lands
+/// one wave after the latest earlier task it conflicts with, so any two
+/// conflicting tasks execute in their serial relative order — the property
+/// that makes wave execution bit-identical to the serial pass.
+std::vector<std::vector<uint32_t>> AssignWaves(
+    const std::vector<SemiJoinTask>& tasks, uint64_t* conflicts) {
+  std::vector<int> wave_of(tasks.size(), 0);
+  int num_waves = tasks.empty() ? 0 : 1;
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    int w = 0;
+    for (size_t k = 0; k < i; ++k) {
+      if (TasksConflict(tasks[i], tasks[k])) {
+        ++*conflicts;
+        w = std::max(w, wave_of[k] + 1);
+      }
+    }
+    wave_of[i] = w;
+    num_waves = std::max(num_waves, w + 1);
+  }
+  std::vector<std::vector<uint32_t>> waves(num_waves);
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    waves[wave_of[i]].push_back(static_cast<uint32_t>(i));
+  }
+  return waves;
+}
+
+/// Executes a compiled pass wave by wave. Tasks fold/unfold serially
+/// inside themselves (pool = nullptr): under waves, parallelism comes from
+/// running whole semi-joins side by side, and a nested collective would
+/// inline anyway.
+void RunPassWaves(const std::vector<SemiJoinTask>& tasks,
+                  const std::vector<std::vector<uint32_t>>& waves,
+                  const Goj& goj, uint32_t num_common,
+                  std::vector<TpState>* tps, ExecContext* ctx,
+                  ThreadPool* pool) {
+  auto run_task = [&goj, num_common, tps](const SemiJoinTask& t,
+                                          ExecContext* task_ctx) {
+    const std::string& jvar = goj.jvars()[t.jvar];
+    if (!t.cluster.empty()) {
+      std::vector<TpState*> cluster;
+      cluster.reserve(t.cluster.size());
+      for (int tp_id : t.cluster) cluster.push_back(&(*tps)[tp_id]);
+      ClusteredSemiJoin(jvar, cluster, num_common, task_ctx, nullptr);
+    } else {
+      SemiJoin(jvar, &(*tps)[t.slave], (*tps)[t.master], num_common,
+               task_ctx, nullptr);
+    }
+  };
+  if (pool == nullptr) {
+    for (const std::vector<uint32_t>& wave : waves) {
+      for (uint32_t t : wave) run_task(tasks[t], ctx);
+    }
+    return;
+  }
+  std::vector<ThreadPool::TaskFn> fns;
+  fns.reserve(tasks.size());
+  for (const SemiJoinTask& t : tasks) {
+    fns.push_back([&run_task, &t](ExecContext* task_ctx, int /*slot*/) {
+      run_task(t, task_ctx);
+    });
+  }
+  pool->RunTaskGraph(fns, waves, ctx);
 }
 
 }  // namespace
@@ -98,7 +246,31 @@ void ClusteredSemiJoin(const std::string& jvar,
 
 void PruneTriples(const JvarOrder& order, const Gosn& gosn, const Goj& goj,
                   uint32_t num_common, std::vector<TpState>* tps,
-                  ExecContext* ctx, ThreadPool* pool) {
+                  ExecContext* ctx, ThreadPool* pool, SemiJoinSched sched,
+                  PruneSchedStats* sched_stats) {
+  const std::vector<int> canon_group = CanonicalPeerGroups(gosn);
+
+  if (sched == SemiJoinSched::kWaves) {
+    // Compile each pass into a task DAG and run maximal non-conflicting
+    // waves; the pass boundary is itself a barrier (pass 2 consumes pass
+    // 1's restrictions), so each pass gets its own graph.
+    auto pass = [&](const std::vector<int>& jvar_order) {
+      std::vector<SemiJoinTask> tasks =
+          CompilePass(jvar_order, gosn, goj, canon_group);
+      uint64_t conflicts = 0;
+      std::vector<std::vector<uint32_t>> waves = AssignWaves(tasks, &conflicts);
+      if (sched_stats != nullptr) {
+        sched_stats->tasks += tasks.size();
+        sched_stats->waves += waves.size();
+        sched_stats->conflicts += conflicts;
+      }
+      RunPassWaves(tasks, waves, goj, num_common, tps, ctx, pool);
+    };
+    pass(order.order_bu);
+    pass(order.order_td);
+    return;
+  }
+
   auto pass = [&](const std::vector<int>& jvar_order) {
     for (int j : jvar_order) {
       const std::string& jvar = goj.jvars()[j];
@@ -119,18 +291,11 @@ void PruneTriples(const JvarOrder& order, const Gosn& gosn, const Goj& goj,
       // jvar whose supernodes are the same or peers.
       std::set<int> done_groups;
       for (int tp_id : holders) {
-        int group = gosn.SupernodeOf(tp_id);
-        // Normalize to the smallest peer supernode id as group key.
-        for (int sn = 0; sn < gosn.num_supernodes(); ++sn) {
-          if (gosn.IsPeer(sn, group)) {
-            group = sn;
-            break;
-          }
-        }
+        int group = canon_group[gosn.SupernodeOf(tp_id)];
         if (!done_groups.insert(group).second) continue;
         std::vector<TpState*> cluster;
         for (int other : holders) {
-          if (gosn.IsPeer(gosn.SupernodeOf(other), group)) {
+          if (canon_group[gosn.SupernodeOf(other)] == group) {
             cluster.push_back(&(*tps)[other]);
           }
         }

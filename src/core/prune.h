@@ -47,13 +47,22 @@ void ClusteredSemiJoin(const std::string& jvar,
 /// semi-join has changed (most of the second pass) are served from the
 /// BitMats' version-stamped fold memos without row iteration (DESIGN.md §4).
 ///
-/// With a `pool`, each semi-join pass shards its per-TP fold and unfold row
-/// work across the pool's workers. The semi-join sequence itself stays
-/// ordered (pass k+1 consumes pass k's restrictions), so results are
-/// bit-identical to the serial fixpoint.
+/// Scheduling (DESIGN.md §7):
+///  - kSerial with a `pool`: the semi-join sequence stays ordered; each
+///    semi-join shards its fold/unfold row work across the pool's workers.
+///  - kWaves: each pass is compiled into a task DAG — a SemiJoin writes
+///    its slave TpState and reads its master; a ClusteredSemiJoin writes
+///    every member. Two tasks conflict iff they share a written TpState or
+///    a write/read pair; maximal non-conflicting waves run concurrently on
+///    the pool (ThreadPool::RunTaskGraph) with per-slot arenas, while
+///    conflicting tasks keep their serial relative order. Results are
+///    byte-identical to kSerial under both modes; `sched_stats` (optional)
+///    receives task/wave/conflict counts under kWaves.
 void PruneTriples(const JvarOrder& order, const Gosn& gosn, const Goj& goj,
                   uint32_t num_common, std::vector<TpState>* tps,
-                  ExecContext* ctx = nullptr, ThreadPool* pool = nullptr);
+                  ExecContext* ctx = nullptr, ThreadPool* pool = nullptr,
+                  SemiJoinSched sched = SemiJoinSched::kSerial,
+                  PruneSchedStats* sched_stats = nullptr);
 
 }  // namespace lbr
 

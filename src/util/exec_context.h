@@ -68,12 +68,26 @@ class ExecContext {
 
   /// Fold-memoization telemetry: BitMat::FoldInto reports here whether a
   /// column fold was served from the version-stamped cache (hit) or had to
-  /// iterate rows (miss). Counters are cumulative; the engine snapshots
-  /// them around a query to derive per-query deltas for QueryStats.
+  /// iterate rows (miss), and when a miss published the memo through the
+  /// once-flag (once). Counters are cumulative; the engine snapshots them
+  /// around a query to derive per-query deltas for QueryStats.
   void CountFoldHit() { ++fold_cache_hits_; }
   void CountFoldMiss() { ++fold_cache_misses_; }
+  void CountFoldOnce() { ++fold_once_publishes_; }
   uint64_t fold_cache_hits() const { return fold_cache_hits_; }
   uint64_t fold_cache_misses() const { return fold_cache_misses_; }
+  uint64_t fold_once_publishes() const { return fold_once_publishes_; }
+
+  /// Folds another arena's counter deltas into this one. Used by the wave
+  /// executor (ThreadPool::RunTaskGraph) to surface the telemetry its
+  /// per-slot arenas accumulated back into the query's own arena, so
+  /// per-query stats still see scheduled work. Caller supplies deltas
+  /// (after - before), not absolute counts.
+  void AddFoldTelemetry(uint64_t hits, uint64_t misses, uint64_t once) {
+    fold_cache_hits_ += hits;
+    fold_cache_misses_ += misses;
+    fold_once_publishes_ += once;
+  }
 
  private:
   std::vector<std::unique_ptr<Bitvector>> bit_free_;
@@ -82,6 +96,7 @@ class ExecContext {
   size_t positions_created_ = 0;
   uint64_t fold_cache_hits_ = 0;
   uint64_t fold_cache_misses_ = 0;
+  uint64_t fold_once_publishes_ = 0;
 };
 
 /// RAII scratch Bitvector: pooled when `ctx` is non-null, function-local

@@ -136,6 +136,49 @@ TEST(PruneTest, CrossDomainSemiJoinUsesVsoTruncation) {
   EXPECT_EQ(f.states[1].CurrentCount(), 1u);  // (b q c)
 }
 
+// Handcrafted single-column TpState whose row dimension carries the join
+// variable "j" over `kind`'s domain — lets the truncation contract of
+// ClusteredSemiJoin be pinned per domain kind without a graph.
+TpState MakeRowVarTp(DomainKind kind, uint32_t rows,
+                     const std::vector<uint32_t>& set_rows) {
+  TpState st;
+  st.mat.bm = BitMat(rows, 1);
+  for (uint32_t r : set_rows) st.mat.bm.SetRow(r, {0});
+  st.mat.row_kind = kind;
+  st.mat.row_var = "j";
+  return st;
+}
+
+TEST(PruneTest, ClusteredSemiJoinTruncatesCrossDomainSoMembers) {
+  // Subject-kind and object-kind members joining on "j": only the shared
+  // Vso prefix (< num_common) can join, so bindings at or above it must be
+  // truncated from BOTH members even when both sides have the bit set.
+  TpState subj = MakeRowVarTp(DomainKind::kSubject, 6, {0, 1, 4});
+  TpState obj = MakeRowVarTp(DomainKind::kObject, 6, {0, 1, 5});
+  std::vector<TpState*> cluster{&subj, &obj};
+  ClusteredSemiJoin("j", cluster, /*num_common=*/2);
+  EXPECT_EQ(subj.CurrentCount(), 2u);
+  EXPECT_EQ(obj.CurrentCount(), 2u);
+  EXPECT_FALSE(subj.mat.bm.Test(4, 0));  // subject-only id dropped
+  EXPECT_FALSE(obj.mat.bm.Test(5, 0));   // object-only id dropped
+}
+
+TEST(PruneTest, ClusteredSemiJoinNeverTruncatesPredicateMembers) {
+  // Predicate-kind members live in a domain disjoint from Vso: ids at or
+  // above num_common are ordinary predicates and must survive the
+  // intersection untouched — truncating them at num_common would wrongly
+  // empty every predicate-to-predicate join over a small Vso.
+  TpState a = MakeRowVarTp(DomainKind::kPredicate, 4, {0, 1, 2, 3});
+  TpState b = MakeRowVarTp(DomainKind::kPredicate, 4, {1, 3});
+  std::vector<TpState*> cluster{&a, &b};
+  ClusteredSemiJoin("j", cluster, /*num_common=*/1);
+  EXPECT_EQ(a.CurrentCount(), 2u);
+  EXPECT_TRUE(a.mat.bm.Test(1, 0));
+  EXPECT_TRUE(a.mat.bm.Test(3, 0));  // id 3 >= num_common survives
+  EXPECT_EQ(b.CurrentCount(), 2u);
+  EXPECT_TRUE(b.mat.bm.Test(3, 0));
+}
+
 TEST(PruneTest, RippleEffectAcrossJvars) {
   // The paper's "ripple effect": pruning ?sitcom bindings removes the
   // :Larry binding of ?friend from tp2 during the same pass.

@@ -1,0 +1,294 @@
+// The semi-join wave scheduler (DESIGN.md §7) and the concurrency-safe
+// fold memo underneath it. Two pins:
+//  - concurrent FoldInto callers on one BitMat are safe (the TSan leg runs
+//    these suites) and always produce the serial fold;
+//  - scheduled (waves) pruning is byte-identical to the serial fixpoint —
+//    the scheduler is an execution detail, never a semantics change.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "bitmat/bitmat.h"
+#include "core/engine.h"
+#include "core/prune.h"
+#include "core/selectivity.h"
+#include "sparql/parser.h"
+#include "test_util.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+#include "workload/lubm_gen.h"
+#include "workload/query_sets.h"
+
+namespace lbr {
+namespace {
+
+BitMat RandomBitMat(uint32_t rows, uint32_t cols, double row_density,
+                    double bit_density, uint64_t seed) {
+  Rng rng(seed);
+  BitMat bm(rows, cols);
+  std::vector<uint32_t> positions;
+  for (uint32_t r = 0; r < rows; ++r) {
+    if (!rng.Chance(row_density)) continue;
+    positions.clear();
+    for (uint32_t c = 0; c < cols; ++c) {
+      if (rng.Chance(bit_density)) positions.push_back(c);
+    }
+    if (!positions.empty()) bm.SetRow(r, positions);
+  }
+  return bm;
+}
+
+TEST(FoldMemoConcurrencyTest, ConcurrentFoldersAgreeAndPublishOnce) {
+  BitMat bm = RandomBitMat(8192, 1024, 0.5, 0.02, 17);
+  const Bitvector reference = bm.DeepCopy().Fold(Dim::kCol);
+
+  // Many concurrent FoldInto callers on the very same matrix — the
+  // shared-master shape of a scheduled wave. Every caller must read the
+  // serial fold, whether it computed locally, published the memo, or
+  // word-copied it.
+  ThreadPool pool(4);
+  std::atomic<int> mismatches{0};
+  pool.ParallelFor(0, 64, /*grain=*/1,
+                   [&](uint32_t begin, uint32_t end, ExecContext* ctx,
+                       int /*slot*/) {
+                     for (uint32_t i = begin; i < end; ++i) {
+                       ScratchBits out(ctx);
+                       bm.FoldInto(Dim::kCol, out.get(), ctx);
+                       if (!(*out == reference)) {
+                         mismatches.fetch_add(1, std::memory_order_relaxed);
+                       }
+                     }
+                   });
+  EXPECT_EQ(mismatches.load(), 0);
+  // With >= 2 folds at one version, some thread must have taken the
+  // kMissed -> kComputing once edge and published.
+  EXPECT_TRUE(bm.ColFoldMemoized());
+}
+
+TEST(FoldMemoConcurrencyTest, MutateBetweenConcurrentFoldRounds) {
+  // The wave pattern: read-shared folds, a barrier, an exclusive mutation,
+  // another round of read-shared folds. Each round must see the fold of
+  // the matrix's current content.
+  BitMat bm = RandomBitMat(4096, 512, 0.6, 0.05, 23);
+  ThreadPool pool(4);
+  for (int round = 0; round < 3; ++round) {
+    const Bitvector reference = bm.DeepCopy().Fold(Dim::kCol);
+    std::atomic<int> mismatches{0};
+    pool.ParallelFor(0, 16, /*grain=*/1,
+                     [&](uint32_t begin, uint32_t end, ExecContext* ctx,
+                         int /*slot*/) {
+                       for (uint32_t i = begin; i < end; ++i) {
+                         ScratchBits out(ctx);
+                         bm.FoldInto(Dim::kCol, out.get(), ctx);
+                         if (!(*out == reference)) {
+                           mismatches.fetch_add(1,
+                                                std::memory_order_relaxed);
+                         }
+                       }
+                     });
+    EXPECT_EQ(mismatches.load(), 0) << "round " << round;
+    // Exclusive mutation (the ParallelFor join above is the barrier):
+    // drop every third column, resetting the once-flag.
+    Bitvector mask(512);
+    for (uint32_t c = 0; c < 512; ++c) {
+      if (c % 3 != static_cast<uint32_t>(round % 3)) mask.Set(c);
+    }
+    bm.Unfold(mask, Dim::kCol);
+    EXPECT_FALSE(bm.ColFoldMemoized());
+  }
+}
+
+TEST(FoldMemoConcurrencyTest, FoldOnceCounterCountsThePublish) {
+  ExecContext ctx;
+  BitMat bm = RandomBitMat(64, 64, 0.8, 0.2, 5);
+  Bitvector out;
+  bm.FoldInto(Dim::kCol, &out, &ctx);  // first touch: miss, no publish
+  EXPECT_EQ(ctx.fold_once_publishes(), 0u);
+  bm.FoldInto(Dim::kCol, &out, &ctx);  // second touch: the once publish
+  EXPECT_EQ(ctx.fold_once_publishes(), 1u);
+  bm.FoldInto(Dim::kCol, &out, &ctx);  // hit: no further publish
+  EXPECT_EQ(ctx.fold_once_publishes(), 1u);
+  EXPECT_EQ(ctx.fold_cache_hits(), 1u);
+  EXPECT_EQ(ctx.fold_cache_misses(), 2u);
+}
+
+// Builds prune-ready TpStates for a query, like the engine's init but
+// without active pruning (so PruneTriples does all the work).
+struct PruneFixture {
+  Graph graph;
+  TripleIndex index;
+  Gosn gosn;
+  Goj goj;
+  JvarOrder order;
+  std::vector<TpState> base_states;
+
+  PruneFixture(Graph g, const std::string& sparql)
+      : graph(std::move(g)),
+        index(TripleIndex::Build(graph)),
+        gosn(Gosn::Build(*Parser::Parse(sparql).body)),
+        goj(Goj::Build(gosn.tps())) {
+    std::vector<uint64_t> cards;
+    for (const TriplePattern& tp : gosn.tps()) {
+      cards.push_back(EstimateTpCardinality(index, graph.dict(), tp));
+    }
+    order = GetJvarOrder(gosn, goj, cards);
+    for (size_t i = 0; i < gosn.tps().size(); ++i) {
+      TpState st;
+      st.tp = gosn.tps()[i];
+      st.tp_id = static_cast<int>(i);
+      st.sn_id = gosn.SupernodeOf(st.tp_id);
+      st.mat = LoadTpBitMat(index, graph.dict(), st.tp, true);
+      base_states.push_back(std::move(st));
+    }
+  }
+
+  std::vector<TpState> Prune(SemiJoinSched sched, ThreadPool* pool,
+                             PruneSchedStats* stats = nullptr) {
+    std::vector<TpState> states = base_states;  // CoW snapshots
+    ExecContext ctx;
+    PruneTriples(order, gosn, goj, index.num_common(), &states, &ctx, pool,
+                 sched, stats);
+    return states;
+  }
+};
+
+Graph SmallLubm() {
+  LubmConfig cfg;
+  cfg.num_universities = 2;
+  return Graph::FromTriples(GenerateLubm(cfg));
+}
+
+// A master BGP with several OPTIONAL slaves sharing its jvars: every
+// master->slave semi-join writes a distinct TpState, so a pass schedules
+// them into one wide wave.
+constexpr char kMultiMasterQuery[] =
+    "PREFIX ub: <http://lubm/> SELECT * WHERE {"
+    "  ?x ub:worksFor ?d ."
+    "  OPTIONAL { ?x ub:teacherOf ?c1 . }"
+    "  OPTIONAL { ?x ub:doctoralDegreeFrom ?u . }"
+    "  OPTIONAL { ?x ub:researchInterest ?r . }"
+    "  OPTIONAL { ?y ub:advisor ?x . } }";
+
+// The cyclic triangle: every TP shares a jvar with every other, so the
+// conflict rule serializes nearly everything.
+constexpr char kTriangleQuery[] =
+    "PREFIX ub: <http://lubm/> SELECT * WHERE {"
+    "  ?y ub:advisor ?x . ?x ub:teacherOf ?z . ?y ub:takesCourse ?z . }";
+
+TEST(SemiJoinSchedTest, WavesAreBitIdenticalToSerial) {
+  for (const char* sparql : {kMultiMasterQuery, kTriangleQuery}) {
+    PruneFixture fx(SmallLubm(), sparql);
+    std::vector<TpState> serial = fx.Prune(SemiJoinSched::kSerial, nullptr);
+
+    ThreadPool pool(4);
+    std::vector<TpState> waves = fx.Prune(SemiJoinSched::kWaves, &pool);
+    ASSERT_EQ(waves.size(), serial.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(waves[i].mat.bm, serial[i].mat.bm) << sparql << " tp" << i;
+    }
+
+    // Waves without any pool (and on a 1-slot pool) take the inline wave
+    // path and must agree too.
+    std::vector<TpState> inline_waves =
+        fx.Prune(SemiJoinSched::kWaves, nullptr);
+    ThreadPool one(1);
+    std::vector<TpState> one_slot = fx.Prune(SemiJoinSched::kWaves, &one);
+    for (size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(inline_waves[i].mat.bm, serial[i].mat.bm);
+      EXPECT_EQ(one_slot[i].mat.bm, serial[i].mat.bm);
+    }
+  }
+}
+
+TEST(SemiJoinSchedTest, IndependentSlavesShareAWave) {
+  PruneFixture fx(SmallLubm(), kMultiMasterQuery);
+  ThreadPool pool(4);
+  PruneSchedStats stats;
+  fx.Prune(SemiJoinSched::kWaves, &pool, &stats);
+  // Each visit of ?x issues four master->slave semi-joins, all reading the
+  // one master TP and writing distinct slaves — no conflicts among them,
+  // so every visit's tasks share one wave of width 4. (The jvar order
+  // visits ?x once per supernode segment, so visits repeat; consecutive
+  // visits rewrite the same slaves and are serialized across waves.)
+  EXPECT_GT(stats.waves, 0u);
+  EXPECT_EQ(stats.tasks, 4 * stats.waves);
+}
+
+TEST(SemiJoinSchedTest, ConflictRuleSerializesSharedWrites) {
+  PruneFixture fx(SmallLubm(), kTriangleQuery);
+  ThreadPool pool(4);
+  PruneSchedStats stats;
+  fx.Prune(SemiJoinSched::kWaves, &pool, &stats);
+  // Triangle: one clustered semi-join per jvar, each sharing a member
+  // with the next — every pair conflicts, so waves == tasks.
+  EXPECT_GT(stats.tasks, 0u);
+  EXPECT_EQ(stats.waves, stats.tasks);
+  EXPECT_GT(stats.conflicts, 0u);
+}
+
+class SchedEngineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    LubmConfig cfg;
+    cfg.num_universities = 3;
+    graph_ = new Graph(Graph::FromTriples(GenerateLubm(cfg)));
+    index_ = new TripleIndex(TripleIndex::Build(*graph_));
+  }
+  static void TearDownTestSuite() {
+    delete index_;
+    delete graph_;
+    index_ = nullptr;
+    graph_ = nullptr;
+  }
+
+  static Graph* graph_;
+  static TripleIndex* index_;
+};
+
+Graph* SchedEngineTest::graph_ = nullptr;
+TripleIndex* SchedEngineTest::index_ = nullptr;
+
+TEST_F(SchedEngineTest, WavesEngineMatchesSerialEngineOnFullSuite) {
+  ThreadPool pool(4);
+  EngineOptions waves_options;
+  waves_options.pool = &pool;
+  waves_options.semi_join_sched = SemiJoinSched::kWaves;
+  Engine waves(index_, &graph_->dict(), waves_options);
+  Engine serial(index_, &graph_->dict());
+
+  for (const BenchQuery& q : LubmQueries()) {
+    QueryStats waves_stats, serial_stats;
+    ResultTable a = waves.ExecuteToTable(q.sparql, &waves_stats);
+    ResultTable b = serial.ExecuteToTable(q.sparql, &serial_stats);
+    EXPECT_EQ(testing::Canonicalize(a), testing::Canonicalize(b)) << q.id;
+    // The scheduled fixpoint must remove exactly the same triples.
+    EXPECT_EQ(waves_stats.triples_after_prune,
+              serial_stats.triples_after_prune)
+        << q.id;
+  }
+}
+
+TEST_F(SchedEngineTest, SchedCountersSurfaceInQueryStats) {
+  ThreadPool pool(2);
+  EngineOptions options;
+  options.pool = &pool;
+  options.semi_join_sched = SemiJoinSched::kWaves;
+  Engine engine(index_, &graph_->dict(), options);
+  Engine serial(index_, &graph_->dict());
+
+  const std::string q = kMultiMasterQuery;
+  QueryStats waves_stats, serial_stats;
+  engine.ExecuteToTable(q, &waves_stats);
+  serial.ExecuteToTable(q, &serial_stats);
+
+  EXPECT_GT(waves_stats.sched_tasks, 0u);
+  EXPECT_GT(waves_stats.sched_waves, 0u);
+  EXPECT_EQ(serial_stats.sched_tasks, 0u);
+  EXPECT_EQ(serial_stats.sched_waves, 0u);
+}
+
+}  // namespace
+}  // namespace lbr
