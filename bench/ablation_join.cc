@@ -1,11 +1,19 @@
 // Ablation A5: candidate enumeration inside the multiway pipelined join
-// (Alg 5.4) — the legacy per-bit path (every set bit of one candidate row
-// recurses and is Test-probed by sibling TPs one level down) vs the
-// word-parallel intersected path (candidate row ∧ the folds/bound rows of
-// the unvisited absolute-master TPs sharing the variable, before any
-// recursion; DESIGN.md §6). Both paths emit the identical row stream — the
-// join-equivalence suite proves it — so the timing difference is pure
-// enumeration cost.
+// (Alg 5.4) — four configurations per query:
+//  - per_bit: the legacy path (every set bit of one candidate row recurses
+//    and is Test-probed by sibling TPs one level down);
+//  - intersect_scalar: the word-parallel intersected path (candidate row ∧
+//    the folds/bound rows of the unvisited absolute-master TPs sharing the
+//    variable, before any recursion; DESIGN.md §6) pinned to the scalar
+//    kernel table — the configuration of the pre-SIMD engine, the baseline
+//    the block acceptance criterion compares against;
+//  - intersect: the same path on the dispatched (SIMD) kernels;
+//  - block: block-at-a-time enumeration (DESIGN.md §8) on the dispatched
+//    kernels — surviving candidates extracted into a position block,
+//    binding setup hoisted out of the per-bit path, slave expansions
+//    memoized.
+// All paths emit the identical row stream — the join-equivalence suite
+// proves it — so the timing difference is pure enumeration cost.
 //
 // Two timing levels per LUBM query (cyclic + OPTIONAL shapes):
 //  - join-only: states loaded (and optionally pruned) once, then
@@ -13,15 +21,16 @@
 //    steady-state engine path; the "unpruned" variant shows the raw
 //    branching-factor reduction on multi-constraint jvars (prune_triples
 //    off, the candidate sets the intersection actually shrinks).
-//  - end-to-end: Engine::Execute with default options, per enum mode.
+//  - end-to-end: Engine::Execute with default options, per configuration.
 //
 // With LBR_BENCH_JSON=<path> (or argv[1]) the results are written as a
-// google-benchmark-style JSON document for the CI perf trajectory; the
-// aggregate is the geomean speedup over the multi-constraint master-web
-// queries' join-only unpruned pairs (every TP an absolute master, so every
-// enumerated jvar is multi-constraint — the slice the intersection exists
-// to accelerate). LBR_JOIN_STATS=1 additionally prints per-query
-// enumeration telemetry (candidates vs static-fold vs bound-row pruning).
+// google-benchmark-style JSON document for the CI perf trajectory. Two
+// aggregates, both over the multi-constraint master-web queries' join-only
+// unpruned pairs (every TP an absolute master, so every enumerated jvar is
+// multi-constraint — the slice the enumeration work targets): the legacy
+// intersect-over-per-bit geomean, and the acceptance-criterion geomean of
+// block+SIMD over intersect+scalar. LBR_JOIN_STATS=1 additionally prints
+// per-query enumeration telemetry.
 
 #include <algorithm>
 #include <cmath>
@@ -38,6 +47,7 @@
 #include "core/jvar_order.h"
 #include "core/multiway_join.h"
 #include "core/prune.h"
+#include "util/bitops.h"
 #include "workload/lubm_gen.h"
 
 namespace lbr::bench {
@@ -56,7 +66,9 @@ struct JoinTiming {
   bool master_web = false;        // every TP is an absolute master
   uint64_t rows = 0;
   double per_bit_sec = 0;
+  double intersect_scalar_sec = 0;  // intersect mode, scalar kernels (PR-4)
   double intersect_sec = 0;
+  double block_sec = 0;
 };
 
 // Seconds per call: repeats `fn` with a geometrically growing iteration
@@ -146,7 +158,11 @@ struct JoinSetup {
   // kept across repetitions so transpose caches and fold memos are warm
   // (the engine's steady state). Returns seconds per run; *rows gets the
   // emission count (identical across modes — asserted by the caller).
-  double Time(JoinEnumMode mode, double min_sample_sec, uint64_t* rows) {
+  double Time(JoinEnumMode mode, double min_sample_sec, uint64_t* rows,
+              bool force_scalar = false) {
+    if (force_scalar) {
+      bitops::ForceKernelBackend(bitops::KernelBackend::kScalar);
+    }
     MultiwayJoin::Options options;
     options.enum_mode = mode;
     options.nullification = cyclic;
@@ -158,13 +174,20 @@ struct JoinSetup {
       n = join.Run([](const RawRow&, bool) {}, &ctx);
     };
     double sec = TimeMinSample(run_once, min_sample_sec);
+    if (force_scalar) bitops::ResetKernelBackend();
     *rows = n;
-    if (mode == JoinEnumMode::kIntersect &&
-        std::getenv("LBR_JOIN_STATS") != nullptr) {
-      std::cerr << "  [stats] candidates=" << join.enum_candidates()
-                << " pruned_static=" << join.enum_pruned_static()
-                << " pruned_bound=" << join.enum_pruned_bound()
-                << " emitted=" << n << "\n";
+    if (std::getenv("LBR_JOIN_STATS") != nullptr) {
+      if (mode == JoinEnumMode::kIntersect && !force_scalar) {
+        std::cerr << "  [stats] candidates=" << join.enum_candidates()
+                  << " pruned_static=" << join.enum_pruned_static()
+                  << " pruned_bound=" << join.enum_pruned_bound()
+                  << " emitted=" << n << "\n";
+      } else if (mode == JoinEnumMode::kBlock) {
+        std::cerr << "  [stats] blocks=" << join.enum_blocks()
+                  << " memo_hits=" << join.slave_memo_hits()
+                  << " memo_misses=" << join.slave_memo_misses()
+                  << " emitted=" << n << "\n";
+      }
     }
     return sec;
   }
@@ -236,7 +259,8 @@ std::vector<JoinCase> Cases() {
 }
 
 void WriteJson(const std::vector<JoinTiming>& rows, double geomean,
-               int geomean_pairs, const std::string& path) {
+               double block_geomean, int geomean_pairs,
+               const std::string& path) {
   std::ofstream out(path);
   if (!out) {
     std::cerr << "cannot write " << path << "\n";
@@ -261,12 +285,18 @@ void WriteJson(const std::vector<JoinTiming>& rows, double geomean,
           << "}";
     };
     emit("per_bit", r.per_bit_sec);
+    emit("intersect_scalar", r.intersect_scalar_sec);
     emit("intersect", r.intersect_sec);
+    emit("block", r.block_sec);
   }
   out << ",\n    {\"name\": \"JoinEnum/geomean_speedup_intersect_over_"
       << "per_bit\", \"run_type\": \"aggregate\", \"real_time\": " << geomean
       << ", \"cpu_time\": " << geomean << ", \"time_unit\": \"x\", "
-      << "\"pairs\": " << geomean_pairs << "}\n";
+      << "\"pairs\": " << geomean_pairs << "}";
+  out << ",\n    {\"name\": \"JoinEnum/geomean_speedup_block_simd_over_"
+      << "intersect_scalar\", \"run_type\": \"aggregate\", \"real_time\": "
+      << block_geomean << ", \"cpu_time\": " << block_geomean
+      << ", \"time_unit\": \"x\", \"pairs\": " << geomean_pairs << "}\n";
   out << "  ]\n}\n";
   std::cout << "join-enumeration JSON written to " << path << "\n";
 }
@@ -285,6 +315,29 @@ void Run(const char* json_path_arg) {
 
   std::vector<JoinTiming> results;
 
+  // Profiling hook: LBR_PROF=<query_id>:<block|intersect|scalar> runs ONE
+  // unpruned configuration in a tight loop for ~5 s and exits, so a -pg or
+  // perf-record build's profile covers exactly that configuration.
+  if (const char* prof = std::getenv("LBR_PROF")) {
+    std::string spec(prof);
+    size_t colon = spec.find(':');
+    std::string qid = spec.substr(0, colon);
+    std::string mode = colon == std::string::npos ? "block"
+                                                  : spec.substr(colon + 1);
+    for (const JoinCase& c : Cases()) {
+      if (c.id != qid) continue;
+      JoinSetup setup(index, graph.dict(), c.sparql, /*prune=*/false);
+      uint64_t rows = 0;
+      JoinEnumMode m = mode == "block" ? JoinEnumMode::kBlock
+                                       : JoinEnumMode::kIntersect;
+      setup.Time(m, 5.0, &rows, /*force_scalar=*/mode == "scalar");
+      std::cout << "prof " << qid << ":" << mode << " rows=" << rows << "\n";
+      return;
+    }
+    std::cerr << "LBR_PROF: unknown query " << qid << "\n";
+    std::exit(1);
+  }
+
   for (const JoinCase& c : Cases()) {
     for (bool prune : {true, false}) {
       JoinSetup setup(index, graph.dict(), c.sparql, prune);
@@ -294,21 +347,28 @@ void Run(const char* json_path_arg) {
       t.cyclic = setup.cyclic;
       t.multi_constraint = setup.multi_constraint;
       t.master_web = setup.master_web;
-      uint64_t rows_pb = 0, rows_ix = 0;
-      // Three interleaved samples per mode, medians kept: scheduler drift
-      // on a shared box otherwise lands straight in the archived ratio.
-      std::vector<double> pb, ix;
+      uint64_t rows_pb = 0, rows_is = 0, rows_ix = 0, rows_bl = 0;
+      // Three interleaved samples per configuration, medians kept:
+      // scheduler drift on a shared box otherwise lands straight in the
+      // archived ratio.
+      std::vector<double> pb, is, ix, bl;
       for (int rep = 0; rep < 3; ++rep) {
         pb.push_back(setup.Time(JoinEnumMode::kPerBit, min_sample, &rows_pb));
+        is.push_back(setup.Time(JoinEnumMode::kIntersect, min_sample,
+                                &rows_is, /*force_scalar=*/true));
         ix.push_back(
             setup.Time(JoinEnumMode::kIntersect, min_sample, &rows_ix));
+        bl.push_back(setup.Time(JoinEnumMode::kBlock, min_sample, &rows_bl));
       }
       t.per_bit_sec = Median3(pb);
+      t.intersect_scalar_sec = Median3(is);
       t.intersect_sec = Median3(ix);
-      if (rows_pb != rows_ix) {
+      t.block_sec = Median3(bl);
+      if (rows_pb != rows_ix || rows_pb != rows_is || rows_pb != rows_bl) {
         std::cerr << c.id << "/" << t.variant
-                  << ": enumeration modes disagree (" << rows_pb << " vs "
-                  << rows_ix << " rows); ablation invalid\n";
+                  << ": enumeration configs disagree (" << rows_pb << "/"
+                  << rows_is << "/" << rows_ix << "/" << rows_bl
+                  << " rows); ablation invalid\n";
         std::exit(1);
       }
       t.rows = rows_pb;
@@ -321,24 +381,35 @@ void Run(const char* json_path_arg) {
       JoinTiming t;
       t.id = c.id;
       t.variant = "e2e";
-      uint64_t rows_pb = 0, rows_ix = 0;
-      auto time_mode = [&](JoinEnumMode mode, uint64_t* rows) {
+      uint64_t rows_pb = 0, rows_is = 0, rows_ix = 0, rows_bl = 0;
+      auto time_mode = [&](JoinEnumMode mode, uint64_t* rows,
+                           bool force_scalar = false) {
+        if (force_scalar) {
+          bitops::ForceKernelBackend(bitops::KernelBackend::kScalar);
+        }
         EngineOptions options;
         options.join_enum_mode = mode;
         Engine engine(&index, &graph.dict(), options);
-        return TimeMinSample(
+        double sec = TimeMinSample(
             [&] { *rows = engine.Execute(parsed, [](const RawRow&) {}); },
             min_sample);
+        if (force_scalar) bitops::ResetKernelBackend();
+        return sec;
       };
-      std::vector<double> pb, ix;
+      std::vector<double> pb, is, ix, bl;
       for (int rep = 0; rep < 3; ++rep) {
         pb.push_back(time_mode(JoinEnumMode::kPerBit, &rows_pb));
+        is.push_back(time_mode(JoinEnumMode::kIntersect, &rows_is,
+                               /*force_scalar=*/true));
         ix.push_back(time_mode(JoinEnumMode::kIntersect, &rows_ix));
+        bl.push_back(time_mode(JoinEnumMode::kBlock, &rows_bl));
       }
       t.per_bit_sec = Median3(pb);
+      t.intersect_scalar_sec = Median3(is);
       t.intersect_sec = Median3(ix);
-      if (rows_pb != rows_ix) {
-        std::cerr << c.id << "/e2e: enumeration modes disagree; invalid\n";
+      t.block_sec = Median3(bl);
+      if (rows_pb != rows_ix || rows_pb != rows_is || rows_pb != rows_bl) {
+        std::cerr << c.id << "/e2e: enumeration configs disagree; invalid\n";
         std::exit(1);
       }
       t.rows = rows_pb;
@@ -349,44 +420,56 @@ void Run(const char* json_path_arg) {
     }
   }
 
-  TablePrinter table({"query", "variant", "cyclic", "multi-constr", "rows",
-                      "per-bit", "intersect", "speedup"});
-  double log_speedup = 0;
+  TablePrinter table({"query", "variant", "multi-constr", "rows", "per-bit",
+                      "ix-scalar", "intersect", "block", "blk-speedup"});
+  double log_speedup = 0, log_block_speedup = 0;
   int pairs = 0;
   for (const JoinTiming& r : results) {
     double speedup = r.per_bit_sec / r.intersect_sec;
+    double block_speedup = r.intersect_scalar_sec / r.block_sec;
     table.AddRow(
-        {r.id, r.variant, TablePrinter::YesNo(r.cyclic),
-         TablePrinter::YesNo(r.multi_constraint), TablePrinter::Count(r.rows),
-         TablePrinter::Seconds(r.per_bit_sec),
+        {r.id, r.variant, TablePrinter::YesNo(r.multi_constraint),
+         TablePrinter::Count(r.rows), TablePrinter::Seconds(r.per_bit_sec),
+         TablePrinter::Seconds(r.intersect_scalar_sec),
          TablePrinter::Seconds(r.intersect_sec),
-         TablePrinter::Count(static_cast<uint64_t>(speedup * 100)) + "%"});
-    // The acceptance-criterion aggregate: the multi-constraint master-web
+         TablePrinter::Seconds(r.block_sec),
+         TablePrinter::Count(static_cast<uint64_t>(block_speedup * 100)) +
+             "%"});
+    // The acceptance-criterion aggregates: the multi-constraint master-web
     // queries (every TP an absolute master, so every enumerated jvar is
     // multi-constraint), join-only, on unpruned candidate sets — the
-    // branching factors the intersection exists to shrink. OPT queries
+    // branching factors the enumeration work exists to shrink. OPT queries
     // stay in the table and the JSON for transparency, but their join time
-    // mixes in slave-group expansion that the intersection deliberately
-    // leaves untouched (a slave miss must surface as a NULL row, not be
-    // pruned), so they would measure slave expansion, not enumeration.
+    // mixes in slave-group expansion that block mode only memoizes (a
+    // slave miss must surface as a NULL row, not be pruned), so they would
+    // measure slave expansion, not enumeration.
     if (r.multi_constraint && r.master_web && r.variant == "unpruned") {
       log_speedup += std::log(speedup);
+      log_block_speedup += std::log(block_speedup);
       ++pairs;
     }
   }
   table.Print(
-      "Ablation A5: per-bit vs word-parallel-intersected join enumeration");
+      "Ablation A5: per-bit vs intersected vs block-SIMD join enumeration");
   double geomean =
       pairs > 0 ? std::exp(log_speedup / static_cast<double>(pairs)) : 1.0;
+  double block_geomean =
+      pairs > 0 ? std::exp(log_block_speedup / static_cast<double>(pairs))
+                : 1.0;
   std::cout << "geomean intersect speedup over per-bit (multi-constraint "
             << "master-web unpruned, " << pairs << " queries): " << geomean
             << "x\n";
+  std::cout << "geomean block+" << bitops::ActiveKernelName()
+            << " speedup over intersect+scalar (same slice): "
+            << block_geomean << "x\n";
 
   const char* env_path = std::getenv("LBR_BENCH_JSON");
   std::string json_path = json_path_arg != nullptr ? json_path_arg
                           : env_path != nullptr    ? env_path
                                                    : "";
-  if (!json_path.empty()) WriteJson(results, geomean, pairs, json_path);
+  if (!json_path.empty()) {
+    WriteJson(results, geomean, block_geomean, pairs, json_path);
+  }
 }
 
 }  // namespace

@@ -11,10 +11,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "bitmat/bitmat.h"
 #include "core/prune.h"
+#include "util/bitops.h"
 #include "util/bitvector.h"
 #include "util/compressed_row.h"
 #include "util/exec_context.h"
@@ -337,6 +339,122 @@ void BM_ClusteredSemiJoin(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ClusteredSemiJoin);
+
+// --- Dispatched kernel table: forced-scalar (_Kernel, the pre-SIMD word
+// loops) vs the runtime-dispatched backend (_Simd — avx2/sse4.2 where the
+// CPU supports it, otherwise the same scalar table; DESIGN.md §8). The
+// regression gate tracks both rows, so a dispatch misconfiguration that
+// silently drops to scalar shows up as a _Simd slowdown.
+
+// Pins the scalar table for a _Kernel benchmark, restoring startup
+// selection on scope exit.
+struct ScalarGuard {
+  ScalarGuard() { bitops::ForceKernelBackend(bitops::KernelBackend::kScalar); }
+  ~ScalarGuard() { bitops::ResetKernelBackend(); }
+};
+
+std::vector<uint64_t> RandomWordBuffer(uint64_t seed, size_t words) {
+  Rng rng(seed);
+  std::vector<uint64_t> out(words);
+  for (uint64_t& w : out) w = rng.Next();
+  return out;
+}
+
+constexpr size_t kKernelWords = size_t{1} << 14;  // 128 KiB per buffer
+
+void AndWordsBody(benchmark::State& state) {
+  std::vector<uint64_t> dst = RandomWordBuffer(31, kKernelWords);
+  std::vector<uint64_t> src = RandomWordBuffer(32, kKernelWords);
+  for (auto _ : state) {
+    bitops::AndWords(dst.data(), src.data(), kKernelWords);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(kKernelWords * 8));
+}
+
+void BM_WordsAnd_Kernel(benchmark::State& state) {
+  ScalarGuard guard;
+  AndWordsBody(state);
+}
+BENCHMARK(BM_WordsAnd_Kernel);
+
+void BM_WordsAnd_Simd(benchmark::State& state) { AndWordsBody(state); }
+BENCHMARK(BM_WordsAnd_Simd);
+
+void PopcountWordsBody(benchmark::State& state) {
+  std::vector<uint64_t> buf = RandomWordBuffer(33, kKernelWords);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bitops::PopcountWords(buf.data(), kKernelWords));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(kKernelWords * 8));
+}
+
+void BM_WordsPopcount_Kernel(benchmark::State& state) {
+  ScalarGuard guard;
+  PopcountWordsBody(state);
+}
+BENCHMARK(BM_WordsPopcount_Kernel);
+
+void BM_WordsPopcount_Simd(benchmark::State& state) {
+  PopcountWordsBody(state);
+}
+BENCHMARK(BM_WordsPopcount_Simd);
+
+void AppendAndSetBitsBody(benchmark::State& state) {
+  // ~2% density after the AND: the candidate ∧ constraint shape of the
+  // join's enumeration, where most words die in the testz block skip.
+  Rng rng(34);
+  std::vector<uint64_t> a(kKernelWords, 0), b(kKernelWords, 0);
+  for (size_t i = 0; i < kKernelWords; ++i) {
+    if (rng.Chance(0.3)) a[i] = rng.Next() & rng.Next();
+    if (rng.Chance(0.3)) b[i] = rng.Next() & rng.Next();
+  }
+  std::vector<uint32_t> out;
+  for (auto _ : state) {
+    out.clear();
+    bitops::AppendAndSetBits(a.data(), b.data(), kKernelWords, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(kKernelWords * 16));
+}
+
+void BM_AppendAndSetBits_Kernel(benchmark::State& state) {
+  ScalarGuard guard;
+  AppendAndSetBitsBody(state);
+}
+BENCHMARK(BM_AppendAndSetBits_Kernel);
+
+void BM_AppendAndSetBits_Simd(benchmark::State& state) {
+  AppendAndSetBitsBody(state);
+}
+BENCHMARK(BM_AppendAndSetBits_Simd);
+
+void IntersectSortedBody(benchmark::State& state) {
+  Rng rng(35);
+  auto a = RandomPositions(&rng, 1 << 16, 0.25);
+  auto b = RandomPositions(&rng, 1 << 16, 0.25);
+  std::vector<uint32_t> out(std::min(a.size(), b.size()) + 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bitops::IntersectSortedU32(
+        a.data(), a.size(), b.data(), b.size(), out.data()));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(a.size() + b.size()));
+}
+
+void BM_IntersectSortedU32_Kernel(benchmark::State& state) {
+  ScalarGuard guard;
+  IntersectSortedBody(state);
+}
+BENCHMARK(BM_IntersectSortedU32_Kernel);
+
+void BM_IntersectSortedU32_Simd(benchmark::State& state) {
+  IntersectSortedBody(state);
+}
+BENCHMARK(BM_IntersectSortedU32_Simd);
 
 void BM_BitvectorAnd(benchmark::State& state) {
   Rng rng(10);

@@ -285,6 +285,7 @@ Engine::BranchResult Engine::ExecuteBranch(
       stats->sched_tasks += sched_stats.tasks;
       stats->sched_waves += sched_stats.waves;
       stats->sched_conflicts += sched_stats.conflicts;
+      stats->sched_deduped += sched_stats.deduped;
     }
   }
   if (stats != nullptr) stats->t_prune_sec += prune_watch.Seconds();

@@ -44,10 +44,12 @@ struct EngineOptions {
   /// across threads. The engine itself stays single-threaded — the pool
   /// only parallelizes the interior of fold/unfold ops (DESIGN.md §5).
   ThreadPool* pool = nullptr;
-  /// Candidate enumeration inside the multiway join: word-parallel
-  /// intersection (default) or the legacy per-bit probing. Results are
-  /// identical; the knob exists for bench/ablation_join (DESIGN.md §6).
-  JoinEnumMode join_enum_mode = JoinEnumMode::kIntersect;
+  /// Candidate enumeration inside the multiway join: block-at-a-time
+  /// descent over the intersected candidates (default), word-parallel
+  /// intersection with per-candidate descent, or the legacy per-bit
+  /// probing. Results are identical; the knob exists for
+  /// bench/ablation_join (DESIGN.md §6, §8).
+  JoinEnumMode join_enum_mode = JoinEnumMode::kBlock;
   /// Semi-join scheduling inside prune_triples: the fully ordered sequence
   /// (default) or conflict-scheduled waves that run independent semi-joins
   /// of a jvar pass concurrently on `pool` (DESIGN.md §7). Results are
@@ -93,6 +95,7 @@ struct QueryStats {
   uint64_t sched_tasks = 0;
   uint64_t sched_waves = 0;
   uint64_t sched_conflicts = 0;
+  uint64_t sched_deduped = 0;
   uint64_t fold_once_publishes = 0;
 };
 

@@ -142,7 +142,7 @@ std::string ExplainCacheStats(const QueryStats& stats) {
   if (stats.sched_tasks > 0) {
     os << "  semi-join sched: " << stats.sched_tasks << " task(s) in "
        << stats.sched_waves << " wave(s), " << stats.sched_conflicts
-       << " conflict(s)\n";
+       << " conflict(s), " << stats.sched_deduped << " deduped\n";
   }
   if (stats.tp_cache_contention > 0 || stats.tp_cache_flight_waits > 0) {
     os << "  tp cache contention: " << stats.tp_cache_contention

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <set>
+#include <tuple>
 
 namespace lbr {
 
@@ -55,13 +56,60 @@ bool TasksConflict(const SemiJoinTask& a, const SemiJoinTask& b) {
          Intersects(a.reads, b.writes);
 }
 
+/// Duplicate-task elimination across the compiled passes (DESIGN.md §7).
+/// A simple (master, slave, jvar) semi-join re-run with bit-identical
+/// inputs is a pure no-op: after the first run fold(slave) is a subset of
+/// the aligned master fold, so the re-run's beta equals fold(slave) and no
+/// unfold fires. So a simple task whose identity was compiled before AND
+/// whose read/write footprint has not been written since that run can be
+/// dropped without changing a single bit. Tracked with per-TP write
+/// epochs: the stored snapshot includes the task's own writes, so an epoch
+/// mismatch means some OTHER task touched the footprint in between. The
+/// fixpoint's second (top-down) pass revisits every jvar of the first,
+/// which is where the duplicates actually live — the state spans both
+/// passes. Clustered semi-joins are NEVER deduped: each member is pruned
+/// against the others' pre-run folds, so the task's own writes shrink its
+/// own inputs and a re-run can prune further (the reason the fixpoint
+/// exists) — they only bump the epochs that invalidate others' snapshots.
+struct DedupeState {
+  std::vector<uint64_t> epoch;  ///< Writes so far per TP, serial order.
+  /// Simple-task identity -> footprint epochs after its last retained run.
+  std::map<std::tuple<int, int, int>, std::vector<uint64_t>> last;
+  uint64_t deduped = 0;
+};
+
 /// Compiles one jvar pass into its task list, in the exact order the
-/// serial fixpoint would execute the semi-joins. The list is a static
-/// property of the query (gosn/goj/order), independent of BitMat contents.
+/// serial fixpoint would execute the semi-joins, dropping provable no-op
+/// duplicates via `dedupe` (may be shared across passes). The retained
+/// list is a static property of the query (gosn/goj/order), independent of
+/// BitMat contents.
 std::vector<SemiJoinTask> CompilePass(const std::vector<int>& jvar_order,
                                       const Gosn& gosn, const Goj& goj,
-                                      const std::vector<int>& canon_group) {
+                                      const std::vector<int>& canon_group,
+                                      DedupeState* dedupe) {
   std::vector<SemiJoinTask> tasks;
+  auto retain = [&](SemiJoinTask t) {
+    if (t.cluster.empty()) {
+      std::vector<uint64_t> snap;
+      snap.reserve(t.writes.size() + t.reads.size());
+      for (int tp : t.writes) snap.push_back(dedupe->epoch[tp]);
+      for (int tp : t.reads) snap.push_back(dedupe->epoch[tp]);
+      std::vector<uint64_t>& stored =
+          dedupe->last[{t.jvar, t.master, t.slave}];
+      if (!stored.empty() && stored == snap) {
+        ++dedupe->deduped;
+        return;
+      }
+      for (int tp : t.writes) ++dedupe->epoch[tp];
+      snap.clear();
+      for (int tp : t.writes) snap.push_back(dedupe->epoch[tp]);
+      for (int tp : t.reads) snap.push_back(dedupe->epoch[tp]);
+      stored = std::move(snap);
+    } else {
+      for (int tp : t.writes) ++dedupe->epoch[tp];
+    }
+    tasks.push_back(std::move(t));
+  };
   for (int j : jvar_order) {
     const std::vector<int>& holders = goj.tps_of_jvar()[j];
     for (int master_id : holders) {
@@ -74,7 +122,7 @@ std::vector<SemiJoinTask> CompilePass(const std::vector<int>& jvar_order,
         t.slave = slave_id;
         t.writes = {slave_id};
         t.reads = {master_id};
-        tasks.push_back(std::move(t));
+        retain(std::move(t));
       }
     }
     std::set<int> done_groups;
@@ -90,7 +138,7 @@ std::vector<SemiJoinTask> CompilePass(const std::vector<int>& jvar_order,
       }
       if (t.cluster.size() < 2) continue;  // ClusteredSemiJoin no-ops below 2
       t.writes = t.cluster;
-      tasks.push_back(std::move(t));
+      retain(std::move(t));
     }
   }
   return tasks;
@@ -254,9 +302,14 @@ void PruneTriples(const JvarOrder& order, const Gosn& gosn, const Goj& goj,
     // Compile each pass into a task DAG and run maximal non-conflicting
     // waves; the pass boundary is itself a barrier (pass 2 consumes pass
     // 1's restrictions), so each pass gets its own graph.
+    // Dedupe state spans both passes: the top-down pass re-lists the
+    // bottom-up pass's semi-joins, and every one whose footprint no task
+    // has written since is a no-op the compiler drops up front.
+    DedupeState dedupe;
+    dedupe.epoch.assign(tps->size(), 0);
     auto pass = [&](const std::vector<int>& jvar_order) {
       std::vector<SemiJoinTask> tasks =
-          CompilePass(jvar_order, gosn, goj, canon_group);
+          CompilePass(jvar_order, gosn, goj, canon_group, &dedupe);
       uint64_t conflicts = 0;
       std::vector<std::vector<uint32_t>> waves = AssignWaves(tasks, &conflicts);
       if (sched_stats != nullptr) {
@@ -268,6 +321,7 @@ void PruneTriples(const JvarOrder& order, const Gosn& gosn, const Goj& goj,
     };
     pass(order.order_bu);
     pass(order.order_td);
+    if (sched_stats != nullptr) sched_stats->deduped += dedupe.deduped;
     return;
   }
 

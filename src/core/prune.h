@@ -55,9 +55,12 @@ void ClusteredSemiJoin(const std::string& jvar,
 ///    every member. Two tasks conflict iff they share a written TpState or
 ///    a write/read pair; maximal non-conflicting waves run concurrently on
 ///    the pool (ThreadPool::RunTaskGraph) with per-slot arenas, while
-///    conflicting tasks keep their serial relative order. Results are
-///    byte-identical to kSerial under both modes; `sched_stats` (optional)
-///    receives task/wave/conflict counts under kWaves.
+///    conflicting tasks keep their serial relative order. Repeated
+///    (master, slave, jvar) tasks whose footprint no retained task wrote
+///    in between — provable no-ops — are dropped at compile time (the
+///    dedupe state spans both passes). Results are byte-identical to
+///    kSerial under both modes; `sched_stats` (optional) receives
+///    task/wave/conflict/dedupe counts under kWaves.
 void PruneTriples(const JvarOrder& order, const Gosn& gosn, const Goj& goj,
                   uint32_t num_common, std::vector<TpState>* tps,
                   ExecContext* ctx = nullptr, ThreadPool* pool = nullptr,

@@ -51,16 +51,7 @@ bool Bitvector::None() const {
 }
 
 bool Bitvector::All() const {
-  if (size_ == 0) return true;
-  size_t full_words = size_ >> 6;
-  for (size_t i = 0; i < full_words; ++i) {
-    if (words_[i] != ~uint64_t{0}) return false;
-  }
-  if ((size_ & 63) != 0) {
-    uint64_t mask = bitops::TailMask(size_);
-    if ((words_[full_words] & mask) != mask) return false;
-  }
-  return true;
+  return bitops::AllInRange(words_.data(), 0, size_);
 }
 
 size_t Bitvector::FindFirst() const {

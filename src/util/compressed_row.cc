@@ -221,14 +221,11 @@ void CompressedRow::IntersectSortedPositions(
       positions->clear();
       return;
     case Encoding::kPositions: {
-      const uint32_t* pay = payload_.data();
-      const size_t n = payload_.size();
-      size_t kept = 0, i = 0;
-      for (uint32_t p : *positions) {
-        while (i < n && pay[i] < p) ++i;
-        if (i == n) break;
-        if (pay[i] == p) (*positions)[kept++] = p;
-      }
+      // In-place sorted intersection through the dispatched kernel; the
+      // output cursor never passes the read cursor, so out == a is safe.
+      size_t kept = bitops::IntersectSortedU32(
+          positions->data(), positions->size(), payload_.data(),
+          payload_.size(), positions->data());
       positions->resize(kept);
       return;
     }

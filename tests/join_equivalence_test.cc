@@ -1,10 +1,12 @@
-// Join-equivalence suite for the intersected candidate enumeration
-// (DESIGN.md §6): the word-parallel intersection mode of the multiway join
+// Join-equivalence suite for the candidate enumeration modes (DESIGN.md
+// §6, §8): the intersect and block-at-a-time modes of the multiway join
 // must emit the *exact ordered row stream* of the legacy per-bit mode —
-// intersection only removes candidates whose subtree rolls back — and both
-// must produce the reference evaluator's row multiset end to end. Shapes
-// covered: cyclic master triangles (multi-constraint jvars), multi-jvar
-// slaves (nullification + best-match), FaN-filtered queries, and a random
+// intersection only removes candidates whose subtree rolls back, and block
+// descent only reorders *work*, never emissions — on every kernel backend
+// (scalar, sse4.2, avx2) the build and CPU can run. All modes must produce
+// the reference evaluator's row multiset end to end. Shapes covered:
+// cyclic master triangles (multi-constraint jvars), multi-jvar slaves
+// (nullification + best-match), FaN-filtered queries, and a random
 // well-designed sweep.
 
 #include <gtest/gtest.h>
@@ -23,6 +25,7 @@
 #include "core/prune.h"
 #include "sparql/parser.h"
 #include "test_util.h"
+#include "util/bitops.h"
 #include "util/rng.h"
 
 namespace lbr {
@@ -80,20 +83,42 @@ std::vector<Emission> RunJoin(const Graph& graph, const std::string& group,
   return out;
 }
 
-// Asserts ordered emission equality between the two modes for every
-// combination of pruning on/off (off exercises nullification paths and
-// much larger candidate sets).
+// Kernel backends this build/CPU can run; scalar is always present.
+std::vector<bitops::KernelBackend> AvailableBackends() {
+  std::vector<bitops::KernelBackend> backends;
+  for (bitops::KernelBackend b :
+       {bitops::KernelBackend::kScalar, bitops::KernelBackend::kSse42,
+        bitops::KernelBackend::kAvx2}) {
+    if (bitops::KernelsFor(b) != nullptr) backends.push_back(b);
+  }
+  return backends;
+}
+
+// Asserts ordered emission equality across the full JoinEnumMode × kernel
+// backend matrix, for pruning on and off (off exercises nullification
+// paths and much larger candidate sets). Per-bit with the scalar backend
+// is the reference stream; intersect and block modes on every backend must
+// reproduce it bit-identically (DESIGN.md §8).
 void ExpectJoinStreamsIdentical(const Graph& graph, const std::string& group,
                                 bool nullification, bool use_filters) {
   for (bool prune : {true, false}) {
-    std::vector<Emission> per_bit =
+    ASSERT_TRUE(bitops::ForceKernelBackend(bitops::KernelBackend::kScalar));
+    std::vector<Emission> reference =
         RunJoin(graph, group, JoinEnumMode::kPerBit, prune, nullification,
                 use_filters);
-    std::vector<Emission> intersected =
-        RunJoin(graph, group, JoinEnumMode::kIntersect, prune, nullification,
-                use_filters);
-    EXPECT_EQ(per_bit, intersected)
-        << group << " (prune=" << prune << ")";
+    for (bitops::KernelBackend backend : AvailableBackends()) {
+      ASSERT_TRUE(bitops::ForceKernelBackend(backend));
+      for (JoinEnumMode mode : {JoinEnumMode::kPerBit, JoinEnumMode::kIntersect,
+                                JoinEnumMode::kBlock}) {
+        std::vector<Emission> got =
+            RunJoin(graph, group, mode, prune, nullification, use_filters);
+        EXPECT_EQ(reference, got)
+            << group << " (prune=" << prune
+            << ", mode=" << static_cast<int>(mode)
+            << ", backend=" << bitops::KernelsFor(backend)->name << ")";
+      }
+    }
+    bitops::ResetKernelBackend();
   }
 }
 
@@ -112,13 +137,16 @@ void ExpectEngineMatchesReference(const Graph& graph,
   };
   ResultTable per_bit = run_mode(JoinEnumMode::kPerBit);
   ResultTable intersected = run_mode(JoinEnumMode::kIntersect);
-  // The engine's output order is deterministic; the two modes must agree
+  ResultTable block = run_mode(JoinEnumMode::kBlock);
+  // The engine's output order is deterministic; all modes must agree
   // row for row, not merely as a bag.
   ASSERT_EQ(per_bit.rows.size(), intersected.rows.size()) << sparql;
+  ASSERT_EQ(per_bit.rows.size(), block.rows.size()) << sparql;
   EXPECT_EQ(Canonicalize(per_bit), Canonicalize(intersected)) << sparql;
+  EXPECT_EQ(Canonicalize(per_bit), Canonicalize(block)) << sparql;
 
   ReferenceEvaluator reference(&graph);
-  EXPECT_EQ(Canonicalize(intersected), Canonicalize(reference.Execute(parsed)))
+  EXPECT_EQ(Canonicalize(block), Canonicalize(reference.Execute(parsed)))
       << sparql;
 }
 
@@ -217,6 +245,41 @@ TEST(JoinEquivalenceTest, PredicateObjectMixedVarDoesNotDiverge) {
       RunJoin(g, group, JoinEnumMode::kIntersect, /*prune=*/false,
               /*nullification=*/false, /*use_filters=*/false);
   EXPECT_EQ(per_bit, intersected);
+}
+
+TEST(JoinEquivalenceTest, BlockModeTelemetry) {
+  // Three master bindings share one ?y, so the slave subtree for ?y is
+  // expanded once and replayed from the memo twice; the master TP itself
+  // is enumerated as blocks.
+  Graph g = MakeGraph({
+      {"a", "p", "y"}, {"b", "p", "y"}, {"c", "p", "y"},
+      {"y", "q", "z1"}, {"y", "q", "z2"},
+  });
+  const std::string group = "{ ?x <p> ?y . OPTIONAL { ?y <q> ?z . } }";
+  TripleIndex index = TripleIndex::Build(g);
+  Gosn gosn = Gosn::Build(*Parser::ParseGroup(group, {}));
+  std::vector<TpState> states;
+  for (size_t i = 0; i < gosn.tps().size(); ++i) {
+    TpState st;
+    st.tp = gosn.tps()[i];
+    st.tp_id = static_cast<int>(i);
+    st.sn_id = gosn.SupernodeOf(st.tp_id);
+    st.mat = LoadTpBitMat(index, g.dict(), st.tp, true);
+    states.push_back(std::move(st));
+  }
+  std::vector<int> stps(states.size());
+  for (size_t i = 0; i < states.size(); ++i) stps[i] = static_cast<int>(i);
+  MultiwayJoin::Options options;
+  options.enum_mode = JoinEnumMode::kBlock;
+  GlobalIds ids = GlobalIds::FromDictionary(g.dict());
+  MultiwayJoin join(gosn, ids, g.dict(), &states, stps, std::move(options));
+  ExecContext ctx;
+  size_t rows = 0;
+  join.Run([&rows](const RawRow&, bool) { ++rows; }, &ctx);
+  EXPECT_EQ(rows, 6u);  // 3 masters × 2 slave matches
+  EXPECT_GT(join.enum_blocks(), 0u);
+  EXPECT_EQ(join.slave_memo_misses(), 1u);
+  EXPECT_EQ(join.slave_memo_hits(), 2u);
 }
 
 // Random sweep: small dense graphs and generated well-designed queries

@@ -211,10 +211,34 @@ TEST(SemiJoinSchedTest, IndependentSlavesShareAWave) {
   // Each visit of ?x issues four master->slave semi-joins, all reading the
   // one master TP and writing distinct slaves — no conflicts among them,
   // so every visit's tasks share one wave of width 4. (The jvar order
-  // visits ?x once per supernode segment, so visits repeat; consecutive
-  // visits rewrite the same slaves and are serialized across waves.)
+  // visits ?x once per supernode segment, so visits repeat; the repeats
+  // rewrite the same slaves with untouched inputs, which the compiler
+  // dedupes instead of serializing into extra waves.)
   EXPECT_GT(stats.waves, 0u);
   EXPECT_EQ(stats.tasks, 4 * stats.waves);
+}
+
+TEST(SemiJoinSchedTest, RepeatedSemiJoinTasksAreDeduped) {
+  // kMultiMasterQuery revisits ?x (once per supernode segment per pass,
+  // and again in the top-down pass); every revisit re-lists the same four
+  // (master, slave, jvar) semi-joins with unwritten footprints. Those
+  // re-runs are provable no-ops and must be dropped at compile time —
+  // without changing a single pruned bit vs the serial fixpoint.
+  PruneFixture fx(SmallLubm(), kMultiMasterQuery);
+  std::vector<TpState> serial = fx.Prune(SemiJoinSched::kSerial, nullptr);
+
+  ThreadPool pool(4);
+  PruneSchedStats stats;
+  std::vector<TpState> waves = fx.Prune(SemiJoinSched::kWaves, &pool, &stats);
+  EXPECT_GT(stats.deduped, 0u);
+  ASSERT_EQ(waves.size(), serial.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(waves[i].mat.bm, serial[i].mat.bm) << "tp" << i;
+  }
+  // Serial mode never compiles tasks, so it never dedupes either.
+  PruneSchedStats serial_stats;
+  fx.Prune(SemiJoinSched::kSerial, nullptr, &serial_stats);
+  EXPECT_EQ(serial_stats.deduped, 0u);
 }
 
 TEST(SemiJoinSchedTest, ConflictRuleSerializesSharedWrites) {
