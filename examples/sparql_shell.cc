@@ -6,6 +6,11 @@
 //   .save <path>      persist the loaded data as a single-file database
 //   .batch <path>     run a file of blank-line-separated queries across
 //                     the thread pool (shared warm TP cache)
+//   .timeout <ms>     per-query deadline for subsequent queries (0 clears);
+//                     also applied to .batch queries
+//   .maxmem <bytes>   per-query memory budget (0 clears); also for .batch
+//   .cancel <ms>      arm a one-shot canceller: the NEXT query is cancelled
+//                     from a second thread after <ms> milliseconds
 //   .quit             exit
 //
 // Usage:  sparql_shell [--threads N] [--sched serial|waves] [data.nt | data.lbr]
@@ -19,12 +24,14 @@
 // serial (default) keeps the fully ordered fixpoint. Results are
 // bit-identical either way.
 
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/database.h"
@@ -33,6 +40,7 @@
 #include "core/result_writer.h"
 #include "rdf/graph.h"
 #include "rdf/ntriples.h"
+#include "util/query_control.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
@@ -151,6 +159,12 @@ int main(int argc, char** argv) {
     return queries;
   };
 
+  // Per-query lifecycle knobs (DESIGN.md §9): 0 = off. `cancel_after_ms`
+  // is one-shot, armed by `.cancel <ms>` for the next query only.
+  uint64_t timeout_ms = 0;
+  uint64_t maxmem_bytes = 0;
+  int64_t cancel_after_ms = -1;
+
   auto run_batch = [&](const std::string& path) {
     std::vector<std::string> queries = read_batch_file(path);
     if (queries.empty()) {
@@ -158,7 +172,12 @@ int main(int argc, char** argv) {
       return;
     }
     Stopwatch watch;
-    std::vector<BatchResult> results = db.ExecuteBatch(queries, pool.get());
+    BatchOptions batch_options;
+    batch_options.pool = pool.get();
+    batch_options.timeout_ms = timeout_ms;
+    batch_options.memory_budget = maxmem_bytes;
+    std::vector<BatchResult> results =
+        db.ExecuteBatch(queries, std::move(batch_options));
     double wall = watch.Seconds();
     uint64_t total_rows = 0, failures = 0;
     uint64_t hits = 0, misses = 0, contention = 0, flight_waits = 0;
@@ -166,7 +185,9 @@ int main(int argc, char** argv) {
       const BatchResult& r = results[i];
       if (!r.ok()) {
         ++failures;
-        std::cout << "  q" << i << ": error: " << r.error << "\n";
+        std::cout << "  q" << i << " ["
+                  << QueryTerminationName(r.outcome.code)
+                  << "]: " << r.error << "\n";
         continue;
       }
       total_rows += r.stats.num_results;
@@ -189,7 +210,8 @@ int main(int argc, char** argv) {
   std::string format = "table";
   std::cerr << "enter SPARQL queries (end with a blank line); "
                "'EXPLAIN <query>' for plans; '.stats', '.format tsv|csv|"
-               "table', '.save <path>', '.batch <path>', '.quit'\n";
+               "table', '.save <path>', '.batch <path>', '.timeout <ms>', "
+               "'.maxmem <bytes>', '.cancel <ms>', '.quit'\n";
 
   std::string buffer;
   std::string line;
@@ -223,8 +245,52 @@ int main(int argc, char** argv) {
         run_batch(text.substr(7));
         return;
       }
+      if (text.rfind(".timeout ", 0) == 0) {
+        timeout_ms = std::strtoull(text.c_str() + 9, nullptr, 10);
+        std::cout << "timeout: "
+                  << (timeout_ms ? std::to_string(timeout_ms) + " ms" : "off")
+                  << "\n";
+        return;
+      }
+      if (text.rfind(".maxmem ", 0) == 0) {
+        maxmem_bytes = std::strtoull(text.c_str() + 8, nullptr, 10);
+        std::cout << "memory budget: "
+                  << (maxmem_bytes ? std::to_string(maxmem_bytes) + " bytes"
+                                   : "off")
+                  << "\n";
+        return;
+      }
+      if (text.rfind(".cancel ", 0) == 0) {
+        cancel_after_ms = std::strtoll(text.c_str() + 8, nullptr, 10);
+        std::cout << "canceller armed: next query cancelled after "
+                  << cancel_after_ms << " ms\n";
+        return;
+      }
       QueryStats stats;
-      ResultTable result = engine.ExecuteToTable(text, &stats);
+      QueryControl control;
+      if (timeout_ms > 0) {
+        control.SetTimeout(std::chrono::milliseconds(timeout_ms));
+      }
+      if (maxmem_bytes > 0) control.SetMemoryBudget(maxmem_bytes);
+      // One-shot canceller: a second thread sleeps then flips the latch,
+      // exactly what an external "kill this query" endpoint would do.
+      std::thread canceller;
+      if (cancel_after_ms >= 0) {
+        int64_t delay = cancel_after_ms;
+        cancel_after_ms = -1;
+        canceller = std::thread([&control, delay] {
+          std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+          control.Cancel();
+        });
+      }
+      ResultTable result;
+      try {
+        result = engine.ExecuteToTable(text, &stats, &control);
+      } catch (...) {
+        if (canceller.joinable()) canceller.join();
+        throw;
+      }
+      if (canceller.joinable()) canceller.join();
       if (format == "csv") {
         ResultWriter::WriteCsv(result, &std::cout);
       } else if (format == "tsv") {
@@ -249,11 +315,15 @@ int main(int argc, char** argv) {
                   << " s; triples " << stats.initial_triples << " -> "
                   << stats.triples_after_prune
                   << (stats.best_match_used ? "; best-match used" : "")
-                  << (stats.aborted_early ? "; aborted early (empty master)"
-                                          : "")
+                  << (stats.empty_result_shortcut
+                          ? "; empty-master shortcut"
+                          : "")
                   << "\n";
         std::cout << ExplainCacheStats(stats);
       }
+    } catch (const QueryAbortedError& e) {
+      std::cout << "aborted [" << QueryTerminationName(e.code())
+                << "]: " << e.what() << "\n";
     } catch (const std::exception& e) {
       std::cout << "error: " << e.what() << "\n";
     }
@@ -263,7 +333,8 @@ int main(int argc, char** argv) {
     if (line == ".quit") break;
     if (line == ".stats" || line.rfind(".format ", 0) == 0 ||
         line.rfind(".save ", 0) == 0 || line.rfind(".batch ", 0) == 0 ||
-        StartsWithWord(line, "EXPLAIN")) {
+        line.rfind(".timeout ", 0) == 0 || line.rfind(".maxmem ", 0) == 0 ||
+        line.rfind(".cancel ", 0) == 0 || StartsWithWord(line, "EXPLAIN")) {
       buffer = line;
       run_buffer();
       continue;

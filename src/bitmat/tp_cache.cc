@@ -1,6 +1,8 @@
 #include "bitmat/tp_cache.h"
 
+#include <cstdlib>
 #include <functional>
+#include <stdexcept>
 
 namespace lbr {
 
@@ -45,6 +47,22 @@ TpCache::TpCache(uint64_t triple_budget, size_t num_shards)
   shards_.reserve(num_shards);
   for (size_t i = 0; i < num_shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
+  }
+  // LBR_FAULT=<n>: fail every n-th cache load (test/chaos hook).
+  if (const char* fault = std::getenv("LBR_FAULT")) {
+    long rate = std::strtol(fault, nullptr, 10);
+    if (rate > 0) fault_rate_.store(static_cast<uint32_t>(rate),
+                                    std::memory_order_relaxed);
+  }
+}
+
+void TpCache::MaybeInjectFault() {
+  uint32_t rate = fault_rate_.load(std::memory_order_relaxed);
+  if (rate == 0) return;
+  uint64_t seq = load_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (seq % rate == 0) {
+    faults_injected_.fetch_add(1, std::memory_order_relaxed);
+    throw std::runtime_error("TpCache: injected load fault (LBR_FAULT)");
   }
 }
 
@@ -140,6 +158,7 @@ TpBitMat TpCache::LoadAndPublish(Shard* shard,
 
   TpBitMat loaded;
   try {
+    MaybeInjectFault();
     loaded = LoadTpBitMat(index, dict, tp, prefer_subject_rows);
     // Warm the column-fold memo before publication: entries are frozen
     // once visible to other threads (even const folds write the memo), and

@@ -107,6 +107,19 @@ class TpCache {
     return flight_waits_.load(std::memory_order_relaxed);
   }
 
+  /// Fault-injection test hook (also armed by the LBR_FAULT environment
+  /// variable at construction): every `rate`-th single-flight cache load
+  /// throws instead of loading — rate 1 fails every load, 0 disables.
+  /// Exercises the error path of the single-flight protocol: waiters must
+  /// wake, observe no entry, and fall through to a direct load, leaving no
+  /// poisoned entry behind. Thread-safe.
+  void set_fault_rate(uint32_t rate) {
+    fault_rate_.store(rate, std::memory_order_relaxed);
+  }
+  uint64_t faults_injected() const {
+    return faults_injected_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Entry {
     TpBitMat mat;
@@ -139,6 +152,8 @@ class TpCache {
                           const std::string& key, const TripleIndex& index,
                           const Dictionary& dict, const TriplePattern& tp,
                           bool prefer_subject_rows);
+  /// Throws on the loads the configured fault rate selects (test hook).
+  void MaybeInjectFault();
 
   uint64_t budget_;
   std::vector<std::unique_ptr<Shard>> shards_;
@@ -148,6 +163,9 @@ class TpCache {
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> contention_{0};
   std::atomic<uint64_t> flight_waits_{0};
+  std::atomic<uint32_t> fault_rate_{0};
+  std::atomic<uint64_t> load_seq_{0};
+  std::atomic<uint64_t> faults_injected_{0};
 };
 
 }  // namespace lbr

@@ -7,6 +7,8 @@
 
 namespace lbr {
 
+class ExecContext;
+
 /// The best-match (minimum-union) operator of Section 3.1: removes every
 /// result row that is subsumed by another row (r1 ❁ r2 — r1's non-null
 /// bindings all agree with r2 and r2 binds strictly more variables).
@@ -18,8 +20,13 @@ namespace lbr {
 ///
 /// Preserves bag semantics: exact duplicate rows are kept (subsumption is
 /// strict). Row order within the output follows the input.
+///
+/// Subsumption is quadratic within a bucket (and the empty-`master_cols`
+/// fallback is one bucket), so `ctx` — when non-null — is polled for
+/// cancellation as the scan advances (DESIGN.md §9).
 std::vector<RawRow> BestMatch(std::vector<RawRow> rows,
-                              const std::vector<int>& master_cols);
+                              const std::vector<int>& master_cols,
+                              ExecContext* ctx = nullptr);
 
 }  // namespace lbr
 

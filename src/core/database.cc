@@ -18,8 +18,13 @@ void Database::InitEngine(EngineOptions options) {
 std::vector<BatchResult> Database::ExecuteBatch(
     const std::vector<std::string>& queries, ThreadPool* pool) {
   BatchOptions options;
-  options.engine = engine_->options();
   options.pool = pool;
+  return ExecuteBatch(queries, std::move(options));
+}
+
+std::vector<BatchResult> Database::ExecuteBatch(
+    const std::vector<std::string>& queries, BatchOptions options) {
+  options.engine = engine_->options();
   options.shared_cache = engine_->shared_tp_cache();
   return Engine::ExecuteBatch(*index_, *dict_, queries, options);
 }

@@ -49,6 +49,14 @@ class Database {
   std::vector<BatchResult> ExecuteBatch(const std::vector<std::string>& queries,
                                         ThreadPool* pool = nullptr);
 
+  /// The admission-controlled form: like above but honoring the lifecycle
+  /// and admission fields of `options` (max concurrent, bounded queue,
+  /// per-query timeout and memory budget — DESIGN.md §9). The engine
+  /// configuration and shared cache still come from this database;
+  /// `options.engine` and `options.shared_cache` are overwritten.
+  std::vector<BatchResult> ExecuteBatch(const std::vector<std::string>& queries,
+                                        BatchOptions options);
+
   uint64_t num_triples() const { return index_->num_triples(); }
 
  private:

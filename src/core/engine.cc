@@ -1,6 +1,8 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <map>
 #include <set>
 #include <unordered_map>
@@ -151,6 +153,8 @@ Engine::BranchResult Engine::ExecuteBranch(
   std::vector<TpState> states(tps.size());
   bool empty_master = false;
   for (size_t i = 0; i < tps.size() && !empty_master; ++i) {
+    // Per-TP-load cancellation check (forced poll: loads are coarse).
+    exec_ctx_.CheckCancelNow();
     TpState& st = states[i];
     st.tp = tps[i];
     st.tp_id = static_cast<int>(i);
@@ -262,6 +266,9 @@ Engine::BranchResult Engine::ExecuteBranch(
                             masks, &exec_ctx_);
     }
     st.initial_count = st.mat.bm.Count();
+    // Memory accounting point: the loaded BitMat's payload is proportional
+    // to its set bits (compressed rows).
+    exec_ctx_.ChargeMemory(st.initial_count / 4 + 1024);
 
     // Simple optimization (Section 5): an empty absolute-master TP means an
     // empty result.
@@ -271,7 +278,7 @@ Engine::BranchResult Engine::ExecuteBranch(
   }
   if (stats != nullptr) stats->t_init_sec += init_watch.Seconds();
   if (empty_master) {
-    if (stats != nullptr) stats->aborted_early = true;
+    if (stats != nullptr) stats->empty_result_shortcut = true;
     return result;
   }
 
@@ -299,7 +306,7 @@ Engine::BranchResult Engine::ExecuteBranch(
   }
   if (stats != nullptr) stats->triples_after_prune += after_prune;
   if (empty_master) {
-    if (stats != nullptr) stats->aborted_early = true;
+    if (stats != nullptr) stats->empty_result_shortcut = true;
     return result;
   }
 
@@ -345,6 +352,8 @@ Engine::BranchResult Engine::ExecuteBranch(
           // the same nulled row — keep one (Rao et al.'s minimum union).
           if (!seen_nulled.insert(row).second) return;
         }
+        // Memory accounting point: the accumulated result rows.
+        exec_ctx_.ChargeMemory(row.size() * sizeof(uint64_t) + 16);
         full_rows.push_back(row);
       },
       &exec_ctx_);
@@ -353,7 +362,9 @@ Engine::BranchResult Engine::ExecuteBranch(
   // with multi-jvar slaves, or when FaN/nullification nulled some group.
   if (nb_reqd || join.nulling_applied() || any_nulled) {
     if (stats != nullptr) stats->best_match_used = true;
-    full_rows = BestMatch(std::move(full_rows), join.MasterColumns());
+    exec_ctx_.CheckCancelNow();  // best-match is O(rows^2 worst case)
+    full_rows =
+        BestMatch(std::move(full_rows), join.MasterColumns(), &exec_ctx_);
   }
 
   // Project onto the query projection.
@@ -363,6 +374,10 @@ Engine::BranchResult Engine::ExecuteBranch(
   }
   result.rows.reserve(full_rows.size());
   for (const RawRow& row : full_rows) {
+    // Post-join phases scale with the result, not the data; on large
+    // answers they dominate the tail, so they need checks of their own.
+    exec_ctx_.CheckCancel();
+    exec_ctx_.ChargeMemory(projection.size() * sizeof(uint64_t) + 16);
     RawRow projected(projection.size(), kNullBinding);
     for (size_t i = 0; i < projection.size(); ++i) {
       if (col_of_projection[i] >= 0) projected[i] = row[col_of_projection[i]];
@@ -373,11 +388,38 @@ Engine::BranchResult Engine::ExecuteBranch(
 }
 
 uint64_t Engine::Execute(const ParsedQuery& query, const RowSink& sink,
-                         QueryStats* stats) {
+                         QueryStats* stats, QueryControl* control) {
   Stopwatch total_watch;
   QueryStats local_stats;
   QueryStats* st = stats ? stats : &local_stats;
   *st = QueryStats{};
+
+  // Attach the per-query lifecycle control to the engine arena; every
+  // cancellation check and memory charge below reads it from there. The
+  // guard detaches on every exit path (including aborts), so the engine is
+  // immediately reusable and a stale control can never outlive its query.
+  struct ControlGuard {
+    ExecContext* ctx;
+    ~ControlGuard() { ctx->SetQueryControl(nullptr); }
+  } control_guard{&exec_ctx_};
+  exec_ctx_.SetQueryControl(control);
+
+  try {
+    return ExecuteControlled(query, sink, st, total_watch);
+  } catch (const QueryAbortedError& e) {
+    // Structured abort: report the true termination reason with whatever
+    // partial stats the phases accumulated, then let the caller decide.
+    st->termination = e.code();
+    st->t_total_sec = total_watch.Seconds();
+    throw;
+  }
+}
+
+uint64_t Engine::ExecuteControlled(const ParsedQuery& query,
+                                   const RowSink& sink, QueryStats* st,
+                                   const Stopwatch& total_watch) {
+  // A deadline already in the past aborts before any work.
+  exec_ctx_.CheckCancelNow();
 
   std::vector<std::string> projection = query.EffectiveProjection();
 
@@ -399,7 +441,10 @@ uint64_t Engine::Execute(const ParsedQuery& query, const RowSink& sink,
   std::vector<RawRow> all_rows;
   for (const auto& branch : unf.branches) {
     BranchResult br = ExecuteBranch(*branch, projection, st);
-    for (RawRow& row : br.rows) all_rows.push_back(std::move(row));
+    for (RawRow& row : br.rows) {
+      exec_ctx_.CheckCancel();
+      all_rows.push_back(std::move(row));
+    }
   }
 
   st->tp_cache_hits = tp_cache_->hits() - tp_hits0;
@@ -418,7 +463,8 @@ uint64_t Engine::Execute(const ParsedQuery& query, const RowSink& sink,
   // multiplicity of fully-unmatched rows by the arm count.
   if (unf.may_have_spurious && unf.branches.size() > 1) {
     st->best_match_used = true;
-    all_rows = BestMatch(std::move(all_rows), {});
+    exec_ctx_.CheckCancelNow();  // best-match is O(rows^2 worst case)
+    all_rows = BestMatch(std::move(all_rows), {}, &exec_ctx_);
     for (const UnfResult::Rule3Info& info : unf.rule3) {
       if (info.arm_count < 2 || info.exclusive_vars.empty()) continue;
       // Projection columns of the OPT pattern's exclusive variables. If any
@@ -441,6 +487,7 @@ uint64_t Engine::Execute(const ParsedQuery& query, const RowSink& sink,
       std::vector<RawRow> filtered;
       filtered.reserve(all_rows.size());
       for (RawRow& row : all_rows) {
+        exec_ctx_.CheckCancel();
         bool unmatched = true;
         for (int c : cols) {
           if (row[c] != kNullBinding) {
@@ -460,6 +507,10 @@ uint64_t Engine::Execute(const ParsedQuery& query, const RowSink& sink,
     }
   }
 
+  // Commit point (DESIGN.md §9): one last forced poll, then the answer is
+  // delivered all-or-nothing — no check may fire once the first row has
+  // reached the sink, so an abort can never leak a partial result.
+  exec_ctx_.CheckCancelNow();
   st->num_results = all_rows.size();
   for (const RawRow& row : all_rows) {
     if (CountNulls(row) > 0) ++st->num_results_with_nulls;
@@ -470,7 +521,7 @@ uint64_t Engine::Execute(const ParsedQuery& query, const RowSink& sink,
 }
 
 ResultTable Engine::ExecuteToTable(const ParsedQuery& query,
-                                   QueryStats* stats) {
+                                   QueryStats* stats, QueryControl* control) {
   ResultTable table;
   table.var_names = query.EffectiveProjection();
   GlobalIds ids = GlobalIds::FromDictionary(*dict_);
@@ -483,14 +534,14 @@ ResultTable Engine::ExecuteToTable(const ParsedQuery& query,
         }
         table.rows.push_back(std::move(decoded));
       },
-      stats);
+      stats, control);
   return table;
 }
 
 ResultTable Engine::ExecuteToTable(const std::string& sparql,
-                                   QueryStats* stats) {
+                                   QueryStats* stats, QueryControl* control) {
   ParsedQuery q = Parser::Parse(sparql);
-  return ExecuteToTable(q, stats);
+  return ExecuteToTable(q, stats, control);
 }
 
 std::vector<BatchResult> Engine::ExecuteBatch(
@@ -510,10 +561,30 @@ std::vector<BatchResult> Engine::ExecuteBatch(
                                       engine_options.tp_cache_shards);
   }
 
-  // One engine per pool slot: engines are single-threaded (private arena +
-  // per-query state), so each worker reuses its own warm engine across the
-  // queries it drains, while the TP cache is shared by all of them.
+  // --- Admission (DESIGN.md §9): the batch is a FIFO run queue drained by
+  // `runners` concurrent workers; anything beyond the runners plus the
+  // bounded wait queue is load-shed upfront — rejected queries never touch
+  // an engine, which is the whole point of shedding under overload.
   int slots = options.pool != nullptr ? options.pool->num_slots() : 1;
+  int runners = slots;
+  if (options.max_concurrent_queries > 0) {
+    runners = std::min(runners, options.max_concurrent_queries);
+  }
+  size_t admitted = queries.size();
+  if (options.max_queued_queries >= 0) {
+    admitted = std::min<size_t>(
+        admitted, static_cast<size_t>(runners) +
+                      static_cast<size_t>(options.max_queued_queries));
+  }
+  for (size_t qi = admitted; qi < queries.size(); ++qi) {
+    results[qi].outcome = {QueryTermination::kOverloaded,
+                           "admission queue full"};
+    results[qi].error = "overloaded: admission queue full";
+  }
+
+  // One engine per runner: engines are single-threaded (private arena +
+  // per-query state), so each runner reuses its own warm engine across the
+  // queries it drains, while the TP cache is shared by all of them.
   std::vector<std::unique_ptr<Engine>> engines;
   engines.reserve(slots);
   for (int s = 0; s < slots; ++s) {
@@ -521,26 +592,49 @@ std::vector<BatchResult> Engine::ExecuteBatch(
         std::make_unique<Engine>(&index, &dict, engine_options, cache));
   }
 
+  Stopwatch queue_watch;  // admission time; queue wait is measured from it
   auto run_one = [&](uint32_t qi, Engine* engine) {
     BatchResult& out = results[qi];
+    out.queue_wait_sec = queue_watch.Seconds();
+    QueryControl control;
+    if (options.timeout_ms > 0) {
+      control.SetTimeout(std::chrono::milliseconds(options.timeout_ms));
+    }
+    if (options.memory_budget > 0) {
+      control.SetMemoryBudget(options.memory_budget);
+    }
     try {
-      out.table = engine->ExecuteToTable(queries[qi], &out.stats);
+      out.table = engine->ExecuteToTable(queries[qi], &out.stats, &control);
+      out.outcome = {};
+    } catch (const QueryAbortedError& e) {
+      out.outcome = {e.code(), e.what()};
+      out.error = e.what();
     } catch (const std::exception& e) {
+      out.outcome = {QueryTermination::kError, e.what()};
       out.error = e.what();
     }
   };
 
-  if (options.pool == nullptr) {
-    for (uint32_t qi = 0; qi < queries.size(); ++qi) {
+  if (options.pool == nullptr || runners <= 1) {
+    for (uint32_t qi = 0; qi < admitted; ++qi) {
       run_one(qi, engines[0].get());
     }
     return results;
   }
+  // `runners` concurrent drains of a shared FIFO cursor: unlike fanning the
+  // queries themselves through ParallelFor, this caps in-flight queries at
+  // `runners` while keeping every admitted query in arrival order.
+  std::atomic<uint32_t> next_query{0};
   options.pool->ParallelFor(
-      0, static_cast<uint32_t>(queries.size()), /*grain=*/1,
+      0, static_cast<uint32_t>(runners), /*grain=*/1,
       [&](uint32_t begin, uint32_t end, ExecContext* /*ctx*/, int slot) {
-        for (uint32_t qi = begin; qi < end; ++qi) {
-          run_one(qi, engines[slot].get());
+        for (uint32_t r = begin; r < end; ++r) {
+          for (;;) {
+            uint32_t qi =
+                next_query.fetch_add(1, std::memory_order_relaxed);
+            if (qi >= admitted) break;
+            run_one(qi, engines[slot].get());
+          }
         }
       });
   return results;

@@ -14,10 +14,12 @@
 #include "rdf/graph.h"
 #include "sparql/ast.h"
 #include "util/exec_context.h"
+#include "util/query_control.h"
 
 namespace lbr {
 
 class ThreadPool;
+class Stopwatch;
 
 /// Strategy knob for the jvar-ordering ablation (Table/figure A2).
 enum class JvarOrderStrategy {
@@ -69,7 +71,15 @@ struct QueryStats {
   bool best_match_used = false;       ///< Nullification/best-match were needed.
   bool goj_cyclic = false;
   bool well_designed = true;
-  bool aborted_early = false;  ///< Empty-result "simple optimization" fired.
+  /// How execution ended (DESIGN.md §9). kOk includes the empty-result
+  /// shortcut below — that is a complete (empty) answer, not an abort; the
+  /// two used to be conflated in a single `aborted_early` flag. On an
+  /// abort the engine stamps the code here before rethrowing, so the stats
+  /// carry the partial phase timings/counters accumulated up to the abort.
+  QueryTermination termination = QueryTermination::kOk;
+  /// The empty-absolute-master "simple optimization" (Section 5) fired:
+  /// some branch was answered empty without running prune/join.
+  bool empty_result_shortcut = false;
   int num_supernodes = 0;
   int num_union_branches = 1;
   // Cache observability (the CoW snapshot / fold-memo extension): per-query
@@ -109,7 +119,15 @@ struct ResultTable {
 struct BatchResult {
   ResultTable table;
   QueryStats stats;
-  std::string error;  ///< Non-empty when the query failed (parse/unsupported).
+  /// Structured termination report: kOk, kOverloaded (admission rejected),
+  /// kDeadlineExceeded / kCancelled / kMemoryExceeded (lifecycle abort), or
+  /// kError (parse/unsupported/...). `error` mirrors the detail message of
+  /// every non-ok outcome, so legacy `ok()` callers keep working.
+  QueryOutcome outcome;
+  std::string error;  ///< Non-empty when the query did not complete.
+  /// Admission-to-start latency: how long the query sat in the run queue
+  /// behind the concurrency cap before a runner picked it up.
+  double queue_wait_sec = 0;
   bool ok() const { return error.empty(); }
 };
 
@@ -124,6 +142,19 @@ struct BatchOptions {
   /// Cache shared by every worker engine. Null creates a fresh one when
   /// `engine.enable_tp_cache` is set.
   std::shared_ptr<TpCache> shared_cache;
+  // --- Admission control (the serving-endpoint embryo, DESIGN.md §9).
+  /// Maximum queries executing concurrently; 0 = one per pool slot (the
+  /// pre-admission behavior), clamped to the pool's slot count.
+  int max_concurrent_queries = 0;
+  /// Bounded run queue behind the concurrency cap: queries beyond
+  /// max_concurrent + max_queued_queries are load-shed upfront with
+  /// QueryTermination::kOverloaded (never executed). Negative = unbounded.
+  int max_queued_queries = -1;
+  /// Per-query deadline in milliseconds, measured from the moment a runner
+  /// picks the query up (queue wait is reported separately); 0 = none.
+  uint64_t timeout_ms = 0;
+  /// Per-query memory budget in approximate bytes; 0 = unlimited.
+  uint64_t memory_budget = 0;
 };
 
 /// The Left Bit Right query engine (Algorithm 5.1).
@@ -157,22 +188,39 @@ class Engine {
   /// Returns the number of rows. Throws UnsupportedQueryError for query
   /// shapes outside the engine's scope (Section 5: all-variable TPs,
   /// P-to-S/O joins, Cartesian products, unit OPTIONAL groups).
+  ///
+  /// `control` (optional, not owned, single-use) attaches a query lifecycle
+  /// control: deadline, external Cancel(), and memory budget (DESIGN.md
+  /// §9). On abort the engine stamps `stats->termination`, detaches the
+  /// control, and rethrows the QueryAbortedError; no rows reach `sink`,
+  /// and the engine stays fully reusable for the next query.
   uint64_t Execute(const ParsedQuery& query, const RowSink& sink,
-                   QueryStats* stats = nullptr);
+                   QueryStats* stats = nullptr,
+                   QueryControl* control = nullptr);
 
   /// Executes and materializes a decoded table.
   ResultTable ExecuteToTable(const ParsedQuery& query,
-                             QueryStats* stats = nullptr);
+                             QueryStats* stats = nullptr,
+                             QueryControl* control = nullptr);
   /// Parses and executes SPARQL text.
   ResultTable ExecuteToTable(const std::string& sparql,
-                             QueryStats* stats = nullptr);
+                             QueryStats* stats = nullptr,
+                             QueryControl* control = nullptr);
 
   /// Batch driver: fans `queries` (SPARQL text) across `options.pool`, one
   /// engine per pool slot, all sharing one index and one TP cache. Each
   /// query runs single-threaded on its worker (engines are not re-entrant);
   /// parallelism comes from queries running side by side against the shared
-  /// warm cache. Per-query failures are captured in BatchResult::error, not
-  /// thrown. Results are positionally aligned with `queries`.
+  /// warm cache. Per-query failures are captured in BatchResult::error /
+  /// BatchResult::outcome, not thrown. Results are positionally aligned
+  /// with `queries`.
+  ///
+  /// Admission control: at most `options.max_concurrent_queries` runners
+  /// drain a FIFO run queue; queries beyond the runners plus
+  /// `options.max_queued_queries` waiting slots are rejected upfront with
+  /// kOverloaded. Admitted queries get a per-query QueryControl carrying
+  /// `options.timeout_ms` / `options.memory_budget`, and report their
+  /// queue wait in BatchResult::queue_wait_sec.
   static std::vector<BatchResult> ExecuteBatch(
       const TripleIndex& index, const Dictionary& dict,
       const std::vector<std::string>& queries,
@@ -193,6 +241,10 @@ class Engine {
   BranchResult ExecuteBranch(const Algebra& branch,
                              const std::vector<std::string>& projection,
                              QueryStats* stats);
+  /// Execute's body once the lifecycle control is attached: Execute wraps
+  /// it to stamp stats->termination and detach the control on abort.
+  uint64_t ExecuteControlled(const ParsedQuery& query, const RowSink& sink,
+                             QueryStats* st, const Stopwatch& total_watch);
 
   const TripleIndex* index_;
   const Dictionary* dict_;

@@ -132,6 +132,12 @@ std::string ExplainQuery(const TripleIndex& index, const Dictionary& dict,
 
 std::string ExplainCacheStats(const QueryStats& stats) {
   std::ostringstream os;
+  // The structured termination reason (DESIGN.md §9): a kOk run may still
+  // have fired the empty-absolute-master shortcut — that is a complete
+  // empty answer, reported separately so it is never mistaken for an abort.
+  os << "termination: " << QueryTerminationName(stats.termination);
+  if (stats.empty_result_shortcut) os << " (empty-master shortcut)";
+  os << "\n";
   os << "cache stats:\n";
   os << "  tp cache: " << stats.tp_cache_hits << " hit(s), "
      << stats.tp_cache_misses << " miss(es), " << stats.tp_cache_held_triples

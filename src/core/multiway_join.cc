@@ -168,11 +168,18 @@ const CompressedRow& MultiwayJoin::TransposedColumn(int tp_id, uint32_t col) {
         return e.first < c;
       });
   if (it == tc.cols.end() || it->first != col) {
+    // A column miss costs an O(rows) scan (or a whole transpose below) with
+    // no RecurseOn in between — the bound-column pathology can chain
+    // thousands of these, so the build path needs its own check.
+    if (ctx_ != nullptr) ctx_->CheckCancel();
     if (tc.cols.size() >= options_.lazy_transpose_threshold) {
       // Enough distinct columns visited that finishing the whole transpose
       // beats further per-column row scans.
       tc.full_mat = bm.Transposed();
       tc.full = true;
+      // Memory accounting point: a full transpose holds roughly the source
+      // matrix's payload again (set-bit-proportional compressed rows).
+      if (ctx_ != nullptr) ctx_->ChargeMemory(bm.Count() / 4 + 256);
       ++transpose_full_builds_;
       tc.cols.clear();
       tc.cols.shrink_to_fit();
@@ -184,6 +191,9 @@ const CompressedRow& MultiwayJoin::TransposedColumn(int tp_id, uint32_t col) {
         pos->empty() ? nullptr
                      : std::make_shared<const CompressedRow>(
                            CompressedRow::FromPositions(*pos));
+    if (ctx_ != nullptr) {
+      ctx_->ChargeMemory(pos->size() * sizeof(uint32_t) + 64);
+    }
     it = tc.cols.insert(it, {col, std::move(handle)});
     ++transpose_cols_built_;
   }
@@ -475,6 +485,11 @@ int MultiwayJoin::ChooseNextTp() const {
 }
 
 void MultiwayJoin::RecurseOn(int chosen, size_t visited_count) {
+  // Cancellation granularity of the join: every recursion node (per-pair,
+  // block, and memo-replay modes all descend through here), so abort
+  // latency is bounded by one enumeration step, and a detached control
+  // costs a single pointer test (DESIGN.md §9).
+  if (ctx_ != nullptr) ctx_->CheckCancel();
   const TpState& tp = (*tps_)[chosen];
   const bool is_abs_master = gosn_.IsAbsoluteMaster(tp.sn_id);
   const bool has_vars =
@@ -570,6 +585,12 @@ void MultiwayJoin::RecurseOn(int chosen, size_t visited_count) {
   });
   if (memo.map.size() < kSlaveMemoMaxKeys &&
       block.size() <= kSlaveMemoMaxPairs) {
+    // Memory accounting point (DESIGN.md §9): a retained expansion costs
+    // its key plus its pair list; charged against the query's budget.
+    if (ctx_ != nullptr) {
+      ctx_->ChargeMemory(key.size() * sizeof(uint64_t) +
+                         block.size() * sizeof(BindingPair) + 64);
+    }
     memo.map.emplace(std::move(key), block);
   }
   if (memo.misses >= kSlaveMemoProbationMisses &&
@@ -1118,6 +1139,9 @@ bool MultiwayJoin::EnumerateMatches(int chosen, EmitPair&& emit) {
 }
 
 void MultiwayJoin::Emit() {
+  // One check per emitted row: block descent can reach here in a tight
+  // loop without passing RecurseOn in between (the probe-elision fusion).
+  if (ctx_ != nullptr) ctx_->CheckCancel();
   // Per-supernode nulled state for this row (member scratch: Emit is the
   // innermost hot path and must not allocate).
   std::vector<char>& sn_nulled = sn_nulled_scratch_;

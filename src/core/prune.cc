@@ -212,6 +212,10 @@ void RunPassWaves(const std::vector<SemiJoinTask>& tasks,
 
 void SemiJoin(const std::string& jvar, TpState* slave, const TpState& master,
               uint32_t num_common, ExecContext* ctx, ThreadPool* pool) {
+  // Cancellation granularity of the prune phase: one check per semi-join,
+  // in both schedulers (wave tasks land here with their slot's arena, which
+  // mirrors the query's control — DESIGN.md §9).
+  if (ctx != nullptr) ctx->CheckCancelNow();
   DomainKind slave_kind = slave->mat.KindOf(jvar);
   uint32_t slave_size = DimSize(*slave, jvar);
 
@@ -250,6 +254,7 @@ void ClusteredSemiJoin(const std::string& jvar,
                        uint32_t num_common, ExecContext* ctx,
                        ThreadPool* pool) {
   if (cluster.size() < 2) return;
+  if (ctx != nullptr) ctx->CheckCancelNow();
   // Fold every member once; alignment to each target is a cheap word copy.
   // Members unchanged since their last fold (common on the second fixpoint
   // pass) are served from the fold memo without row iteration.

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "util/bitvector.h"
+#include "util/query_control.h"
 
 namespace lbr {
 
@@ -89,6 +90,44 @@ class ExecContext {
     fold_once_publishes_ += once;
   }
 
+  /// Query lifecycle control (DESIGN.md §9). The engine attaches the
+  /// per-query control for the duration of one Execute; ThreadPool mirrors
+  /// the caller's control onto its worker arenas for the duration of a
+  /// collective. Null (the default, and the state every bench runs in)
+  /// makes every check below a single pointer test.
+  void SetQueryControl(QueryControl* control) {
+    control_ = control;
+    check_tick_ = 0;
+  }
+  QueryControl* query_control() const { return control_; }
+
+  /// The cooperative cancellation check, called at loop/block/recursion
+  /// granularity on the prune/join hot paths. With a control attached the
+  /// steady-state cost is one relaxed load; every 256th call additionally
+  /// polls the deadline clock — the stride bounds how far past a deadline
+  /// a query can run in units of hot-loop iterations, not wall time spent
+  /// inside one check.
+  void CheckCancel() {
+    if (control_ == nullptr) return;
+    if ((++check_tick_ & 0xFF) == 0) control_->PollNow();
+    control_->ThrowIfAborted();
+  }
+
+  /// The forced variant for infrequent sites (per-TP load, per semi-join,
+  /// per wave): always reads the clock, so coarse-grained phases observe a
+  /// deadline even when they never tick the stride.
+  void CheckCancelNow() {
+    if (control_ == nullptr) return;
+    control_->PollNow();
+    control_->ThrowIfAborted();
+  }
+
+  /// Accounts approximate bytes against the attached control's budget
+  /// (no-op when detached). Throws QueryAbortedError on budget breach.
+  void ChargeMemory(uint64_t bytes) {
+    if (control_ != nullptr) control_->ChargeMemory(bytes);
+  }
+
  private:
   std::vector<std::unique_ptr<Bitvector>> bit_free_;
   std::vector<std::unique_ptr<std::vector<uint32_t>>> pos_free_;
@@ -97,6 +136,8 @@ class ExecContext {
   uint64_t fold_cache_hits_ = 0;
   uint64_t fold_cache_misses_ = 0;
   uint64_t fold_once_publishes_ = 0;
+  QueryControl* control_ = nullptr;
+  uint32_t check_tick_ = 0;
 };
 
 /// RAII scratch Bitvector: pooled when `ctx` is non-null, function-local

@@ -55,6 +55,10 @@ void ThreadPool::RunChunks(const ChunkFn& fn, ExecContext* ctx, int slot) {
     uint32_t end = static_cast<uint32_t>(std::min<uint64_t>(
         job_end_, b + job_grain_));
     try {
+      // Per-chunk cancellation check: an aborted query's remaining chunks
+      // drain as first-exception captures instead of running to completion,
+      // so a collective's abort latency is one chunk, not the whole range.
+      if (ctx != nullptr) ctx->CheckCancel();
       fn(begin, end, ctx, slot);
     } catch (...) {
       std::lock_guard<std::mutex> lk(mu_);
@@ -105,8 +109,17 @@ void ThreadPool::ParallelFor(uint32_t begin, uint32_t end, uint32_t grain,
 
 void ThreadPool::RunCollective(uint32_t begin, uint32_t end, uint32_t grain,
                                const ChunkFn& fn, ExecContext* caller_ctx) {
+  // Mirror the caller's query control onto the worker arenas for the
+  // duration of this job, so chunks running on workers observe the same
+  // deadline/cancel/budget state as the caller (DESIGN.md §9). The job
+  // mutex publishes the stores to the workers.
+  QueryControl* control =
+      caller_ctx != nullptr ? caller_ctx->query_control() : nullptr;
   {
     std::lock_guard<std::mutex> lk(mu_);
+    for (int w = 0; w < num_workers(); ++w) {
+      contexts_[w]->SetQueryControl(control);
+    }
     job_fn_ = &fn;
     job_error_ = nullptr;
     job_end_ = end;
@@ -124,6 +137,9 @@ void ThreadPool::RunCollective(uint32_t begin, uint32_t end, uint32_t grain,
   std::unique_lock<std::mutex> lk(mu_);
   done_cv_.wait(lk, [&] { return workers_remaining_ == 0; });
   job_fn_ = nullptr;
+  for (int w = 0; w < num_workers(); ++w) {
+    contexts_[w]->SetQueryControl(nullptr);
+  }
   if (job_error_ != nullptr) std::rethrow_exception(job_error_);
 }
 
@@ -161,22 +177,37 @@ void ThreadPool::RunTaskGraph(const std::vector<TaskFn>& tasks,
                       c.fold_once_publishes()});
   }
 
+  // A throwing task must not skip the epilogue: RunCollective drains the
+  // wave (workers quiesce before it rethrows), then the first exception is
+  // captured here, the remaining waves are abandoned, the telemetry merge
+  // below still runs, and the exception is rethrown after it — so a failed
+  // (or cancelled) graph leaves the pool reusable and the caller's stats
+  // still account the waves that did run.
+  std::exception_ptr first_error;
   for (const std::vector<uint32_t>& wave : waves) {
     if (wave.empty()) continue;
-    if (wave.size() == 1) {
-      // Single task: skip the fan-out machinery, mirroring ParallelFor's
-      // single-chunk inline path (same arena choice, same region guard).
-      ParallelRegionGuard region;
-      tasks[wave[0]](caller_ctx, num_workers());
-      continue;
+    try {
+      // Between-wave cancellation check: wave boundaries are the graph's
+      // natural barriers, so an aborted query skips whole waves.
+      if (caller_ctx != nullptr) caller_ctx->CheckCancelNow();
+      if (wave.size() == 1) {
+        // Single task: skip the fan-out machinery, mirroring ParallelFor's
+        // single-chunk inline path (same arena choice, same region guard).
+        ParallelRegionGuard region;
+        tasks[wave[0]](caller_ctx, num_workers());
+      } else {
+        RunCollective(
+            0, static_cast<uint32_t>(wave.size()), /*grain=*/1,
+            [&tasks, &wave](uint32_t begin, uint32_t end, ExecContext* ctx,
+                            int slot) {
+              for (uint32_t i = begin; i < end; ++i) tasks[wave[i]](ctx, slot);
+            },
+            caller_ctx);
+      }
+    } catch (...) {
+      first_error = std::current_exception();
+      break;
     }
-    RunCollective(
-        0, static_cast<uint32_t>(wave.size()), /*grain=*/1,
-        [&tasks, &wave](uint32_t begin, uint32_t end, ExecContext* ctx,
-                        int slot) {
-          for (uint32_t i = begin; i < end; ++i) tasks[wave[i]](ctx, slot);
-        },
-        caller_ctx);
   }
 
   if (caller_ctx != nullptr) {
@@ -187,6 +218,7 @@ void ThreadPool::RunTaskGraph(const std::vector<TaskFn>& tasks,
                                    c.fold_once_publishes() - before[w].once);
     }
   }
+  if (first_error != nullptr) std::rethrow_exception(first_error);
 }
 
 }  // namespace lbr

@@ -93,8 +93,10 @@ class ThreadPool {
   /// per-query stats still observe scheduled work. Runs inline — serial,
   /// wave-major order, on `caller_ctx` — when the pool has no workers or
   /// the call is nested inside another collective. Exceptions propagate
-  /// like ParallelFor's: the first one wins, remaining waves are
-  /// abandoned.
+  /// like ParallelFor's: the throwing wave drains (workers quiesce at its
+  /// barrier), the first exception wins, remaining waves are abandoned,
+  /// the telemetry merge still runs, and the exception is rethrown on the
+  /// caller — a failed graph never wedges the pool.
   void RunTaskGraph(const std::vector<TaskFn>& tasks,
                     const std::vector<std::vector<uint32_t>>& waves,
                     ExecContext* caller_ctx = nullptr);

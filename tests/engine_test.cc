@@ -66,7 +66,8 @@ TEST(EngineTest, EmptyAbsoluteMasterAbortsEarly) {
       f.Run("SELECT * WHERE { ?s <nosuch> ?o . OPTIONAL { ?o <p> ?x . } }",
             &stats);
   EXPECT_TRUE(t.rows.empty());
-  EXPECT_TRUE(stats.aborted_early);
+  EXPECT_TRUE(stats.empty_result_shortcut);
+  EXPECT_EQ(stats.termination, QueryTermination::kOk);
 }
 
 TEST(EngineTest, SlaveGroupFailsAsUnit) {

@@ -165,7 +165,8 @@ TEST(IntegrationTest, ActivePruningDetectsEmptyEarly) {
   ResultTable t =
       stack.engine.ExecuteToTable(UniprotQueries()[1].sparql, &stats);
   EXPECT_TRUE(t.rows.empty());
-  EXPECT_TRUE(stats.aborted_early);
+  EXPECT_TRUE(stats.empty_result_shortcut);
+  EXPECT_EQ(stats.termination, QueryTermination::kOk);
 }
 
 TEST(IntegrationTest, PruningShrinksLowSelectivityQueries) {

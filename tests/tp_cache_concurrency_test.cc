@@ -10,10 +10,13 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdlib>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
+#include "bitmat/tp_loader.h"
 #include "bitmat/triple_index.h"
 #include "test_util.h"
 #include "workload/lubm_gen.h"
@@ -308,6 +311,89 @@ TEST_F(TpCacheConcurrencyTest, SharedCacheEnginesAgreeWithPrivateEngines) {
   for (std::thread& t : threads) t.join();
   EXPECT_EQ(mismatches.load(), 0);
   EXPECT_GT(shared->hits(), 0u);
+}
+
+TEST_F(TpCacheConcurrencyTest, InjectedFaultFailsEveryNthLoad) {
+  // LBR_FAULT-style chaos hook, set programmatically: with rate 2 the
+  // second claiming load throws; a retry of the same key then succeeds and
+  // publishes normally — the failure is transient, never sticky.
+  TpCache cache(/*triple_budget=*/~uint64_t{0});
+  cache.set_fault_rate(2);
+  TriplePattern a = VarPredVar(lubm::kTakesCourse);
+  TriplePattern b = VarPredVar(lubm::kAdvisor);
+  EXPECT_NO_THROW(cache.GetOrLoad(*index_, graph_->dict(), a, true));
+  EXPECT_THROW(cache.GetOrLoad(*index_, graph_->dict(), b, true),
+               std::runtime_error);
+  EXPECT_EQ(cache.faults_injected(), 1u);
+  // Retry lands (seq 3), and cache hits keep bypassing the hook entirely.
+  EXPECT_NO_THROW(cache.GetOrLoad(*index_, graph_->dict(), b, true));
+  EXPECT_NO_THROW(cache.GetOrLoad(*index_, graph_->dict(), b, true));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.faults_injected(), 1u);
+}
+
+TEST_F(TpCacheConcurrencyTest, FaultedLoadDoesNotPoisonSingleFlight) {
+  // Satellite hardening: the single-flight claimer throws (injected fault)
+  // while waiters sleep on the shard CV. Every waiter must observe the
+  // failure — wake, find no entry, and fall through to a direct load that
+  // bypasses the cache — with no hang and no key left marked in-flight.
+  // The test completing at all is the no-hang assertion.
+  constexpr int kThreads = 8;
+  TpCache cache(/*triple_budget=*/~uint64_t{0});
+  cache.set_fault_rate(1);  // every claiming load faults
+  TriplePattern tp = VarPredVar(lubm::kTakesCourse);
+
+  StartGate gate(kThreads);
+  std::atomic<int> failures{0};
+  std::atomic<int> successes{0};
+  std::atomic<int> wrong_counts{0};
+  uint64_t full_count = LoadTpBitMat(*index_, graph_->dict(), tp, true)
+                            .bm.Count();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      gate.ArriveAndWait();
+      try {
+        TpBitMat snap = cache.GetOrLoad(*index_, graph_->dict(), tp, true);
+        successes.fetch_add(1);
+        if (snap.bm.Count() != full_count) wrong_counts.fetch_add(1);
+      } catch (const std::runtime_error&) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(successes.load() + failures.load(), kThreads);
+  EXPECT_GE(failures.load(), 1);       // at least the first claimer faulted
+  EXPECT_EQ(wrong_counts.load(), 0);   // fallback loads saw the full matrix
+  EXPECT_GE(cache.faults_injected(), 1u);
+  EXPECT_EQ(cache.size(), 0u);         // nothing was published
+
+  // No poisoned entry: with the hook off, the key loads and publishes.
+  cache.set_fault_rate(0);
+  TpBitMat after = cache.GetOrLoad(*index_, graph_->dict(), tp, true);
+  EXPECT_EQ(after.bm.Count(), full_count);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST_F(TpCacheConcurrencyTest, FaultRateReadFromEnvironment) {
+  // The LBR_FAULT env var arms the hook at construction (the chaos-testing
+  // entry point when the cache is buried inside an engine).
+  ASSERT_EQ(setenv("LBR_FAULT", "1", /*overwrite=*/1), 0);
+  TpCache cache(/*triple_budget=*/~uint64_t{0});
+  ASSERT_EQ(unsetenv("LBR_FAULT"), 0);
+  TriplePattern tp = VarPredVar(lubm::kTakesCourse);
+  EXPECT_THROW(cache.GetOrLoad(*index_, graph_->dict(), tp, true),
+               std::runtime_error);
+  EXPECT_EQ(cache.faults_injected(), 1u);
+  cache.set_fault_rate(0);
+  EXPECT_NO_THROW(cache.GetOrLoad(*index_, graph_->dict(), tp, true));
+
+  // A fresh cache without the env var never faults.
+  TpCache clean(/*triple_budget=*/~uint64_t{0});
+  EXPECT_NO_THROW(clean.GetOrLoad(*index_, graph_->dict(), tp, true));
+  EXPECT_EQ(clean.faults_injected(), 0u);
 }
 
 TEST_F(TpCacheConcurrencyTest, SmallGraphSanity) {
