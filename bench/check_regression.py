@@ -24,8 +24,11 @@ recording host's thread count (hardware_threads / num_cpus); when baseline
 and current run disagree, a warning flags that ratios may be hardware, not
 code.
 
-Exit codes: 0 ok, 1 regression, 2 unusable input (missing files, no
-comparable benchmarks).
+Exit codes: 0 ok, 1 regression, 2 unusable input. Unusable input is a
+hard failure, never a skip: a missing file, unparseable JSON, a file with
+zero comparable iteration entries (crashed or truncated bench run), or
+baseline/current sharing no benchmark names all exit 2 so CI cannot
+silently pass on a gate that never ran.
 """
 
 import argparse
@@ -52,6 +55,14 @@ def load_benchmarks(path):
         t = b.get("real_time")
         if isinstance(t, (int, float)) and t > 0:
             out[name] = float(t)
+    if not out:
+        # A present-but-empty result (crashed bench, truncated upload,
+        # aggregates-only file) must fail the gate loudly, not slip through
+        # as "nothing to compare".
+        print(f"error: {path} contains no comparable iteration benchmarks "
+              f"(empty, truncated, or aggregates-only); the gate cannot run.",
+              file=sys.stderr)
+        sys.exit(2)
     context = doc.get("context")
     return out, context if isinstance(context, dict) else {}
 

@@ -53,6 +53,10 @@ def main():
     ap.add_argument("--add", action="append", default=[], metavar="NAME.json",
                     help="also copy this artifact file even though no "
                          "baseline exists yet (starts gating a new bench)")
+    ap.add_argument("--dry-run", action="store_true",
+                    help="validate the artifact files and report what would "
+                         "be refreshed without writing anything (CI uses "
+                         "this to reject a broken recording at upload time)")
     args = ap.parse_args()
 
     src = Path(args.artifact_dir)
@@ -76,14 +80,20 @@ def main():
         if n is None:
             print(f"error: {cand}: {note}", file=sys.stderr)
             sys.exit(2)
-        shutil.copyfile(cand, dst / name)
-        print(f"  {name}: refreshed ({note})")
+        if args.dry_run:
+            print(f"  {name}: would refresh ({note})")
+        else:
+            shutil.copyfile(cand, dst / name)
+            print(f"  {name}: refreshed ({note})")
         copied += 1
     if copied == 0:
         print("error: nothing refreshed — does the artifact directory hold "
               "the *.json files (unzip the artifact first)?", file=sys.stderr)
         sys.exit(2)
-    print(f"{copied} baseline(s) updated in {dst}; review and commit.")
+    if args.dry_run:
+        print(f"{copied} baseline(s) would be updated in {dst} (dry run).")
+    else:
+        print(f"{copied} baseline(s) updated in {dst}; review and commit.")
 
 
 if __name__ == "__main__":

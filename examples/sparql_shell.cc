@@ -11,9 +11,11 @@
 //   .maxmem <bytes>   per-query memory budget (0 clears); also for .batch
 //   .cancel <ms>      arm a one-shot canceller: the NEXT query is cancelled
 //                     from a second thread after <ms> milliseconds
+//   .predstats        print the load-time per-predicate statistics table
 //   .quit             exit
 //
-// Usage:  sparql_shell [--threads N] [--sched serial|waves] [data.nt | data.lbr]
+// Usage:  sparql_shell [--threads N] [--sched serial|waves]
+//                      [--planner heuristic|cost] [data.nt | data.lbr]
 //         echo 'SELECT ...' | sparql_shell data.nt
 //
 // --threads N (default 1) sizes the worker pool: interactive queries shard
@@ -23,6 +25,9 @@
 // concurrently on the pool (conflict-scheduled waves, DESIGN.md §7);
 // serial (default) keeps the fully ordered fixpoint. Results are
 // bit-identical either way.
+// --planner cost orders jvars and TP loads from the load-time
+// PredicateStats densities (DESIGN.md §10) instead of the per-query
+// exact metadata counts; results are identical, planning is O(1) per TP.
 
 #include <chrono>
 #include <cstdlib>
@@ -85,6 +90,7 @@ int main(int argc, char** argv) {
   int num_threads = 1;
   std::string data_path;
   std::string sched = "serial";
+  std::string planner = "heuristic";
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--threads" && i + 1 < argc) {
@@ -95,6 +101,10 @@ int main(int argc, char** argv) {
       sched = argv[++i];
     } else if (arg.rfind("--sched=", 0) == 0) {
       sched = arg.substr(8);
+    } else if (arg == "--planner" && i + 1 < argc) {
+      planner = argv[++i];
+    } else if (arg.rfind("--planner=", 0) == 0) {
+      planner = arg.substr(10);
     } else {
       data_path = arg;
     }
@@ -105,12 +115,19 @@ int main(int argc, char** argv) {
               << "' (expected serial or waves)\n";
     return 1;
   }
+  if (planner != "heuristic" && planner != "cost") {
+    std::cerr << "unknown --planner mode '" << planner
+              << "' (expected heuristic or cost)\n";
+    return 1;
+  }
 
   std::unique_ptr<ThreadPool> pool;
   EngineOptions options;
   options.enable_tp_cache = true;  // shell reruns queries: cache pays off
   options.semi_join_sched =
       sched == "waves" ? SemiJoinSched::kWaves : SemiJoinSched::kSerial;
+  options.planner =
+      planner == "cost" ? PlannerMode::kCost : PlannerMode::kHeuristic;
   if (num_threads > 1) {
     pool = std::make_unique<ThreadPool>(num_threads);
     options.pool = pool.get();
@@ -211,7 +228,7 @@ int main(int argc, char** argv) {
   std::cerr << "enter SPARQL queries (end with a blank line); "
                "'EXPLAIN <query>' for plans; '.stats', '.format tsv|csv|"
                "table', '.save <path>', '.batch <path>', '.timeout <ms>', "
-               "'.maxmem <bytes>', '.cancel <ms>', '.quit'\n";
+               "'.maxmem <bytes>', '.cancel <ms>', '.predstats', '.quit'\n";
 
   std::string buffer;
   std::string line;
@@ -264,6 +281,10 @@ int main(int argc, char** argv) {
         cancel_after_ms = std::strtoll(text.c_str() + 8, nullptr, 10);
         std::cout << "canceller armed: next query cancelled after "
                   << cancel_after_ms << " ms\n";
+        return;
+      }
+      if (text == ".predstats") {
+        std::cout << db.predicate_stats().Summary(db.dict());
         return;
       }
       QueryStats stats;
@@ -334,7 +355,8 @@ int main(int argc, char** argv) {
     if (line == ".stats" || line.rfind(".format ", 0) == 0 ||
         line.rfind(".save ", 0) == 0 || line.rfind(".batch ", 0) == 0 ||
         line.rfind(".timeout ", 0) == 0 || line.rfind(".maxmem ", 0) == 0 ||
-        line.rfind(".cancel ", 0) == 0 || StartsWithWord(line, "EXPLAIN")) {
+        line.rfind(".cancel ", 0) == 0 || line == ".predstats" ||
+        StartsWithWord(line, "EXPLAIN")) {
       buffer = line;
       run_buffer();
       continue;

@@ -12,6 +12,10 @@ constexpr char kDbMagic[8] = {'L', 'B', 'R', 'D', 'B', 'F', '0', '1'};
 }  // namespace
 
 void Database::InitEngine(EngineOptions options) {
+  // Load-time stats pass: one popcount sweep over the index metadata,
+  // wired into the engine so planner = kCost never collects privately.
+  stats_ = std::make_unique<PredicateStats>(PredicateStats::Collect(*index_));
+  options.predicate_stats = stats_.get();
   engine_ = std::make_unique<Engine>(index_.get(), dict_.get(), options);
 }
 
@@ -26,6 +30,10 @@ std::vector<BatchResult> Database::ExecuteBatch(
     const std::vector<std::string>& queries, BatchOptions options) {
   options.engine = engine_->options();
   options.shared_cache = engine_->shared_tp_cache();
+  // Batch workers share the interactive engine's plan cache and stats
+  // table, so shapes warmed by either side serve the other.
+  options.engine.plan_cache = engine_->shared_plan_cache();
+  options.engine.predicate_stats = stats_.get();
   return Engine::ExecuteBatch(*index_, *dict_, queries, options);
 }
 

@@ -7,6 +7,7 @@
 
 #include "bitmat/triple_index.h"
 #include "core/engine.h"
+#include "core/predicate_stats.h"
 #include "rdf/graph.h"
 
 namespace lbr {
@@ -42,6 +43,16 @@ class Database {
   Engine& engine() { return *engine_; }
   const Engine& engine() const { return *engine_; }
 
+  /// Load-time per-predicate statistics (DESIGN.md §10), collected once in
+  /// InitEngine from index metadata and wired into the engine as the cost
+  /// planner's cardinality source.
+  const PredicateStats& predicate_stats() const { return *stats_; }
+
+  /// Version-stamped plan invalidation: compiled plans cached before this
+  /// call recompile on next use. The hook future incremental updates call
+  /// after changing the index.
+  void InvalidatePlans() { engine_->InvalidatePlans(); }
+
   /// Fans a batch of SPARQL queries across `pool` (null = serial), one
   /// engine per pool slot, sharing this database's index and the main
   /// engine's TP cache — so an interactive session and a batch run warm
@@ -66,6 +77,7 @@ class Database {
   // Heap-held so Database stays movable while Engine keeps stable pointers.
   std::unique_ptr<Dictionary> dict_;
   std::unique_ptr<TripleIndex> index_;
+  std::unique_ptr<PredicateStats> stats_;
   std::unique_ptr<Engine> engine_;
 };
 

@@ -14,10 +14,12 @@
 #include "core/gosn.h"
 #include "core/jvar_order.h"
 #include "core/multiway_join.h"
+#include "core/predicate_stats.h"
 #include "core/prune.h"
 #include "core/selectivity.h"
 #include "core/tp_state.h"
 #include "sparql/parser.h"
+#include "sparql/plan_shape.h"
 #include "sparql/rewrite.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
@@ -44,6 +46,24 @@ void ValidateVarPositions(const std::vector<TriplePattern>& tps) {
   }
 }
 
+// Substitutes shape-marker constants (urn:lbr:param:N) with the query's
+// concrete terms; non-marker terms pass through unchanged.
+TriplePattern BindTp(const TriplePattern& tp,
+                     const std::vector<Term>& constants) {
+  TriplePattern out = tp;
+  auto bind = [&constants](PatternTerm* t) {
+    size_t slot = 0;
+    if (!t->is_var && IsShapeParam(t->term, &slot) &&
+        slot < constants.size()) {
+      t->term = constants[slot];
+    }
+  };
+  bind(&out.s);
+  bind(&out.p);
+  bind(&out.o);
+  return out;
+}
+
 }  // namespace
 
 struct Engine::BranchResult {
@@ -55,6 +75,8 @@ Engine::Engine(const TripleIndex* index, const Dictionary* dict,
                EngineOptions options)
     : Engine(index, dict, options, nullptr) {}
 
+Engine::~Engine() = default;
+
 Engine::Engine(const TripleIndex* index, const Dictionary* dict,
                EngineOptions options, std::shared_ptr<TpCache> shared_cache)
     : index_(index),
@@ -63,21 +85,32 @@ Engine::Engine(const TripleIndex* index, const Dictionary* dict,
       tp_cache_(shared_cache != nullptr
                     ? std::move(shared_cache)
                     : std::make_shared<TpCache>(options.tp_cache_budget,
-                                                options.tp_cache_shards)) {}
+                                                options.tp_cache_shards)),
+      plan_cache_(options.plan_cache != nullptr
+                      ? options.plan_cache
+                      : std::make_shared<PlanCache>(
+                            options.plan_cache_capacity,
+                            options.plan_cache_shards)) {}
 
-Engine::BranchResult Engine::ExecuteBranch(
-    const Algebra& branch, const std::vector<std::string>& projection,
-    QueryStats* stats) {
-  BranchResult result;
+const PredicateStats& Engine::predicate_stats() {
+  if (options_.predicate_stats != nullptr) return *options_.predicate_stats;
+  if (own_stats_ == nullptr) {
+    own_stats_ =
+        std::make_unique<PredicateStats>(PredicateStats::Collect(*index_));
+  }
+  return *own_stats_;
+}
+
+BranchPlan Engine::PlanBranch(const Algebra& branch,
+                              const std::vector<Term>* slot_constants,
+                              QueryStats* stats) {
+  BranchPlan plan;
 
   // --- GoSN / GoJ (Alg 5.1 lines 1-2).
-  Gosn gosn = Gosn::Build(branch);
-  const std::vector<TriplePattern>& tps = gosn.tps();
-  if (tps.empty()) {
-    // Empty pattern: one empty mapping.
-    result.rows.emplace_back(projection.size(), kNullBinding);
-    return result;
-  }
+  if (stats != nullptr) ++stats->planning_gosn_builds;
+  plan.gosn = Gosn::Build(branch);
+  const std::vector<TriplePattern>& tps = plan.gosn.tps();
+  if (tps.empty()) return plan;  // Empty pattern: nothing to order or load.
   ValidateVarPositions(tps);
   if (!Goj::IsConnectedQuery(tps)) {
     throw UnsupportedQueryError(
@@ -87,24 +120,24 @@ Engine::BranchResult Engine::ExecuteBranch(
 
   // Non-well-designed branch: Appendix B conversion of the violating OPT
   // edges into inner joins (null-intolerant interpretation).
-  std::vector<std::pair<int, int>> violations = gosn.ComputeWdViolationPairs();
+  std::vector<std::pair<int, int>> violations =
+      plan.gosn.ComputeWdViolationPairs();
   if (!violations.empty()) {
-    if (stats != nullptr) stats->well_designed = false;
-    gosn.ConvertViolationPairs(violations);
+    plan.well_designed = false;
+    plan.gosn.ConvertViolationPairs(violations);
   }
 
-  Goj goj = Goj::Build(tps);
-  if (stats != nullptr) {
-    stats->goj_cyclic = stats->goj_cyclic || goj.IsCyclic();
-    stats->num_supernodes += gosn.num_supernodes();
-  }
+  const Gosn& gosn = plan.gosn;
+  plan.goj = Goj::Build(tps);
+  const Goj& goj = plan.goj;
 
   // --- decide-best-match-reqd (Alg 5.1 line 5 / Lemma 3.4): needed for a
   // cyclic GoJ where some slave supernode holds more than one jvar. The
   // ablation knobs that break Lemma 3.3's preconditions (pruning disabled,
   // greedy order on an acyclic GoJ) also force it, since minimality is then
-  // not guaranteed.
-  bool nb_reqd = !options_.enable_prune ||
+  // not guaranteed. Structural throughout — no cardinality input — which is
+  // what makes the decision safely cacheable across constant rebindings.
+  plan.nb_reqd = !options_.enable_prune ||
                  options_.order_strategy == JvarOrderStrategy::kGreedy;
   if (goj.IsCyclic()) {
     for (int sn : gosn.SlaveSupernodes()) {
@@ -116,65 +149,129 @@ Engine::BranchResult Engine::ExecuteBranch(
         }
       }
       if (jvars_in_sn.size() > 1) {
-        nb_reqd = true;
+        plan.nb_reqd = true;
         break;
       }
     }
   }
 
-  // --- Selectivity estimates from index metadata.
-  std::vector<uint64_t> cards(tps.size());
-  uint64_t initial_total = 0;
+  // --- Selectivity estimates. A template compile estimates on the
+  // triggering query's concrete constants (markers are not in the
+  // dictionary and would read as impossible TPs).
+  plan.estimated_cards.resize(tps.size());
   for (size_t i = 0; i < tps.size(); ++i) {
-    cards[i] = EstimateTpCardinality(*index_, *dict_, tps[i]);
-    initial_total += cards[i];
+    TriplePattern tp =
+        slot_constants != nullptr ? BindTp(tps[i], *slot_constants) : tps[i];
+    plan.estimated_cards[i] =
+        options_.planner == PlannerMode::kCost
+            ? EstimateTpCardinalityFromStats(predicate_stats(), *dict_, tp)
+            : EstimateTpCardinality(*index_, *dict_, tp);
   }
-  if (stats != nullptr) stats->initial_triples += initial_total;
+  const std::vector<uint64_t>& cards = plan.estimated_cards;
 
-  // --- get_jvar_order (Alg 3.1 / ablation strategies).
-  JvarOrder order;
+  // --- get_jvar_order (Alg 3.1 / ablation strategies). Both planner modes
+  // run the same ordering algorithm; they differ only in where `cards`
+  // came from, so any Alg-3.1-structured order stays result-correct.
+  if (stats != nullptr) ++stats->planning_jvar_orders;
   switch (options_.order_strategy) {
     case JvarOrderStrategy::kPaper:
-      order = GetJvarOrder(gosn, goj, cards);
+      plan.order = GetJvarOrder(gosn, goj, cards);
       break;
     case JvarOrderStrategy::kNaiveBottomUp:
-      order = GetNaiveJvarOrder(gosn, goj, cards);
+      plan.order = GetNaiveJvarOrder(gosn, goj, cards);
       break;
     case JvarOrderStrategy::kGreedy:
-      order = GetGreedyJvarOrder(goj, cards);
+      plan.order = GetGreedyJvarOrder(goj, cards);
       break;
+  }
+
+  // --- Orientation: for (?a :p ?b) load S-O iff ?a precedes ?b in
+  // order_bu.
+  plan.prefer_subject_rows.assign(tps.size(), true);
+  for (size_t i = 0; i < tps.size(); ++i) {
+    if (tps[i].s.is_var && tps[i].o.is_var && !tps[i].p.is_var) {
+      int js = goj.JvarIndex(tps[i].s.var);
+      int jo = goj.JvarIndex(tps[i].o.var);
+      if (js >= 0 && jo < 0) {
+        plan.prefer_subject_rows[i] = true;
+      } else if (js < 0 && jo >= 0) {
+        plan.prefer_subject_rows[i] = false;
+      } else if (js >= 0 && jo >= 0) {
+        plan.prefer_subject_rows[i] = FirstIndexOf(plan.order.order_bu, js) <=
+                                      FirstIndexOf(plan.order.order_bu, jo);
+      }
+    }
+  }
+
+  // --- Load order. The heuristic planner loads in serialization order
+  // (the paper's behavior); the cost planner loads masters first (so their
+  // active-pruning masks exist before slaves load), then smallest
+  // estimate first within a depth. Loading order only affects which masks
+  // apply during init — prune_triples reaches the same fixpoint either
+  // way — so this is a cost knob, not a correctness one.
+  plan.load_order.resize(tps.size());
+  for (size_t i = 0; i < tps.size(); ++i) {
+    plan.load_order[i] = static_cast<int>(i);
+  }
+  if (options_.planner == PlannerMode::kCost) {
+    std::stable_sort(plan.load_order.begin(), plan.load_order.end(),
+                     [&](int a, int b) {
+                       int da = gosn.MasterDepth(gosn.SupernodeOf(a));
+                       int db = gosn.MasterDepth(gosn.SupernodeOf(b));
+                       if (da != db) return da < db;
+                       return cards[a] < cards[b];
+                     });
+  }
+  return plan;
+}
+
+Engine::BranchResult Engine::ExecuteBranchPlan(
+    const BranchPlan& plan, const ReboundTerms* rebound,
+    const std::vector<std::string>& projection, QueryStats* stats) {
+  BranchResult result;
+  const Gosn& gosn = plan.gosn;
+  // Terms come from the rebinding overlay when one exists; all structural
+  // reads (supernodes, master/peer relations) go to the shared template.
+  const std::vector<TriplePattern>& tps =
+      rebound != nullptr && !rebound->tps.empty() ? rebound->tps : gosn.tps();
+  if (tps.empty()) {
+    // Empty pattern: one empty mapping.
+    result.rows.emplace_back(projection.size(), kNullBinding);
+    return result;
+  }
+  const Goj& goj = plan.goj;
+  const JvarOrder& order = plan.order;
+  const bool nb_reqd = plan.nb_reqd;
+
+  if (stats != nullptr) {
+    stats->goj_cyclic = stats->goj_cyclic || goj.IsCyclic();
+    stats->num_supernodes += gosn.num_supernodes();
+    if (!plan.well_designed) stats->well_designed = false;
+    for (uint64_t card : plan.estimated_cards) {
+      stats->initial_triples += card;
+    }
   }
 
   GlobalIds ids = GlobalIds::FromDictionary(*dict_);
 
-  // --- init (Alg 5.1 lines 3-4): load per-TP BitMats in query order with
-  // active pruning from already-loaded master/peer TPs.
+  // --- init (Alg 5.1 lines 3-4): load per-TP BitMats in plan load order
+  // with active pruning from already-loaded master/peer TPs.
   Stopwatch init_watch;
   std::vector<TpState> states(tps.size());
+  std::vector<int> loaded;  // tp ids already initialized, in load sequence
+  loaded.reserve(tps.size());
   bool empty_master = false;
-  for (size_t i = 0; i < tps.size() && !empty_master; ++i) {
+  for (size_t k = 0; k < tps.size() && !empty_master; ++k) {
+    const size_t i = static_cast<size_t>(plan.load_order[k]);
     // Per-TP-load cancellation check (forced poll: loads are coarse).
     exec_ctx_.CheckCancelNow();
     TpState& st = states[i];
     st.tp = tps[i];
     st.tp_id = static_cast<int>(i);
     st.sn_id = gosn.SupernodeOf(st.tp_id);
-    st.estimated_count = cards[i];
+    st.estimated_count = plan.estimated_cards[i];
 
-    // Orientation: for (?a :p ?b) load S-O iff ?a precedes ?b in order_bu.
-    bool prefer_subject_rows = true;
-    if (tps[i].s.is_var && tps[i].o.is_var && !tps[i].p.is_var) {
-      int js = goj.JvarIndex(tps[i].s.var);
-      int jo = goj.JvarIndex(tps[i].o.var);
-      if (js >= 0 && jo < 0) {
-        prefer_subject_rows = true;
-      } else if (js < 0 && jo >= 0) {
-        prefer_subject_rows = false;
-      } else if (js >= 0 && jo >= 0) {
-        prefer_subject_rows = FirstIndexOf(order.order_bu, js) <=
-                              FirstIndexOf(order.order_bu, jo);
-      }
-    }
+    const bool prefer_subject_rows = plan.prefer_subject_rows[i];
 
     // Active pruning masks from already-loaded TPs that are masters or
     // peers of this one.
@@ -185,7 +282,7 @@ Engine::BranchResult Engine::ExecuteBranch(
                             uint32_t size, Bitvector* mask) -> bool {
         bool restricted = false;
         ScratchBits fold_s(&exec_ctx_), aligned_s(&exec_ctx_);
-        for (size_t j = 0; j < i; ++j) {
+        for (int j : loaded) {
           const TpState& prev = states[j];
           if (!prev.mat.HasVar(var)) continue;
           bool can_restrict =
@@ -269,6 +366,7 @@ Engine::BranchResult Engine::ExecuteBranch(
     // Memory accounting point: the loaded BitMat's payload is proportional
     // to its set bits (compressed rows).
     exec_ctx_.ChargeMemory(st.initial_count / 4 + 1024);
+    loaded.push_back(static_cast<int>(i));
 
     // Simple optimization (Section 5): an empty absolute-master TP means an
     // empty result.
@@ -332,7 +430,9 @@ Engine::BranchResult Engine::ExecuteBranch(
   // --- multi-way pipelined join (Alg 5.4) with FaN filters.
   MultiwayJoin::Options join_options;
   join_options.nullification = nb_reqd;
-  join_options.filters = gosn.filters();
+  join_options.filters = rebound != nullptr && !rebound->filters.empty()
+                             ? rebound->filters
+                             : gosn.filters();
   join_options.enum_mode = options_.join_enum_mode;
   MultiwayJoin join(gosn, ids, *dict_, &states, stps, join_options);
 
@@ -415,18 +515,68 @@ uint64_t Engine::Execute(const ParsedQuery& query, const RowSink& sink,
   }
 }
 
+CompiledPlan Engine::CompilePlan(const ParsedQuery& query,
+                                 const std::vector<Term>* slot_constants,
+                                 QueryStats* stats) {
+  CompiledPlan plan;
+  plan.projection = query.EffectiveProjection();
+  plan.planner = options_.planner;
+
+  // Cheap filter optimization, then UNF rewrite (Section 5.2).
+  if (stats != nullptr) ++stats->planning_rewrites;
+  std::unique_ptr<Algebra> body = EliminateVarEqualities(*query.body);
+  UnfResult unf = ToUnionNormalForm(*body);
+  plan.may_have_spurious = unf.may_have_spurious;
+  plan.rule3 = std::move(unf.rule3);
+  plan.branches.reserve(unf.branches.size());
+  for (const auto& branch : unf.branches) {
+    plan.branches.push_back(PlanBranch(*branch, slot_constants, stats));
+  }
+
+  // Precompute where each branch's slot markers live, so a cache hit
+  // rebinds them by direct assignment (ExecuteTextControlled) instead of
+  // scanning — and copying — the whole GoSN. Non-template compiles have no
+  // markers and record nothing.
+  for (BranchPlan& branch : plan.branches) {
+    const std::vector<TriplePattern>& tps = branch.gosn.tps();
+    for (size_t i = 0; i < tps.size(); ++i) {
+      const PatternTerm* fields[3] = {&tps[i].s, &tps[i].p, &tps[i].o};
+      for (int f = 0; f < 3; ++f) {
+        size_t slot = 0;
+        if (!fields[f]->is_var && IsShapeParam(fields[f]->term, &slot)) {
+          branch.tp_slot_sites.push_back({static_cast<int>(i), f, slot});
+        }
+      }
+    }
+    for (const ScopedFilter& filter : branch.gosn.filters()) {
+      ScopedFilter probe = filter;
+      RewriteScopedFilterTerms(&probe, [&branch](Term* term) {
+        size_t slot = 0;
+        if (IsShapeParam(*term, &slot)) branch.filters_have_slots = true;
+      });
+      if (branch.filters_have_slots) break;
+    }
+  }
+  return plan;
+}
+
 uint64_t Engine::ExecuteControlled(const ParsedQuery& query,
                                    const RowSink& sink, QueryStats* st,
                                    const Stopwatch& total_watch) {
   // A deadline already in the past aborts before any work.
   exec_ctx_.CheckCancelNow();
+  Stopwatch plan_watch;
+  CompiledPlan plan = CompilePlan(query, nullptr, st);
+  st->t_plan_sec += plan_watch.Seconds();
+  return ExecutePlanned(plan, nullptr, sink, st, total_watch);
+}
 
-  std::vector<std::string> projection = query.EffectiveProjection();
-
-  // Cheap filter optimization, then UNF rewrite (Section 5.2).
-  std::unique_ptr<Algebra> body = EliminateVarEqualities(*query.body);
-  UnfResult unf = ToUnionNormalForm(*body);
-  st->num_union_branches = static_cast<int>(unf.branches.size());
+uint64_t Engine::ExecutePlanned(const CompiledPlan& plan,
+                                const std::vector<ReboundTerms>* rebound,
+                                const RowSink& sink, QueryStats* st,
+                                const Stopwatch& total_watch) {
+  const std::vector<std::string>& projection = plan.projection;
+  st->num_union_branches = static_cast<int>(plan.branches.size());
 
   // Snapshot the cumulative cache counters so the stats report per-query
   // deltas (TpCache and the fold memo both outlive individual queries).
@@ -439,8 +589,11 @@ uint64_t Engine::ExecuteControlled(const ParsedQuery& query,
   const uint64_t fold_once0 = exec_ctx_.fold_once_publishes();
 
   std::vector<RawRow> all_rows;
-  for (const auto& branch : unf.branches) {
-    BranchResult br = ExecuteBranch(*branch, projection, st);
+  for (size_t bi = 0; bi < plan.branches.size(); ++bi) {
+    const BranchPlan& branch = plan.branches[bi];
+    const ReboundTerms* branch_rebound =
+        rebound != nullptr ? &(*rebound)[bi] : nullptr;
+    BranchResult br = ExecuteBranchPlan(branch, branch_rebound, projection, st);
     for (RawRow& row : br.rows) {
       exec_ctx_.CheckCancel();
       all_rows.push_back(std::move(row));
@@ -461,11 +614,11 @@ uint64_t Engine::ExecuteControlled(const ParsedQuery& query,
   // match, and unmatched rows duplicated once per union arm. Remove the
   // first kind with a final best-match; fix the second by dividing the
   // multiplicity of fully-unmatched rows by the arm count.
-  if (unf.may_have_spurious && unf.branches.size() > 1) {
+  if (plan.may_have_spurious && plan.branches.size() > 1) {
     st->best_match_used = true;
     exec_ctx_.CheckCancelNow();  // best-match is O(rows^2 worst case)
     all_rows = BestMatch(std::move(all_rows), {}, &exec_ctx_);
-    for (const UnfResult::Rule3Info& info : unf.rule3) {
+    for (const UnfResult::Rule3Info& info : plan.rule3) {
       if (info.arm_count < 2 || info.exclusive_vars.empty()) continue;
       // Projection columns of the OPT pattern's exclusive variables. If any
       // exclusive var is not projected, unmatched rows cannot be identified
@@ -520,6 +673,124 @@ uint64_t Engine::ExecuteControlled(const ParsedQuery& query,
   return st->num_results;
 }
 
+uint64_t Engine::Execute(const std::string& sparql, const RowSink& sink,
+                         QueryStats* stats, QueryControl* control,
+                         std::vector<std::string>* projection_out) {
+  Stopwatch total_watch;
+  QueryStats local_stats;
+  QueryStats* st = stats ? stats : &local_stats;
+  *st = QueryStats{};
+
+  // Same lifecycle-control protocol as the ParsedQuery entry point.
+  struct ControlGuard {
+    ExecContext* ctx;
+    ~ControlGuard() { ctx->SetQueryControl(nullptr); }
+  } control_guard{&exec_ctx_};
+  exec_ctx_.SetQueryControl(control);
+
+  try {
+    return ExecuteTextControlled(sparql, sink, st, total_watch,
+                                 projection_out);
+  } catch (const QueryAbortedError& e) {
+    st->termination = e.code();
+    st->t_total_sec = total_watch.Seconds();
+    throw;
+  }
+}
+
+uint64_t Engine::ExecuteTextControlled(
+    const std::string& sparql, const RowSink& sink, QueryStats* st,
+    const Stopwatch& total_watch, std::vector<std::string>* projection_out) {
+  exec_ctx_.CheckCancelNow();
+
+  if (!options_.enable_plan_cache) {
+    Stopwatch plan_watch;
+    ++st->planning_parses;
+    ParsedQuery query = Parser::Parse(sparql);
+    CompiledPlan plan = CompilePlan(query, nullptr, st);
+    st->t_plan_sec += plan_watch.Seconds();
+    if (projection_out != nullptr) *projection_out = plan.projection;
+    return ExecutePlanned(plan, nullptr, sink, st, total_watch);
+  }
+
+  // Plan-cache path (DESIGN.md §10): canonicalize to a shape key, fetch or
+  // compile the skeleton (single-flight across engines sharing the cache),
+  // then rebind this query's constants into a private copy.
+  Stopwatch plan_watch;
+  // Key-only canonicalization: the hit path needs the key and the constant
+  // bindings but never the template token stream, so its construction is
+  // deferred into the (rare, already-expensive) miss closure below.
+  QueryShape shape = CanonicalizeQuery(sparql, ShapeDetail::kKeyOnly);
+  bool compiled_here = false;
+  std::shared_ptr<const CompiledPlan> cached = plan_cache_->GetOrCompile(
+      shape.key, [&]() {
+        compiled_here = true;
+        ++st->planning_parses;
+        // The template token stream parses exactly where the original
+        // would: marker tokens preserve the lexical kind they replaced.
+        // Error *messages*, though, would name marker text and (for
+        // prefixed queries) shifted positions — so on failure re-parse
+        // the original text and let ITS error surface instead.
+        QueryShape tmpl = CanonicalizeQuery(sparql, ShapeDetail::kFull);
+        ParsedQuery query;
+        try {
+          query = Parser::Parse(std::move(tmpl.tokens));
+        } catch (const std::exception&) {
+          Parser::Parse(sparql);  // throws the user-facing diagnostic
+          throw;  // template-only failure: propagate the original
+        }
+        auto plan = std::make_shared<CompiledPlan>(
+            CompilePlan(query, &shape.constants, st));
+        plan->num_slots = shape.constants.size();
+        return plan;
+      });
+  if (compiled_here) {
+    ++st->plan_cache_misses;
+  } else {
+    ++st->plan_cache_hits;
+  }
+
+  // Rebind: overlay only the Terms that can differ from the template. The
+  // compile pass recorded every marker position (tp_slot_sites /
+  // filters_have_slots), so a hit copies at most each branch's TP list and
+  // writes constants by direct assignment; the GoSN's structural state and
+  // everything else in the plan is shared from the cache untouched. A
+  // shape with no constants needs no rebinding at all.
+  std::vector<ReboundTerms> rebound;
+  if (cached->num_slots > 0) {
+    rebound.resize(cached->branches.size());
+    for (size_t bi = 0; bi < cached->branches.size(); ++bi) {
+      const BranchPlan& branch = cached->branches[bi];
+      ReboundTerms& terms = rebound[bi];
+      if (!branch.tp_slot_sites.empty()) {
+        terms.tps = branch.gosn.tps();
+        for (const TpSlotSite& site : branch.tp_slot_sites) {
+          if (site.slot >= shape.constants.size()) continue;
+          TriplePattern& tp = terms.tps[static_cast<size_t>(site.tp)];
+          PatternTerm& field =
+              site.field == 0 ? tp.s : site.field == 1 ? tp.p : tp.o;
+          field.term = shape.constants[site.slot];
+        }
+      }
+      if (branch.filters_have_slots) {
+        terms.filters = branch.gosn.filters();
+        for (ScopedFilter& filter : terms.filters) {
+          RewriteScopedFilterTerms(&filter, [&shape](Term* term) {
+            size_t slot = 0;
+            if (IsShapeParam(*term, &slot) && slot < shape.constants.size()) {
+              *term = shape.constants[slot];
+            }
+          });
+        }
+      }
+    }
+  }
+  st->t_plan_sec += plan_watch.Seconds();
+  if (projection_out != nullptr) *projection_out = cached->projection;
+  return ExecutePlanned(*cached, rebound.empty() ? nullptr : &rebound, sink,
+                        st, total_watch);
+}
+
 ResultTable Engine::ExecuteToTable(const ParsedQuery& query,
                                    QueryStats* stats, QueryControl* control) {
   ResultTable table;
@@ -540,8 +811,19 @@ ResultTable Engine::ExecuteToTable(const ParsedQuery& query,
 
 ResultTable Engine::ExecuteToTable(const std::string& sparql,
                                    QueryStats* stats, QueryControl* control) {
-  ParsedQuery q = Parser::Parse(sparql);
-  return ExecuteToTable(q, stats, control);
+  ResultTable table;
+  GlobalIds ids = GlobalIds::FromDictionary(*dict_);
+  Execute(
+      sparql,
+      [&](const RawRow& row) {
+        std::vector<std::optional<Term>> decoded(row.size());
+        for (size_t i = 0; i < row.size(); ++i) {
+          if (row[i] != kNullBinding) decoded[i] = ids.Decode(*dict_, row[i]);
+        }
+        table.rows.push_back(std::move(decoded));
+      },
+      stats, control, &table.var_names);
+  return table;
 }
 
 std::vector<BatchResult> Engine::ExecuteBatch(
@@ -559,6 +841,15 @@ std::vector<BatchResult> Engine::ExecuteBatch(
   if (cache == nullptr && engine_options.enable_tp_cache) {
     cache = std::make_shared<TpCache>(engine_options.tp_cache_budget,
                                       engine_options.tp_cache_shards);
+  }
+  // One plan cache for all workers: batch queries are text, so they route
+  // through the shape-keyed compiled-plan cache; repeated shapes across
+  // the stream compile once (single-flight) regardless of which runner
+  // draws them.
+  if (engine_options.plan_cache == nullptr &&
+      engine_options.enable_plan_cache) {
+    engine_options.plan_cache = std::make_shared<PlanCache>(
+        engine_options.plan_cache_capacity, engine_options.plan_cache_shards);
   }
 
   // --- Admission (DESIGN.md §9): the batch is a FIFO run queue drained by

@@ -9,6 +9,7 @@
 
 #include "bitmat/tp_cache.h"
 #include "bitmat/triple_index.h"
+#include "core/plan_cache.h"
 #include "core/row.h"
 #include "core/tp_state.h"
 #include "rdf/graph.h"
@@ -20,6 +21,7 @@ namespace lbr {
 
 class ThreadPool;
 class Stopwatch;
+class PredicateStats;
 
 /// Strategy knob for the jvar-ordering ablation (Table/figure A2).
 enum class JvarOrderStrategy {
@@ -57,6 +59,30 @@ struct EngineOptions {
   /// of a jvar pass concurrently on `pool` (DESIGN.md §7). Results are
   /// bit-identical either way.
   SemiJoinSched semi_join_sched = SemiJoinSched::kSerial;
+  /// Cardinality source for jvar ordering and TP load order (DESIGN.md
+  /// §10). kHeuristic is the paper's per-query exact metadata estimation;
+  /// kCost plans from the load-time PredicateStats table (O(1) per TP) and
+  /// additionally loads masters-first / smallest-first so active-pruning
+  /// masks from selective TPs exist before large TPs load. Result streams
+  /// are identical either way (the jvar order changes cost, not answers);
+  /// kHeuristic stays the differential oracle.
+  PlannerMode planner = PlannerMode::kHeuristic;
+  /// Stats table for the cost planner (not owned; Database wires its own).
+  /// Null with planner = kCost makes the engine collect a private table
+  /// lazily on first use.
+  const PredicateStats* predicate_stats = nullptr;
+  /// Cache compiled plan skeletons keyed by query shape, so parameterized
+  /// traffic pays parse/rewrite/GoSN/jvar-order once per shape. Only the
+  /// text entry points (Execute(std::string), ExecuteToTable(std::string))
+  /// consult it; ParsedQuery entry points always plan afresh.
+  bool enable_plan_cache = true;
+  /// Maximum cached plan skeletons (global across stripes).
+  size_t plan_cache_capacity = 256;
+  /// Lock stripes for the plan cache.
+  size_t plan_cache_shards = 8;
+  /// Share a plan cache across engines (the server deployment). Null makes
+  /// the engine create a private one.
+  std::shared_ptr<PlanCache> plan_cache;
 };
 
 /// Per-query statistics mirroring the evaluation metrics of Section 6.1.
@@ -107,6 +133,21 @@ struct QueryStats {
   uint64_t sched_conflicts = 0;
   uint64_t sched_deduped = 0;
   uint64_t fold_once_publishes = 0;
+  // Planning observability (the compiled-plan cache, DESIGN.md §10).
+  // t_plan_sec covers canonicalize + (on miss) parse/rewrite/GoSN/jvar
+  // order + constant rebinding. The planning_* counters record how many
+  // times each planning phase actually ran for THIS query — all zero on a
+  // plan-cache hit, which is the observable proof that a hit skipped
+  // parse, rewrite, GoSN clustering, and jvar ordering. The hit/miss
+  // counters are per-query (not cache-wide deltas): a single-flight wait
+  // served by another thread's compile counts as a hit.
+  double t_plan_sec = 0;
+  uint64_t plan_cache_hits = 0;
+  uint64_t plan_cache_misses = 0;
+  uint64_t planning_parses = 0;
+  uint64_t planning_rewrites = 0;
+  uint64_t planning_gosn_builds = 0;
+  uint64_t planning_jvar_orders = 0;
 };
 
 /// A fully decoded result table (SELECT projection applied).
@@ -180,6 +221,10 @@ class Engine {
   Engine(const TripleIndex* index, const Dictionary* dict,
          EngineOptions options, std::shared_ptr<TpCache> shared_cache);
 
+  // Out-of-line so `own_stats_`'s unique_ptr<PredicateStats> destructor
+  // instantiates where the type is complete (engine.cc).
+  ~Engine();
+
   /// Row callback: bindings follow `projection` order; kNullBinding slots
   /// are OPTIONAL misses.
   using RowSink = std::function<void(const RawRow&)>;
@@ -198,11 +243,22 @@ class Engine {
                    QueryStats* stats = nullptr,
                    QueryControl* control = nullptr);
 
+  /// Executes SPARQL text, streaming projected rows to `sink`. This is the
+  /// plan-cache entry point (DESIGN.md §10): the text is canonicalized to
+  /// a shape key, the compiled skeleton is fetched or compiled
+  /// (single-flight), constants are rebound, and execution proceeds — so a
+  /// repeated shape skips parse/rewrite/GoSN/jvar-order entirely. With
+  /// enable_plan_cache off it parses and plans per call. `projection_out`
+  /// (optional) receives the effective projection (the sink's row layout).
+  uint64_t Execute(const std::string& sparql, const RowSink& sink,
+                   QueryStats* stats = nullptr, QueryControl* control = nullptr,
+                   std::vector<std::string>* projection_out = nullptr);
+
   /// Executes and materializes a decoded table.
   ResultTable ExecuteToTable(const ParsedQuery& query,
                              QueryStats* stats = nullptr,
                              QueryControl* control = nullptr);
-  /// Parses and executes SPARQL text.
+  /// Executes SPARQL text (through the plan cache) into a decoded table.
   ResultTable ExecuteToTable(const std::string& sparql,
                              QueryStats* stats = nullptr,
                              QueryControl* control = nullptr);
@@ -236,20 +292,71 @@ class Engine {
   /// The shareable cache handle, for wiring sibling engines to one cache.
   std::shared_ptr<TpCache> shared_tp_cache() const { return tp_cache_; }
 
+  /// The compiled-plan cache (meaningful when enable_plan_cache is set).
+  const PlanCache& plan_cache() const { return *plan_cache_; }
+  std::shared_ptr<PlanCache> shared_plan_cache() const { return plan_cache_; }
+  /// Version-stamped invalidation hook: cached plans compiled before this
+  /// call are recompiled on next use (for future incremental updates).
+  void InvalidatePlans() { plan_cache_->BumpEpoch(); }
+
+  /// The cost planner's stats table: the wired one, or a lazily collected
+  /// private table.
+  const PredicateStats& predicate_stats();
+
  private:
   struct BranchResult;
-  BranchResult ExecuteBranch(const Algebra& branch,
-                             const std::vector<std::string>& projection,
-                             QueryStats* stats);
+  /// Per-branch rebinding overlay for plan-cache hits: just the Terms that
+  /// can differ from the template. Empty vectors mean "use the template's"
+  /// — a branch whose TPs/filters contain no slot markers copies nothing.
+  struct ReboundTerms {
+    std::vector<TriplePattern> tps;
+    std::vector<ScopedFilter> filters;
+  };
+  /// Planning half of a branch: GoSN/GoJ construction, validation,
+  /// WD-violation conversion, nb_reqd, cardinalities, jvar order,
+  /// orientations, load order. `slot_constants` (nullable) substitutes
+  /// shape-marker terms before cardinality estimation, so a template
+  /// compile plans with the triggering query's real constants.
+  BranchPlan PlanBranch(const Algebra& branch,
+                        const std::vector<Term>* slot_constants,
+                        QueryStats* stats);
+  /// Whole-query planning: rewrite to UNF, plan each branch.
+  CompiledPlan CompilePlan(const ParsedQuery& query,
+                           const std::vector<Term>* slot_constants,
+                           QueryStats* stats);
+  /// Execution half of a branch: init/prune/join/best-match. `rebound`
+  /// (nullable) overlays concrete constants on a plan-cache hit; null (or
+  /// empty members) means plan.gosn's own Terms are already concrete. The
+  /// Gosn's structural state is always read from the shared template.
+  BranchResult ExecuteBranchPlan(const BranchPlan& plan,
+                                 const ReboundTerms* rebound,
+                                 const std::vector<std::string>& projection,
+                                 QueryStats* stats);
+  /// Branch loop + rule-3 spurious cleanup + sink delivery. `rebound`
+  /// (nullable, parallel to plan.branches) supplies per-branch constant
+  /// overlays on a plan-cache hit; null means the plan is already concrete.
+  uint64_t ExecutePlanned(const CompiledPlan& plan,
+                          const std::vector<ReboundTerms>* rebound,
+                          const RowSink& sink, QueryStats* st,
+                          const Stopwatch& total_watch);
   /// Execute's body once the lifecycle control is attached: Execute wraps
   /// it to stamp stats->termination and detach the control on abort.
   uint64_t ExecuteControlled(const ParsedQuery& query, const RowSink& sink,
                              QueryStats* st, const Stopwatch& total_watch);
+  /// Text-path body: canonicalize, fetch-or-compile, rebind, execute.
+  uint64_t ExecuteTextControlled(const std::string& sparql,
+                                 const RowSink& sink, QueryStats* st,
+                                 const Stopwatch& total_watch,
+                                 std::vector<std::string>* projection_out);
 
   const TripleIndex* index_;
   const Dictionary* dict_;
   EngineOptions options_;
   std::shared_ptr<TpCache> tp_cache_;
+  std::shared_ptr<PlanCache> plan_cache_;
+  /// Lazily collected stats when the cost planner runs without a wired
+  /// table (options_.predicate_stats == nullptr).
+  std::unique_ptr<PredicateStats> own_stats_;
   /// Scratch arena threaded through init/prune/join; buffer capacity is
   /// retained across queries, so a warm engine's hot path stays off the
   /// heap. Makes the engine single-threaded per instance (as before).

@@ -155,6 +155,14 @@ std::string ExplainCacheStats(const QueryStats& stats) {
        << " contended lock(s), " << stats.tp_cache_flight_waits
        << " single-flight wait(s)\n";
   }
+  if (stats.plan_cache_hits > 0 || stats.plan_cache_misses > 0) {
+    os << "  plan cache: " << stats.plan_cache_hits << " hit(s), "
+       << stats.plan_cache_misses << " miss(es)\n";
+    os << "  planning: " << stats.t_plan_sec * 1e3 << " ms ("
+       << stats.planning_parses << " parse(s), " << stats.planning_rewrites
+       << " rewrite(s), " << stats.planning_gosn_builds << " GoSN build(s), "
+       << stats.planning_jvar_orders << " jvar order(s))\n";
+  }
   return os.str();
 }
 

@@ -321,4 +321,33 @@ void Gosn::ConvertViolationPairs(
   ComputeRelations();
 }
 
+namespace {
+
+void RewriteFilterConstants(FilterExpr* expr,
+                            const std::function<void(Term*)>& fn) {
+  if (!expr->lhs.is_var) fn(&expr->lhs.term);
+  if (!expr->rhs.is_var) fn(&expr->rhs.term);
+  for (FilterExpr& child : expr->children) {
+    RewriteFilterConstants(&child, fn);
+  }
+}
+
+}  // namespace
+
+void RewriteScopedFilterTerms(ScopedFilter* filter,
+                              const std::function<void(Term*)>& fn) {
+  RewriteFilterConstants(&filter->expr, fn);
+}
+
+void Gosn::RewriteConstants(const std::function<void(Term*)>& fn) {
+  for (TriplePattern& tp : tps_) {
+    if (!tp.s.is_var) fn(&tp.s.term);
+    if (!tp.p.is_var) fn(&tp.p.term);
+    if (!tp.o.is_var) fn(&tp.o.term);
+  }
+  for (ScopedFilter& filter : filters_) {
+    RewriteFilterConstants(&filter.expr, fn);
+  }
+}
+
 }  // namespace lbr

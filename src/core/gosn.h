@@ -1,6 +1,7 @@
 #ifndef LBR_CORE_GOSN_H_
 #define LBR_CORE_GOSN_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -111,6 +112,13 @@ class Gosn {
   /// 1 + max depth over its masters.
   int MasterDepth(int sn) const { return master_depth_[sn]; }
 
+  /// Applies `fn` to every ground Term of the graph: the fixed positions of
+  /// each TP and the fixed operands of every scoped filter. Constant
+  /// rebinding for the plan cache: a cached GoSN is a value, so a copy can
+  /// have its slot markers substituted with concrete terms without touching
+  /// any structural state (supernodes, edges, relations are term-agnostic).
+  void RewriteConstants(const std::function<void(Term*)>& fn);
+
  private:
   void ComputeRelations();
 
@@ -128,6 +136,12 @@ class Gosn {
   std::vector<bool> absolute_master_;
   std::vector<int> master_depth_;
 };
+
+/// Applies `fn` to every ground Term in one scoped filter's expression
+/// tree. The per-filter counterpart of Gosn::RewriteConstants, for callers
+/// that rebind filters copied out of a cached template.
+void RewriteScopedFilterTerms(ScopedFilter* filter,
+                              const std::function<void(Term*)>& fn);
 
 }  // namespace lbr
 

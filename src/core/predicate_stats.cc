@@ -1,0 +1,56 @@
+#include "core/predicate_stats.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+namespace lbr {
+
+PredicateStats PredicateStats::Collect(const TripleIndex& index) {
+  PredicateStats stats;
+  stats.num_subjects_ = index.num_subjects();
+  stats.num_objects_ = index.num_objects();
+  stats.total_triples_ = index.num_triples();
+  stats.preds_.resize(index.num_predicates());
+  for (uint32_t p = 0; p < index.num_predicates(); ++p) {
+    PredStat& st = stats.preds_[p];
+    st.triples = index.PredicateCardinality(p);
+    st.distinct_subjects =
+        static_cast<uint32_t>(index.SubjectsOf(p).Count());
+    st.distinct_objects = static_cast<uint32_t>(index.ObjectsOf(p).Count());
+    st.subject_fan_out = st.distinct_subjects > 0
+                             ? static_cast<double>(st.triples) /
+                                   st.distinct_subjects
+                             : 0;
+    st.object_fan_in = st.distinct_objects > 0
+                           ? static_cast<double>(st.triples) /
+                                 st.distinct_objects
+                           : 0;
+  }
+  return stats;
+}
+
+std::string PredicateStats::Summary(const Dictionary& dict,
+                                    size_t top_n) const {
+  std::vector<uint32_t> ids(preds_.size());
+  std::iota(ids.begin(), ids.end(), 0u);
+  std::stable_sort(ids.begin(), ids.end(), [&](uint32_t a, uint32_t b) {
+    return preds_[a].triples > preds_[b].triples;
+  });
+  if (ids.size() > top_n) ids.resize(top_n);
+
+  std::ostringstream out;
+  out << "predicate stats: " << preds_.size() << " predicates, "
+      << total_triples_ << " triples, " << num_subjects_ << " subjects, "
+      << num_objects_ << " objects\n";
+  for (uint32_t p : ids) {
+    const PredStat& st = preds_[p];
+    out << "  <" << dict.PredicateTerm(p).value << "> triples=" << st.triples
+        << " subjects=" << st.distinct_subjects
+        << " objects=" << st.distinct_objects << " fan-out=" << st.subject_fan_out
+        << " fan-in=" << st.object_fan_in << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace lbr

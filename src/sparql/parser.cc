@@ -82,21 +82,7 @@ class ParserImpl {
   }
 
   Term ResolvePname(const std::string& raw) const {
-    size_t colon = raw.find(':');
-    if (colon == std::string::npos) {
-      // Bare word; treat as relative IRI to keep hand-written tests terse.
-      return Term::Iri(raw);
-    }
-    std::string prefix = raw.substr(0, colon);
-    std::string local = raw.substr(colon + 1);
-    auto it = prefixes_.find(prefix);
-    if (it == prefixes_.end()) {
-      // Unknown prefix: keep the raw prefixed form as the IRI. This matches
-      // how the paper's appendix queries use ':Jerry' style names without a
-      // declared default prefix.
-      return Term::Iri(raw);
-    }
-    return Term::Iri(it->second + local);
+    return ResolvePnameTerm(raw, prefixes_);
   }
 
   PatternTerm ParsePatternTerm(bool allow_literal) {
@@ -313,6 +299,30 @@ class ParserImpl {
 ParsedQuery Parser::Parse(std::string_view text) {
   ParserImpl impl(Lexer::Tokenize(text));
   return impl.ParseQuery();
+}
+
+ParsedQuery Parser::Parse(std::vector<Token> tokens) {
+  ParserImpl impl(std::move(tokens));
+  return impl.ParseQuery();
+}
+
+Term ResolvePnameTerm(const std::string& raw,
+                      const std::map<std::string, std::string>& prefixes) {
+  size_t colon = raw.find(':');
+  if (colon == std::string::npos) {
+    // Bare word; treat as relative IRI to keep hand-written tests terse.
+    return Term::Iri(raw);
+  }
+  std::string prefix = raw.substr(0, colon);
+  std::string local = raw.substr(colon + 1);
+  auto it = prefixes.find(prefix);
+  if (it == prefixes.end()) {
+    // Unknown prefix: keep the raw prefixed form as the IRI. This matches
+    // how the paper's appendix queries use ':Jerry' style names without a
+    // declared default prefix.
+    return Term::Iri(raw);
+  }
+  return Term::Iri(it->second + local);
 }
 
 std::unique_ptr<Algebra> Parser::ParseGroup(
