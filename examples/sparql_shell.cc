@@ -4,6 +4,8 @@
 //   .stats            toggle per-query metrics
 //   .format tsv|csv|table   switch the output serialization
 //   .save <path>      persist the loaded data as a single-file database
+//   .snapshot <path>  persist as an mmap-ready page-organized snapshot
+//                     (reopen with the same shell: predicates load lazily)
 //   .batch <path>     run a file of blank-line-separated queries across
 //                     the thread pool (shared warm TP cache)
 //   .timeout <ms>     per-query deadline for subsequent queries (0 clears);
@@ -88,6 +90,7 @@ int main(int argc, char** argv) {
   using namespace lbr;
 
   int num_threads = 1;
+  uint64_t budget_bytes = 0;  // snapshot resident-memory budget (--budget=)
   std::string data_path;
   std::string sched = "serial";
   std::string planner = "heuristic";
@@ -105,6 +108,8 @@ int main(int argc, char** argv) {
       planner = argv[++i];
     } else if (arg.rfind("--planner=", 0) == 0) {
       planner = arg.substr(10);
+    } else if (arg.rfind("--budget=", 0) == 0) {
+      budget_bytes = std::strtoull(arg.c_str() + 9, nullptr, 10);
     } else {
       data_path = arg;
     }
@@ -138,11 +143,21 @@ int main(int argc, char** argv) {
 
   Database db = [&] {
     Stopwatch load;
-    if (!data_path.empty() && EndsWith(data_path, ".lbr")) {
-      Database opened = Database::Open(data_path, options);
+    if (!data_path.empty() &&
+        (EndsWith(data_path, ".lbr") || EndsWith(data_path, ".snap"))) {
+      SnapshotOptions snap;
+      snap.memory_budget_bytes = budget_bytes;
+      // Open() sniffs the magic: legacy files load eagerly, snapshots map
+      // lazily. A budget only makes sense for snapshots, so route through
+      // OpenSnapshot when one is requested (legacy files then fail with a
+      // clear bad-magic error).
+      Database opened = budget_bytes > 0
+                            ? Database::OpenSnapshot(data_path, options, snap)
+                            : Database::Open(data_path, options);
       std::cerr << "opened database " << data_path << " ("
-                << opened.num_triples() << " triples) in " << load.Seconds()
-                << " s\n";
+                << opened.num_triples() << " triples"
+                << (opened.index().mapped() ? ", mapped" : "") << ") in "
+                << load.Seconds() << " s\n";
       return opened;
     }
     if (!data_path.empty()) {
@@ -227,7 +242,7 @@ int main(int argc, char** argv) {
   std::string format = "table";
   std::cerr << "enter SPARQL queries (end with a blank line); "
                "'EXPLAIN <query>' for plans; '.stats', '.format tsv|csv|"
-               "table', '.save <path>', '.batch <path>', '.timeout <ms>', "
+               "table', '.save <path>', '.snapshot <path>', '.batch <path>', '.timeout <ms>', "
                "'.maxmem <bytes>', '.cancel <ms>', '.predstats', '.quit'\n";
 
   std::string buffer;
@@ -256,6 +271,12 @@ int main(int argc, char** argv) {
         std::string path = text.substr(6);
         db.Save(path);
         std::cout << "saved to " << path << "\n";
+        return;
+      }
+      if (text.rfind(".snapshot ", 0) == 0) {
+        std::string path = text.substr(10);
+        db.SaveSnapshot(path);
+        std::cout << "snapshot written to " << path << "\n";
         return;
       }
       if (text.rfind(".batch ", 0) == 0) {
@@ -353,7 +374,8 @@ int main(int argc, char** argv) {
   while (std::getline(std::cin, line)) {
     if (line == ".quit") break;
     if (line == ".stats" || line.rfind(".format ", 0) == 0 ||
-        line.rfind(".save ", 0) == 0 || line.rfind(".batch ", 0) == 0 ||
+        line.rfind(".save ", 0) == 0 || line.rfind(".snapshot ", 0) == 0 ||
+        line.rfind(".batch ", 0) == 0 ||
         line.rfind(".timeout ", 0) == 0 || line.rfind(".maxmem ", 0) == 0 ||
         line.rfind(".cancel ", 0) == 0 || line == ".predstats" ||
         StartsWithWord(line, "EXPLAIN")) {

@@ -35,6 +35,20 @@ TpBitMat SnapshotFor(const TpBitMat& cached, const TriplePattern& tp) {
   return copy;
 }
 
+// Approximate heap bytes of a cached TpBitMat: handle-vector storage plus
+// the owned payload of every non-empty row. Rows that are zero-copy views
+// into a mapped snapshot own nothing and cost only their handle — exactly
+// the marginal heap the entry pins, which is what the shared meter tracks.
+uint64_t TpBitMatHeapBytes(const TpBitMat& t) {
+  uint64_t bytes = sizeof(TpBitMat) +
+                   static_cast<uint64_t>(t.bm.num_rows()) *
+                       sizeof(BitMat::RowHandle);
+  t.bm.NonEmptyRows().ForEachSetBit([&](uint32_t r) {
+    bytes += sizeof(CompressedRow) + t.bm.Row(r).OwnedHeapBytes();
+  });
+  return bytes;
+}
+
 }  // namespace
 
 TpCache::TpCache(uint64_t triple_budget, size_t num_shards)
@@ -172,14 +186,16 @@ TpBitMat TpCache::LoadAndPublish(Shard* shard,
   }
 
   uint64_t cost = loaded.bm.Count();
+  uint64_t bytes = meter_ != nullptr ? TpBitMatHeapBytes(loaded) : 0;
   lk.lock();
   shard->loading.erase(key);
   if (cost <= budget_) {
     shard->lru.push_front(key);
-    shard->entries[key] = Entry{loaded, cost, shard->lru.begin()};
+    shard->entries[key] = Entry{loaded, cost, bytes, shard->lru.begin()};
     shard->held += cost;
     held_.fetch_add(cost, std::memory_order_relaxed);
     entries_.fetch_add(1, std::memory_order_relaxed);
+    if (meter_ != nullptr) meter_->ChargeMemory(bytes);
     EvictToBudget(shard);
   }
   shard->cv.notify_all();
@@ -244,6 +260,7 @@ void TpCache::EvictOne(Shard* shard) {
   shard->held -= it->second.cost;
   held_.fetch_sub(it->second.cost, std::memory_order_relaxed);
   entries_.fetch_sub(1, std::memory_order_relaxed);
+  if (meter_ != nullptr) meter_->ReleaseMemory(it->second.bytes);
   shard->entries.erase(it);
   shard->lru.pop_back();
 }
@@ -278,10 +295,44 @@ void TpCache::Clear() {
     std::unique_lock<std::mutex> lk = LockShard(shard.get());
     held_.fetch_sub(shard->held, std::memory_order_relaxed);
     entries_.fetch_sub(shard->entries.size(), std::memory_order_relaxed);
+    if (meter_ != nullptr) {
+      for (const auto& [key, entry] : shard->entries) {
+        (void)key;
+        meter_->ReleaseMemory(entry.bytes);
+      }
+    }
     shard->held = 0;
     shard->entries.clear();
     shard->lru.clear();
   }
+}
+
+void TpCache::SetMemoryAccounting(QueryControl* meter,
+                                  uint64_t budget_bytes) {
+  meter_ = meter;
+  byte_budget_ = budget_bytes;
+}
+
+uint64_t TpCache::SpillToFit() {
+  if (meter_ == nullptr || byte_budget_ == 0) return 0;
+  uint64_t released = 0;
+  // Walk the stripes evicting LRU tails until the *shared* meter fits the
+  // budget. Try-lock only: the caller may be the index's spill pass running
+  // under memory pressure mid-query, and blocking on a stripe a loading
+  // thread holds would stall the very query the spill serves.
+  for (auto& shard_ptr : shards_) {
+    if (meter_->memory_used() <= byte_budget_) break;
+    Shard* shard = shard_ptr.get();
+    std::unique_lock<std::mutex> lk(shard->mu, std::try_to_lock);
+    if (!lk.owns_lock()) continue;
+    while (meter_->memory_used() > byte_budget_ && !shard->lru.empty()) {
+      auto it = shard->entries.find(shard->lru.back());
+      released += it->second.bytes;
+      EvictOne(shard);
+      spill_evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return released;
 }
 
 }  // namespace lbr

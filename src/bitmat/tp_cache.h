@@ -14,6 +14,7 @@
 
 #include "bitmat/tp_loader.h"
 #include "util/exec_context.h"
+#include "util/query_control.h"
 
 namespace lbr {
 
@@ -88,6 +89,25 @@ class TpCache {
   /// Clear runs may still insert afterwards.
   void Clear();
 
+  /// Joins the snapshot tier's global memory accounting (DESIGN.md §11):
+  /// every published entry charges its approximate heap bytes to `meter`
+  /// (not owned, must outlive the cache; shared with the mapped
+  /// TripleIndex), and SpillToFit evicts LRU entries until the meter fits
+  /// `budget_bytes`. Call before the cache holds entries.
+  void SetMemoryAccounting(QueryControl* meter, uint64_t budget_bytes);
+
+  /// Evicts LRU entries (coldest-stripe tails, try-lock, never blocking)
+  /// until the shared meter fits the byte budget or the cache is empty.
+  /// Returns bytes released. The index's spill pass runs this first, so
+  /// rebuildable cache entries go before mapped slices.
+  uint64_t SpillToFit();
+
+  /// Entries evicted by SpillToFit (the budget-pressure counter surfaced
+  /// in QueryStats / explain).
+  uint64_t spill_evictions() const {
+    return spill_evictions_.load(std::memory_order_relaxed);
+  }
+
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
   uint64_t held_triples() const {
@@ -123,7 +143,8 @@ class TpCache {
  private:
   struct Entry {
     TpBitMat mat;
-    uint64_t cost = 0;  ///< Set bits at insertion (the budget unit).
+    uint64_t cost = 0;   ///< Set bits at insertion (the budget unit).
+    uint64_t bytes = 0;  ///< Approximate heap bytes (the meter's unit).
     std::list<std::string>::iterator lru_it;
   };
 
@@ -156,6 +177,11 @@ class TpCache {
   void MaybeInjectFault();
 
   uint64_t budget_;
+  /// Snapshot-tier accounting (null = not wired). `meter_` is charged and
+  /// released under the owning shard's lock.
+  QueryControl* meter_ = nullptr;
+  uint64_t byte_budget_ = 0;
+  std::atomic<uint64_t> spill_evictions_{0};
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<uint64_t> held_{0};
   std::atomic<size_t> entries_{0};

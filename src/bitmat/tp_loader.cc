@@ -105,20 +105,23 @@ TpBitMat LoadTpBitMat(const TripleIndex& index, const Dictionary& dict,
     std::optional<uint32_t> p = predicate_id();
     if (sv && ov) {
       // (?a :p ?b): full predicate slice, orientation by the jvar order.
+      // Pin the slice across the copy-out so a concurrent snapshot spill
+      // cannot free the row vectors mid-iteration (mapped mode).
+      TripleIndex::SlicePin pin = p ? index.Slice(*p) : nullptr;
       if (prefer_subject_rows) {
         out.row_kind = DomainKind::kSubject;
         out.col_kind = DomainKind::kObject;
         out.row_var = tp.s.var;
         out.col_var = tp.o.var;
         out.bm = BitMat(index.num_subjects(), index.num_objects());
-        if (p) FillRows(index.SoRows(*p), masks, ctx, &out.bm);
+        if (pin) FillRows(pin->so_rows, masks, ctx, &out.bm);
       } else {
         out.row_kind = DomainKind::kObject;
         out.col_kind = DomainKind::kSubject;
         out.row_var = tp.o.var;
         out.col_var = tp.s.var;
         out.bm = BitMat(index.num_objects(), index.num_subjects());
-        if (p) FillRows(index.OsRows(*p), masks, ctx, &out.bm);
+        if (pin) FillRows(pin->os_rows, masks, ctx, &out.bm);
       }
       if (tp.s.var == tp.o.var) KeepDiagonal(index.num_common(), &out.bm);
       return out;
@@ -129,7 +132,11 @@ TpBitMat LoadTpBitMat(const TripleIndex& index, const Dictionary& dict,
       out.row_var = tp.s.var;
       out.bm = BitMat(index.num_subjects(), 1);
       std::optional<uint32_t> o = object_id();
-      if (p && o) FillColumnVector(index.OsRow(*p, *o), masks, &out.bm);
+      if (p && o) {
+        TripleIndex::SlicePin pin = index.Slice(*p);
+        FillColumnVector(TripleIndex::FindRowIn(pin->os_rows, *o), masks,
+                         &out.bm);
+      }
       return out;
     }
     if (ov) {
@@ -138,15 +145,22 @@ TpBitMat LoadTpBitMat(const TripleIndex& index, const Dictionary& dict,
       out.row_var = tp.o.var;
       out.bm = BitMat(index.num_objects(), 1);
       std::optional<uint32_t> s = subject_id();
-      if (p && s) FillColumnVector(index.SoRow(*p, *s), masks, &out.bm);
+      if (p && s) {
+        TripleIndex::SlicePin pin = index.Slice(*p);
+        FillColumnVector(TripleIndex::FindRowIn(pin->so_rows, *s), masks,
+                         &out.bm);
+      }
       return out;
     }
     // Fully fixed (:s :p :o): a 1x1 existence matrix.
     out.bm = BitMat(1, 1);
     std::optional<uint32_t> s = subject_id();
     std::optional<uint32_t> o = object_id();
-    if (p && s && o && index.SoRow(*p, *s).Test(*o)) {
-      out.bm.SetRow(0, CompressedRow::FromPositions({0}));
+    if (p && s && o) {
+      TripleIndex::SlicePin pin = index.Slice(*p);
+      if (TripleIndex::FindRowIn(pin->so_rows, *s).Test(*o)) {
+        out.bm.SetRow(0, CompressedRow::FromPositions({0}));
+      }
     }
     return out;
   }
@@ -167,7 +181,8 @@ TpBitMat LoadTpBitMat(const TripleIndex& index, const Dictionary& dict,
             (p >= masks.row_mask->size() || !masks.row_mask->Get(p))) {
           continue;
         }
-        const CompressedRow& row = index.SoRow(p, *s);
+        TripleIndex::SlicePin pin = index.Slice(p);
+        const CompressedRow& row = TripleIndex::FindRowIn(pin->so_rows, *s);
         if (row.IsEmpty()) continue;
         if (masks.col_mask != nullptr) {
           SetRowMasked(p, row, *masks.col_mask, scratch.get(), &out.bm);
@@ -193,7 +208,8 @@ TpBitMat LoadTpBitMat(const TripleIndex& index, const Dictionary& dict,
             (p >= masks.row_mask->size() || !masks.row_mask->Get(p))) {
           continue;
         }
-        const CompressedRow& row = index.OsRow(p, *o);
+        TripleIndex::SlicePin pin = index.Slice(p);
+        const CompressedRow& row = TripleIndex::FindRowIn(pin->os_rows, *o);
         if (row.IsEmpty()) continue;
         if (masks.col_mask != nullptr) {
           SetRowMasked(p, row, *masks.col_mask, scratch.get(), &out.bm);
@@ -216,7 +232,8 @@ TpBitMat LoadTpBitMat(const TripleIndex& index, const Dictionary& dict,
           (p >= masks.row_mask->size() || !masks.row_mask->Get(p))) {
         continue;
       }
-      if (index.SoRow(p, *s).Test(*o)) {
+      TripleIndex::SlicePin pin = index.Slice(p);
+      if (TripleIndex::FindRowIn(pin->so_rows, *s).Test(*o)) {
         out.bm.SetRow(p, CompressedRow::FromPositions({0}));
       }
     }

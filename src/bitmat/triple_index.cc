@@ -1,6 +1,7 @@
 #include "bitmat/triple_index.h"
 
 #include <algorithm>
+#include <cstring>
 #include <fstream>
 #include <stdexcept>
 
@@ -34,6 +35,26 @@ void ReadRows(std::istream* in,
   }
 }
 
+// Heap bytes of a materialized slice: vector storage plus owned payload.
+// Views into the map own no payload, so a freshly materialized mapped
+// slice costs ~sizeof(pair) per row regardless of payload size.
+uint64_t SliceHeapBytes(const TripleIndex::PredSlice& slice) {
+  uint64_t bytes = sizeof(TripleIndex::PredSlice);
+  bytes += slice.so_rows.capacity() *
+           sizeof(std::pair<uint32_t, CompressedRow>);
+  bytes += slice.os_rows.capacity() *
+           sizeof(std::pair<uint32_t, CompressedRow>);
+  for (const auto& [id, row] : slice.so_rows) {
+    (void)id;
+    bytes += row.OwnedHeapBytes();
+  }
+  for (const auto& [id, row] : slice.os_rows) {
+    (void)id;
+    bytes += row.OwnedHeapBytes();
+  }
+  return bytes;
+}
+
 }  // namespace
 
 TripleIndex TripleIndex::Build(const Graph& graph) {
@@ -45,6 +66,8 @@ TripleIndex TripleIndex::Build(const Graph& graph) {
   idx.num_common_ = dict.num_common();
   idx.num_triples_ = graph.num_triples();
   idx.pred_counts_.assign(idx.num_predicates_, 0);
+  idx.non_empty_s_.resize(idx.num_predicates_);
+  idx.non_empty_o_.resize(idx.num_predicates_);
   idx.preds_.resize(idx.num_predicates_);
 
   // Bucket triples by predicate in both orientations, then compress.
@@ -56,9 +79,9 @@ TripleIndex TripleIndex::Build(const Graph& graph) {
   }
 
   for (uint32_t p = 0; p < idx.num_predicates_; ++p) {
-    PredSlice& slice = idx.preds_[p];
-    slice.non_empty_s.Resize(idx.num_subjects_);
-    slice.non_empty_o.Resize(idx.num_objects_);
+    auto slice = std::make_shared<PredSlice>();
+    idx.non_empty_s_[p].Resize(idx.num_subjects_);
+    idx.non_empty_o_[p].Resize(idx.num_objects_);
     auto& pairs = by_pred[p];
 
     // S-O orientation: group by subject. Input triples are (S,P,O)-sorted,
@@ -71,8 +94,8 @@ TripleIndex TripleIndex::Build(const Graph& graph) {
         cols.push_back(pairs[i].second);
         ++i;
       }
-      slice.so_rows.emplace_back(s, CompressedRow::FromPositions(cols));
-      slice.non_empty_s.Set(s);
+      slice->so_rows.emplace_back(s, CompressedRow::FromPositions(cols));
+      idx.non_empty_s_[p].Set(s);
     }
 
     // O-S orientation: re-sort by (o, s).
@@ -88,16 +111,17 @@ TripleIndex TripleIndex::Build(const Graph& graph) {
         cols.push_back(pairs[i].first);
         ++i;
       }
-      slice.os_rows.emplace_back(o, CompressedRow::FromPositions(cols));
-      slice.non_empty_o.Set(o);
+      slice->os_rows.emplace_back(o, CompressedRow::FromPositions(cols));
+      idx.non_empty_o_[p].Set(o);
     }
     pairs.clear();
     pairs.shrink_to_fit();
+    idx.preds_[p] = std::move(slice);
   }
   return idx;
 }
 
-const CompressedRow& TripleIndex::FindRow(
+const CompressedRow& TripleIndex::FindRowIn(
     const std::vector<std::pair<uint32_t, CompressedRow>>& rows, uint32_t id) {
   auto it = std::lower_bound(
       rows.begin(), rows.end(), id,
@@ -106,20 +130,212 @@ const CompressedRow& TripleIndex::FindRow(
   return it->second;
 }
 
+const TripleIndex::PredSlice& TripleIndex::EnsureSlice(uint32_t p) const {
+  if (backing_ == nullptr) return *preds_[p];
+  // Mapped mode: materialize (or touch) under the per-predicate lock. The
+  // returned reference stays valid until the slice is spilled — preds_[p]
+  // keeps a strong ref until then.
+  return *MaterializeSlice(p);
+}
+
+TripleIndex::SlicePin TripleIndex::Slice(uint32_t p) const {
+  if (p >= num_predicates_) return nullptr;
+  if (backing_ == nullptr) return preds_[p];
+  return MaterializeSlice(p);
+}
+
+void TripleIndex::DecodeSliceRows(
+    const SliceLoc& loc, const char* what,
+    std::vector<std::pair<uint32_t, CompressedRow>>* rows) const {
+  const uint8_t* base = backing_->file->data();
+  const uint64_t dir_bytes =
+      static_cast<uint64_t>(loc.dir_rows) * sizeof(SnapRowDirEntry);
+  // Lazy integrity: verify the directory and extent checksums on every
+  // materialization (re-materializing after a spill re-reads from disk, so
+  // re-verifying is the honest contract).
+  if (Crc64(base + loc.dir_off, dir_bytes) != loc.dir_crc) {
+    throw SnapshotError(SnapshotErrorCode::kChecksum,
+                        std::string("row directory of ") + what + " in " +
+                            backing_->file->path());
+  }
+  if (Crc64(base + loc.extent_off, loc.extent_words * 4) != loc.extent_crc) {
+    throw SnapshotError(SnapshotErrorCode::kChecksum,
+                        std::string("extent of ") + what + " in " +
+                            backing_->file->path());
+  }
+  rows->clear();
+  rows->reserve(loc.dir_rows);
+  const uint32_t* extent =
+      reinterpret_cast<const uint32_t*>(base + loc.extent_off);
+  for (uint32_t i = 0; i < loc.dir_rows; ++i) {
+    SnapRowDirEntry e = ReadPod<SnapRowDirEntry>(
+        base, loc.dir_off + i * sizeof(SnapRowDirEntry));
+    if (e.payload_off_words + e.payload_words > loc.extent_words ||
+        e.encoding > static_cast<uint8_t>(CompressedRow::Encoding::kRuns)) {
+      throw SnapshotError(SnapshotErrorCode::kCorrupt,
+                          std::string("row directory entry of ") + what +
+                              " out of bounds in " + backing_->file->path());
+    }
+    rows->emplace_back(
+        e.id, CompressedRow::View(
+                  static_cast<CompressedRow::Encoding>(e.encoding),
+                  e.first_bit != 0, e.count, extent + e.payload_off_words,
+                  e.payload_words));
+  }
+}
+
+std::shared_ptr<TripleIndex::PredSlice> TripleIndex::MaterializeSlice(
+    uint32_t p) const {
+  Backing& b = *backing_;
+  b.last_touch[p].store(
+      b.touch_seq.fetch_add(1, std::memory_order_relaxed) + 1,
+      std::memory_order_relaxed);
+  std::shared_ptr<PredSlice> result;
+  {
+    std::lock_guard<std::mutex> lk(b.mu[p]);
+    if (preds_[p] != nullptr) return preds_[p];
+    auto slice = std::make_shared<PredSlice>();
+    DecodeSliceRows(b.so_loc[p], "S-O slice", &slice->so_rows);
+    DecodeSliceRows(b.os_loc[p], "O-S slice", &slice->os_rows);
+    slice->heap_bytes = SliceHeapBytes(*slice);
+    if (b.meter != nullptr) b.meter->ChargeMemory(slice->heap_bytes);
+    b.resident_bytes.fetch_add(slice->heap_bytes, std::memory_order_relaxed);
+    b.materializations.fetch_add(1, std::memory_order_relaxed);
+    preds_[p] = slice;
+    b.resident[p].store(1, std::memory_order_relaxed);
+    result = std::move(slice);
+  }
+  // Budget enforcement outside mu[p] (the spiller try_locks slice mutexes,
+  // so holding one here would only shrink its victim pool). `result` keeps
+  // this slice's use_count above 1, so the pass can never reclaim the
+  // slice we are about to hand out.
+  if (b.budget_bytes > 0 && b.meter != nullptr &&
+      b.meter->memory_used() > b.budget_bytes) {
+    SpillToFit();
+  }
+  return result;
+}
+
+uint64_t TripleIndex::SpillToFit() const {
+  if (backing_ == nullptr) return 0;
+  Backing& b = *backing_;
+  if (b.budget_bytes == 0 || b.meter == nullptr) return 0;
+  std::unique_lock<std::mutex> spill_lk(b.spill_mu, std::try_to_lock);
+  if (!spill_lk.owns_lock()) return 0;  // another thread is already spilling
+  uint64_t released = 0;
+  // Cold cache entries go first (the Database wires TpCache eviction here):
+  // they are rebuildable from slices, slices are rebuildable from the map.
+  if (b.meter->memory_used() > b.budget_bytes && b.spill_hook) {
+    released += b.spill_hook();
+  }
+  // Bounded stall counter: consecutive victim attempts that found the
+  // slice pinned or its lock contended. Once every candidate has been
+  // tried fruitlessly, the remaining residency is all pinned working set
+  // and the pass yields (the budget is best-effort under pins).
+  uint32_t stalls = 0;
+  while (b.meter->memory_used() > b.budget_bytes &&
+         stalls <= num_predicates_) {
+    // Pick the coldest materialized slice (lock-free flag scan).
+    uint32_t victim = num_predicates_;
+    uint64_t victim_touch = ~0ull;
+    for (uint32_t p = 0; p < num_predicates_; ++p) {
+      if (b.resident[p].load(std::memory_order_relaxed) == 0) continue;
+      uint64_t t = b.last_touch[p].load(std::memory_order_relaxed);
+      if (t < victim_touch) {
+        victim_touch = t;
+        victim = p;
+      }
+    }
+    if (victim == num_predicates_) break;  // nothing materialized
+    std::unique_lock<std::mutex> lk(b.mu[victim], std::try_to_lock);
+    // use_count is stable here: new pins require mu[victim], which we
+    // hold; concurrent pin releases only make a spillable slice look
+    // pinned (conservative skip).
+    if (lk.owns_lock() && preds_[victim] != nullptr &&
+        preds_[victim].use_count() == 1) {
+      uint64_t bytes = preds_[victim]->heap_bytes;
+      preds_[victim].reset();
+      b.resident[victim].store(0, std::memory_order_relaxed);
+      b.meter->ReleaseMemory(bytes);
+      b.resident_bytes.fetch_sub(bytes, std::memory_order_relaxed);
+      b.spills.fetch_add(1, std::memory_order_relaxed);
+      released += bytes;
+      stalls = 0;
+      // Return the extent pages to the file: the "spill back to the mapped
+      // extents" half of the contract. Clean read-only pages just drop;
+      // the next materialization faults them back from disk.
+      const SliceLoc& so = b.so_loc[victim];
+      const SliceLoc& os = b.os_loc[victim];
+      b.file->Advise(so.extent_off, so.extent_words * 4,
+                     MappedFile::Advice::kDontNeed);
+      b.file->Advise(os.extent_off, os.extent_words * 4,
+                     MappedFile::Advice::kDontNeed);
+    } else {
+      // Pinned or contended: stamp it recently-used so the next scan tries
+      // the next-coldest candidate instead of retrying this one.
+      b.last_touch[victim].store(
+          b.touch_seq.fetch_add(1, std::memory_order_relaxed) + 1,
+          std::memory_order_relaxed);
+      ++stalls;
+    }
+  }
+  return released;
+}
+
+void TripleIndex::SetMemoryBudget(uint64_t bytes, QueryControl* meter) {
+  if (backing_ == nullptr) return;
+  backing_->budget_bytes = bytes;
+  backing_->meter = meter != nullptr ? meter : &backing_->own_meter;
+  // Late installation: slices materialized before the budget was set (e.g.
+  // by stats collection) join the accounting now.
+  uint64_t resident =
+      backing_->resident_bytes.load(std::memory_order_relaxed);
+  if (resident > 0) backing_->meter->ChargeMemory(resident);
+}
+
+void TripleIndex::SetSpillHook(std::function<uint64_t()> hook) {
+  if (backing_ == nullptr) return;
+  backing_->spill_hook = std::move(hook);
+}
+
+void TripleIndex::Prefetch(uint32_t p) const {
+  if (backing_ == nullptr || p >= num_predicates_) return;
+  Backing& b = *backing_;
+  {
+    // Resident already? Touch it so the prefetch also refreshes LRU.
+    std::lock_guard<std::mutex> lk(b.mu[p]);
+    if (preds_[p] != nullptr) return;
+  }
+  const SliceLoc& so = b.so_loc[p];
+  const SliceLoc& os = b.os_loc[p];
+  b.file->Advise(so.dir_off,
+                 static_cast<uint64_t>(so.dir_rows) * sizeof(SnapRowDirEntry),
+                 MappedFile::Advice::kWillNeed);
+  b.file->Advise(so.extent_off, so.extent_words * 4,
+                 MappedFile::Advice::kWillNeed);
+  b.file->Advise(os.dir_off,
+                 static_cast<uint64_t>(os.dir_rows) * sizeof(SnapRowDirEntry),
+                 MappedFile::Advice::kWillNeed);
+  b.file->Advise(os.extent_off, os.extent_words * 4,
+                 MappedFile::Advice::kWillNeed);
+  b.prefetches.fetch_add(1, std::memory_order_relaxed);
+}
+
 const CompressedRow& TripleIndex::SoRow(uint32_t p, uint32_t s) const {
   if (p >= num_predicates_) return kEmptyRow;
-  return FindRow(preds_[p].so_rows, s);
+  return FindRowIn(EnsureSlice(p).so_rows, s);
 }
 
 const CompressedRow& TripleIndex::OsRow(uint32_t p, uint32_t o) const {
   if (p >= num_predicates_) return kEmptyRow;
-  return FindRow(preds_[p].os_rows, o);
+  return FindRowIn(EnsureSlice(p).os_rows, o);
 }
 
 BitMat TripleIndex::PoBitMat(uint32_t s) const {
   BitMat bm(num_predicates_, num_objects_);
   for (uint32_t p = 0; p < num_predicates_; ++p) {
-    const CompressedRow& row = SoRow(p, s);
+    SlicePin pin = Slice(p);
+    const CompressedRow& row = FindRowIn(pin->so_rows, s);
     if (!row.IsEmpty()) bm.SetRow(p, row);
   }
   return bm;
@@ -128,7 +344,8 @@ BitMat TripleIndex::PoBitMat(uint32_t s) const {
 BitMat TripleIndex::PsBitMat(uint32_t o) const {
   BitMat bm(num_predicates_, num_subjects_);
   for (uint32_t p = 0; p < num_predicates_; ++p) {
-    const CompressedRow& row = OsRow(p, o);
+    SlicePin pin = Slice(p);
+    const CompressedRow& row = FindRowIn(pin->os_rows, o);
     if (!row.IsEmpty()) bm.SetRow(p, row);
   }
   return bm;
@@ -137,15 +354,16 @@ BitMat TripleIndex::PsBitMat(uint32_t o) const {
 TripleIndex::SizeReport TripleIndex::ComputeSizeReport() const {
   SizeReport report;
   uint64_t rle_so = 0, rle_os = 0;
-  for (const PredSlice& slice : preds_) {
-    for (const auto& [id, row] : slice.so_rows) {
+  for (uint32_t p = 0; p < num_predicates_; ++p) {
+    SlicePin pin = Slice(p);
+    for (const auto& [id, row] : pin->so_rows) {
       (void)id;
       report.so_bytes += row.PayloadBytes();
       rle_so +=
           CompressedRow::RleOnlyFromPositions(row.SetBits()).PayloadBytes();
       ++report.num_rows;
     }
-    for (const auto& [id, row] : slice.os_rows) {
+    for (const auto& [id, row] : pin->os_rows) {
       (void)id;
       report.os_bytes += row.PayloadBytes();
       rle_os +=
@@ -168,8 +386,9 @@ void TripleIndex::WriteTo(std::ostream* out) const {
   out->write(reinterpret_cast<const char*>(&num_triples_), 8);
   for (uint32_t p = 0; p < num_predicates_; ++p) {
     out->write(reinterpret_cast<const char*>(&pred_counts_[p]), 8);
-    WriteRows(preds_[p].so_rows, out);
-    WriteRows(preds_[p].os_rows, out);
+    SlicePin pin = Slice(p);
+    WriteRows(pin->so_rows, out);
+    WriteRows(pin->os_rows, out);
   }
 }
 
@@ -186,22 +405,25 @@ TripleIndex TripleIndex::ReadFrom(std::istream* in) {
   in->read(reinterpret_cast<char*>(&idx.num_common_), 4);
   in->read(reinterpret_cast<char*>(&idx.num_triples_), 8);
   idx.pred_counts_.resize(idx.num_predicates_);
+  idx.non_empty_s_.resize(idx.num_predicates_);
+  idx.non_empty_o_.resize(idx.num_predicates_);
   idx.preds_.resize(idx.num_predicates_);
   for (uint32_t p = 0; p < idx.num_predicates_; ++p) {
     in->read(reinterpret_cast<char*>(&idx.pred_counts_[p]), 8);
-    PredSlice& slice = idx.preds_[p];
-    ReadRows(in, &slice.so_rows);
-    ReadRows(in, &slice.os_rows);
-    slice.non_empty_s.Resize(idx.num_subjects_);
-    slice.non_empty_o.Resize(idx.num_objects_);
-    for (const auto& [id, row] : slice.so_rows) {
+    auto slice = std::make_shared<PredSlice>();
+    ReadRows(in, &slice->so_rows);
+    ReadRows(in, &slice->os_rows);
+    idx.non_empty_s_[p].Resize(idx.num_subjects_);
+    idx.non_empty_o_[p].Resize(idx.num_objects_);
+    for (const auto& [id, row] : slice->so_rows) {
       (void)row;
-      slice.non_empty_s.Set(id);
+      idx.non_empty_s_[p].Set(id);
     }
-    for (const auto& [id, row] : slice.os_rows) {
+    for (const auto& [id, row] : slice->os_rows) {
       (void)row;
-      slice.non_empty_o.Set(id);
+      idx.non_empty_o_[p].Set(id);
     }
+    idx.preds_[p] = std::move(slice);
   }
   return idx;
 }

@@ -66,6 +66,11 @@ void Database::Save(const std::string& path) const {
 }
 
 Database Database::Open(const std::string& path, EngineOptions options) {
+  // Magic sniff: snapshot files dispatch to the mapped opener so existing
+  // Open() call sites (the shell, tools) transparently gain lazy loading.
+  if (SnapshotIO::SniffMagic(path)) {
+    return OpenSnapshot(path, std::move(options));
+  }
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("Database: cannot open " + path);
   char magic[8];
@@ -78,6 +83,42 @@ Database Database::Open(const std::string& path, EngineOptions options) {
   db.index_ = std::make_unique<TripleIndex>(TripleIndex::ReadFrom(&in));
   if (!in) throw std::runtime_error("Database: truncated file " + path);
   db.InitEngine(options);
+  return db;
+}
+
+void Database::SaveSnapshot(const std::string& path) const {
+  SnapshotIO::Write(*dict_, *index_, *stats_, path);
+}
+
+Database Database::OpenSnapshot(const std::string& path, EngineOptions options,
+                                SnapshotOptions snap) {
+  SnapshotIO::OpenResult opened = SnapshotIO::Open(path, snap);
+  Database db;
+  db.dict_ = std::move(opened.dict);
+  db.index_ = std::move(opened.index);
+  db.stats_ = std::move(opened.stats);
+
+  options.predicate_stats = db.stats_.get();
+  options.snapshot_prefetch = snap.prefetch;
+  db.engine_ = std::make_unique<Engine>(db.index_.get(), db.dict_.get(),
+                                        options);
+  if (snap.memory_budget_bytes > 0) {
+    // One meter, two tiers: materialized index slices and TP-cache entries
+    // charge the same account; the index's spill pass drains cache entries
+    // first (rebuildable from slices), then its own cold slices
+    // (rebuildable from the map).
+    db.store_meter_ = std::make_unique<QueryControl>();
+    db.index_->SetMemoryBudget(snap.memory_budget_bytes,
+                               db.store_meter_.get());
+    std::shared_ptr<TpCache> cache = db.engine_->shared_tp_cache();
+    cache->SetMemoryAccounting(db.store_meter_.get(),
+                               snap.memory_budget_bytes);
+    std::weak_ptr<TpCache> weak_cache = cache;
+    db.index_->SetSpillHook([weak_cache]() -> uint64_t {
+      std::shared_ptr<TpCache> c = weak_cache.lock();
+      return c != nullptr ? c->SpillToFit() : 0;
+    });
+  }
   return db;
 }
 

@@ -8,6 +8,7 @@
 #include "bitmat/triple_index.h"
 #include "core/engine.h"
 #include "core/predicate_stats.h"
+#include "core/snapshot.h"
 #include "rdf/graph.h"
 
 namespace lbr {
@@ -32,11 +33,29 @@ class Database {
   static Database BuildFromNTriples(const std::string& path,
                                     EngineOptions options = {});
 
-  /// Saves dictionary + index as one file.
+  /// Saves dictionary + index as one file (the legacy eager format).
   void Save(const std::string& path) const;
 
-  /// Opens a previously saved database.
+  /// Opens a previously saved database. Sniffs the magic: legacy files
+  /// load eagerly as before; snapshot files (SaveSnapshot) open mapped with
+  /// default SnapshotOptions.
   static Database Open(const std::string& path, EngineOptions options = {});
+
+  /// Saves the database as a page-organized mmap-ready snapshot
+  /// (DESIGN.md §11): dictionary + stats + row directories + page-aligned
+  /// payload extents, all checksummed. Works from either backend.
+  void SaveSnapshot(const std::string& path) const;
+
+  /// Opens a snapshot written by SaveSnapshot: the file is mapped, only
+  /// metadata is decoded eagerly, and predicate slices materialize lazily
+  /// on first touch — the first query pays only for the predicates it
+  /// uses. `snap.memory_budget_bytes` bounds the resident heap of
+  /// materialized slices plus TP-cache entries under one shared meter;
+  /// exceeding it spills cold predicates back to their mapped extents.
+  /// Throws SnapshotError (fail-closed) on any malformed input.
+  static Database OpenSnapshot(const std::string& path,
+                               EngineOptions options = {},
+                               SnapshotOptions snap = {});
 
   const Dictionary& dict() const { return *dict_; }
   const TripleIndex& index() const { return *index_; }
@@ -78,6 +97,11 @@ class Database {
   std::unique_ptr<Dictionary> dict_;
   std::unique_ptr<TripleIndex> index_;
   std::unique_ptr<PredicateStats> stats_;
+  /// The snapshot tier's shared memory meter (mapped databases with a
+  /// budget): charged by the index's materialized slices and the TP cache's
+  /// entries, drained by their spill passes. Budget stays 0 — it is an
+  /// accountant, never an aborter.
+  std::unique_ptr<QueryControl> store_meter_;
   std::unique_ptr<Engine> engine_;
 };
 

@@ -254,6 +254,18 @@ Engine::BranchResult Engine::ExecuteBranchPlan(
 
   GlobalIds ids = GlobalIds::FromDictionary(*dict_);
 
+  // Mapped-snapshot readahead: hint the kernel at every fixed predicate the
+  // load order is about to touch, so later TPs' extents fault in from disk
+  // while earlier TPs decode (DESIGN.md §11). No-op on heap indexes and on
+  // already-resident slices.
+  if (options_.snapshot_prefetch && index_->mapped()) {
+    for (int tp_id : plan.load_order) {
+      const TriplePattern& tp = tps[static_cast<size_t>(tp_id)];
+      if (tp.p.is_var) continue;
+      if (auto p = dict_->PredicateId(tp.p.term)) index_->Prefetch(*p);
+    }
+  }
+
   // --- init (Alg 5.1 lines 3-4): load per-TP BitMats in plan load order
   // with active pruning from already-loaded master/peer TPs.
   Stopwatch init_watch;
@@ -587,6 +599,9 @@ uint64_t Engine::ExecutePlanned(const CompiledPlan& plan,
   const uint64_t fold_hits0 = exec_ctx_.fold_cache_hits();
   const uint64_t fold_misses0 = exec_ctx_.fold_cache_misses();
   const uint64_t fold_once0 = exec_ctx_.fold_once_publishes();
+  const uint64_t snap_mat0 = index_->snapshot_materializations();
+  const uint64_t snap_spill0 = index_->snapshot_spills();
+  const uint64_t snap_pref0 = index_->snapshot_prefetches();
 
   std::vector<RawRow> all_rows;
   for (size_t bi = 0; bi < plan.branches.size(); ++bi) {
@@ -608,6 +623,12 @@ uint64_t Engine::ExecutePlanned(const CompiledPlan& plan,
   st->fold_cache_hits = exec_ctx_.fold_cache_hits() - fold_hits0;
   st->fold_cache_misses = exec_ctx_.fold_cache_misses() - fold_misses0;
   st->fold_once_publishes = exec_ctx_.fold_once_publishes() - fold_once0;
+  st->snapshot_materializations =
+      index_->snapshot_materializations() - snap_mat0;
+  st->snapshot_spills = index_->snapshot_spills() - snap_spill0;
+  st->snapshot_prefetches = index_->snapshot_prefetches() - snap_pref0;
+  st->snapshot_resident_bytes = index_->snapshot_resident_bytes();
+  st->snapshot_budget_bytes = index_->snapshot_budget_bytes();
 
   // Rule-3 UNION rewrites can introduce spurious results across branches
   // (footnote 6 of the paper): rows subsumed by another branch's fuller

@@ -83,6 +83,11 @@ struct EngineOptions {
   /// Share a plan cache across engines (the server deployment). Null makes
   /// the engine create a private one.
   std::shared_ptr<PlanCache> plan_cache;
+  /// Mapped-snapshot readahead (DESIGN.md §11): before the TP load loop,
+  /// madvise(WILLNEED) the extents of every fixed predicate in the branch's
+  /// load order, so the kernel faults them in while earlier TPs load. No-op
+  /// on heap-backed indexes.
+  bool snapshot_prefetch = true;
 };
 
 /// Per-query statistics mirroring the evaluation metrics of Section 6.1.
@@ -148,6 +153,16 @@ struct QueryStats {
   uint64_t planning_rewrites = 0;
   uint64_t planning_gosn_builds = 0;
   uint64_t planning_jvar_orders = 0;
+  // Snapshot-tier observability (DESIGN.md §11; all zero on heap-backed
+  // indexes). Materialization/spill/prefetch counts are per-query deltas of
+  // the index-wide counters — like the tp_cache_* deltas, concurrent
+  // queries' traffic is included. resident/budget bytes are end-of-query
+  // levels.
+  uint64_t snapshot_materializations = 0;
+  uint64_t snapshot_spills = 0;
+  uint64_t snapshot_prefetches = 0;
+  uint64_t snapshot_resident_bytes = 0;
+  uint64_t snapshot_budget_bytes = 0;
 };
 
 /// A fully decoded result table (SELECT projection applied).

@@ -155,6 +155,17 @@ std::string ExplainCacheStats(const QueryStats& stats) {
        << " contended lock(s), " << stats.tp_cache_flight_waits
        << " single-flight wait(s)\n";
   }
+  if (stats.snapshot_materializations > 0 || stats.snapshot_spills > 0 ||
+      stats.snapshot_resident_bytes > 0) {
+    os << "  snapshot: " << stats.snapshot_materializations
+       << " materialization(s), " << stats.snapshot_spills << " spill(s), "
+       << stats.snapshot_prefetches << " prefetch(es), "
+       << stats.snapshot_resident_bytes << " resident byte(s)";
+    if (stats.snapshot_budget_bytes > 0) {
+      os << " / " << stats.snapshot_budget_bytes << " budget";
+    }
+    os << "\n";
+  }
   if (stats.plan_cache_hits > 0 || stats.plan_cache_misses > 0) {
     os << "  plan cache: " << stats.plan_cache_hits << " hit(s), "
        << stats.plan_cache_misses << " miss(es)\n";

@@ -1,8 +1,11 @@
 #include "core/predicate_stats.h"
 
 #include <algorithm>
+#include <istream>
 #include <numeric>
+#include <ostream>
 #include <sstream>
+#include <stdexcept>
 
 namespace lbr {
 
@@ -51,6 +54,40 @@ std::string PredicateStats::Summary(const Dictionary& dict,
         << " fan-in=" << st.object_fan_in << "\n";
   }
   return out.str();
+}
+
+void PredicateStats::WriteTo(std::ostream* out) const {
+  uint32_t np = static_cast<uint32_t>(preds_.size());
+  out->write(reinterpret_cast<const char*>(&np), 4);
+  out->write(reinterpret_cast<const char*>(&total_triples_), 8);
+  out->write(reinterpret_cast<const char*>(&num_subjects_), 4);
+  out->write(reinterpret_cast<const char*>(&num_objects_), 4);
+  for (const PredStat& st : preds_) {
+    out->write(reinterpret_cast<const char*>(&st.triples), 8);
+    out->write(reinterpret_cast<const char*>(&st.distinct_subjects), 4);
+    out->write(reinterpret_cast<const char*>(&st.distinct_objects), 4);
+    out->write(reinterpret_cast<const char*>(&st.subject_fan_out), 8);
+    out->write(reinterpret_cast<const char*>(&st.object_fan_in), 8);
+  }
+}
+
+PredicateStats PredicateStats::ReadFrom(std::istream* in) {
+  PredicateStats stats;
+  uint32_t np = 0;
+  in->read(reinterpret_cast<char*>(&np), 4);
+  in->read(reinterpret_cast<char*>(&stats.total_triples_), 8);
+  in->read(reinterpret_cast<char*>(&stats.num_subjects_), 4);
+  in->read(reinterpret_cast<char*>(&stats.num_objects_), 4);
+  stats.preds_.resize(np);
+  for (PredStat& st : stats.preds_) {
+    in->read(reinterpret_cast<char*>(&st.triples), 8);
+    in->read(reinterpret_cast<char*>(&st.distinct_subjects), 4);
+    in->read(reinterpret_cast<char*>(&st.distinct_objects), 4);
+    in->read(reinterpret_cast<char*>(&st.subject_fan_out), 8);
+    in->read(reinterpret_cast<char*>(&st.object_fan_in), 8);
+  }
+  if (!*in) throw std::runtime_error("PredicateStats: truncated stats");
+  return stats;
 }
 
 }  // namespace lbr

@@ -2,6 +2,7 @@
 #define LBR_CORE_PREDICATE_STATS_H_
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -64,6 +65,12 @@ class PredicateStats {
   /// Human-readable table of the `top_n` largest predicates (by triples),
   /// for the shell's `.predstats` view.
   std::string Summary(const Dictionary& dict, size_t top_n = 10) const;
+
+  /// Binary serialization (the snapshot's stats section, DESIGN.md §11):
+  /// persisting the table lets OpenSnapshot wire the cost planner without
+  /// touching any row payload at open.
+  void WriteTo(std::ostream* out) const;
+  static PredicateStats ReadFrom(std::istream* in);
 
  private:
   std::vector<PredStat> preds_;

@@ -1,6 +1,7 @@
 #include "core/prune.h"
 
 #include <algorithm>
+#include <iterator>
 #include <map>
 #include <set>
 #include <tuple>
@@ -304,29 +305,34 @@ void PruneTriples(const JvarOrder& order, const Gosn& gosn, const Goj& goj,
   const std::vector<int> canon_group = CanonicalPeerGroups(gosn);
 
   if (sched == SemiJoinSched::kWaves) {
-    // Compile each pass into a task DAG and run maximal non-conflicting
-    // waves; the pass boundary is itself a barrier (pass 2 consumes pass
-    // 1's restrictions), so each pass gets its own graph.
+    // Compile BOTH passes into one task DAG and wave-schedule the
+    // concatenation. No barrier at the pass boundary: any pass-2 task that
+    // depends on a pass-1 task's writes conflicts with it by footprint, so
+    // the conflict rule already serializes that pair in serial relative
+    // order — while pass-2 tasks over disjoint TPs overlap pass 1's tail
+    // waves instead of idling behind a full-DAG join. Bit-identical to the
+    // split-graph (and serial) schedule for the same reason waves are:
+    // every conflicting pair keeps its serial order.
     // Dedupe state spans both passes: the top-down pass re-lists the
     // bottom-up pass's semi-joins, and every one whose footprint no task
     // has written since is a no-op the compiler drops up front.
     DedupeState dedupe;
     dedupe.epoch.assign(tps->size(), 0);
-    auto pass = [&](const std::vector<int>& jvar_order) {
-      std::vector<SemiJoinTask> tasks =
-          CompilePass(jvar_order, gosn, goj, canon_group, &dedupe);
-      uint64_t conflicts = 0;
-      std::vector<std::vector<uint32_t>> waves = AssignWaves(tasks, &conflicts);
-      if (sched_stats != nullptr) {
-        sched_stats->tasks += tasks.size();
-        sched_stats->waves += waves.size();
-        sched_stats->conflicts += conflicts;
-      }
-      RunPassWaves(tasks, waves, goj, num_common, tps, ctx, pool);
-    };
-    pass(order.order_bu);
-    pass(order.order_td);
-    if (sched_stats != nullptr) sched_stats->deduped += dedupe.deduped;
+    std::vector<SemiJoinTask> tasks =
+        CompilePass(order.order_bu, gosn, goj, canon_group, &dedupe);
+    std::vector<SemiJoinTask> td_tasks =
+        CompilePass(order.order_td, gosn, goj, canon_group, &dedupe);
+    tasks.insert(tasks.end(), std::make_move_iterator(td_tasks.begin()),
+                 std::make_move_iterator(td_tasks.end()));
+    uint64_t conflicts = 0;
+    std::vector<std::vector<uint32_t>> waves = AssignWaves(tasks, &conflicts);
+    if (sched_stats != nullptr) {
+      sched_stats->tasks += tasks.size();
+      sched_stats->waves += waves.size();
+      sched_stats->conflicts += conflicts;
+      sched_stats->deduped += dedupe.deduped;
+    }
+    RunPassWaves(tasks, waves, goj, num_common, tps, ctx, pool);
     return;
   }
 

@@ -14,17 +14,20 @@ uint64_t EstimateTpCardinality(const TripleIndex& index,
     auto p = dict.PredicateId(tp.p.term);
     if (!p) return 0;
     if (sv && ov) return index.PredicateCardinality(*p);
+    // Pin the slice while reading its rows (mapped-snapshot spill safety).
+    TripleIndex::SlicePin pin = index.Slice(*p);
     if (sv) {
       auto o = dict.ObjectId(tp.o.term);
-      return o ? index.OsRow(*p, *o).Count() : 0;
+      return o ? TripleIndex::FindRowIn(pin->os_rows, *o).Count() : 0;
     }
     if (ov) {
       auto s = dict.SubjectId(tp.s.term);
-      return s ? index.SoRow(*p, *s).Count() : 0;
+      return s ? TripleIndex::FindRowIn(pin->so_rows, *s).Count() : 0;
     }
     auto s = dict.SubjectId(tp.s.term);
     auto o = dict.ObjectId(tp.o.term);
-    return (s && o && index.SoRow(*p, *s).Test(*o)) ? 1 : 0;
+    return (s && o && TripleIndex::FindRowIn(pin->so_rows, *s).Test(*o)) ? 1
+                                                                         : 0;
   }
 
   // Variable predicate: sum across predicates.
@@ -33,7 +36,7 @@ uint64_t EstimateTpCardinality(const TripleIndex& index,
     auto s = dict.SubjectId(tp.s.term);
     if (!s) return 0;
     for (uint32_t p = 0; p < index.num_predicates(); ++p) {
-      total += index.SoRow(p, *s).Count();
+      total += TripleIndex::FindRowIn(index.Slice(p)->so_rows, *s).Count();
     }
     return total;
   }
@@ -41,7 +44,7 @@ uint64_t EstimateTpCardinality(const TripleIndex& index,
     auto o = dict.ObjectId(tp.o.term);
     if (!o) return 0;
     for (uint32_t p = 0; p < index.num_predicates(); ++p) {
-      total += index.OsRow(p, *o).Count();
+      total += TripleIndex::FindRowIn(index.Slice(p)->os_rows, *o).Count();
     }
     return total;
   }
@@ -50,7 +53,9 @@ uint64_t EstimateTpCardinality(const TripleIndex& index,
     auto o = dict.ObjectId(tp.o.term);
     if (!s || !o) return 0;
     for (uint32_t p = 0; p < index.num_predicates(); ++p) {
-      if (index.SoRow(p, *s).Test(*o)) ++total;
+      if (TripleIndex::FindRowIn(index.Slice(p)->so_rows, *s).Test(*o)) {
+        ++total;
+      }
     }
     return total;
   }

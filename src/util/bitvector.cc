@@ -24,6 +24,14 @@ void Bitvector::Clear() {
   std::fill(words_.begin(), words_.end(), 0);
 }
 
+void Bitvector::AssignWords(const uint64_t* words, size_t nwords,
+                            size_t nbits) {
+  size_ = nbits;
+  words_.assign(WordsFor(nbits), 0);
+  std::copy(words, words + std::min(nwords, words_.size()), words_.begin());
+  ZeroTail();
+}
+
 void Bitvector::Fill() {
   std::fill(words_.begin(), words_.end(), ~uint64_t{0});
   ZeroTail();

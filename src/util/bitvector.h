@@ -117,6 +117,11 @@ class Bitvector {
   /// Raw word access (read-only), for serialization and fast bulk ops.
   const std::vector<uint64_t>& words() const { return words_; }
 
+  /// Bulk deserialization: adopts `nwords` raw words as an `nbits`-wide
+  /// vector (missing words read as zero, excess tail bits are cleared to
+  /// keep the zero-tail invariant).
+  void AssignWords(const uint64_t* words, size_t nwords, size_t nbits);
+
  private:
   // Zeroes any bits in the last word beyond size_.
   void ZeroTail();

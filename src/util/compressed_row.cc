@@ -59,6 +59,8 @@ void CompressedRow::EncodeOptimalInto(const std::vector<uint32_t>& positions,
                                       bool allow_positions,
                                       CompressedRow* row) {
   assert(&positions != &row->payload_);
+  row->ext_data_ = nullptr;
+  row->ext_size_ = 0;
   if (positions.empty()) {
     row->encoding_ = Encoding::kEmpty;
     row->first_bit_ = false;
@@ -98,16 +100,35 @@ CompressedRow CompressedRow::RleOnlyFromPositions(
   return EncodeOptimal(positions, /*allow_positions=*/false);
 }
 
+CompressedRow CompressedRow::View(Encoding encoding, bool first_bit,
+                                  uint32_t count, const uint32_t* payload,
+                                  uint32_t payload_words) {
+  CompressedRow row;
+  row.encoding_ = encoding;
+  row.first_bit_ = first_bit;
+  row.count_ = count;
+  if (encoding == Encoding::kEmpty || payload_words == 0) {
+    row.encoding_ = count == 0 ? Encoding::kEmpty : encoding;
+    return row;
+  }
+  row.ext_data_ = payload;
+  row.ext_size_ = payload_words;
+  return row;
+}
+
 bool CompressedRow::Test(uint32_t pos) const {
+  const uint32_t* pd = pdata();
+  const size_t pn = psize();
   switch (encoding_) {
     case Encoding::kEmpty:
       return false;
     case Encoding::kPositions:
-      return std::binary_search(payload_.begin(), payload_.end(), pos);
+      return std::binary_search(pd, pd + pn, pos);
     case Encoding::kRuns: {
       uint32_t cur = 0;
       bool bit = first_bit_;
-      for (uint32_t run : payload_) {
+      for (size_t r = 0; r < pn; ++r) {
+        uint32_t run = pd[r];
         if (pos < cur + run) return bit;
         cur += run;
         bit = !bit;
@@ -119,18 +140,21 @@ bool CompressedRow::Test(uint32_t pos) const {
 }
 
 void CompressedRow::OrInto(Bitvector* out) const {
+  const uint32_t* pd = pdata();
+  const size_t pn = psize();
   switch (encoding_) {
     case Encoding::kEmpty:
       return;
     case Encoding::kPositions:
-      for (uint32_t p : payload_) out->Set(p);
+      for (size_t i = 0; i < pn; ++i) out->Set(pd[i]);
       return;
     case Encoding::kRuns: {
       // Runs decode directly into whole words: a 1-run of length L costs
       // O(L/64), not L bit writes.
       uint64_t pos = 0;
       bool bit = first_bit_;
-      for (uint32_t run : payload_) {
+      for (size_t r = 0; r < pn; ++r) {
+        uint32_t run = pd[r];
         if (bit) out->SetRange(pos, pos + run);
         pos += run;
         bit = !bit;
@@ -142,11 +166,14 @@ void CompressedRow::OrInto(Bitvector* out) const {
 
 void CompressedRow::AppendMaskedPositions(const Bitvector& mask,
                                           std::vector<uint32_t>* out) const {
+  const uint32_t* pd = pdata();
+  const size_t pn = psize();
   switch (encoding_) {
     case Encoding::kEmpty:
       return;
     case Encoding::kPositions:
-      for (uint32_t p : payload_) {
+      for (size_t i = 0; i < pn; ++i) {
+        uint32_t p = pd[i];
         if (p < mask.size() && mask.Get(p)) out->push_back(p);
       }
       return;
@@ -154,7 +181,8 @@ void CompressedRow::AppendMaskedPositions(const Bitvector& mask,
       const uint64_t* words = mask.words().data();
       uint64_t pos = 0;
       bool bit = first_bit_;
-      for (uint32_t run : payload_) {
+      for (size_t r = 0; r < pn; ++r) {
+        uint32_t run = pd[r];
         if (bit) {
           uint64_t end = std::min<uint64_t>(pos + run, mask.size());
           if (pos < end) bitops::AppendSetBitsInRange(words, pos, end, out);
@@ -186,11 +214,14 @@ void CompressedRow::AndWithInPlace(const Bitvector& mask,
 }
 
 bool CompressedRow::IntersectsWith(const Bitvector& mask) const {
+  const uint32_t* pd = pdata();
+  const size_t pn = psize();
   switch (encoding_) {
     case Encoding::kEmpty:
       return false;
     case Encoding::kPositions: {
-      for (uint32_t p : payload_) {
+      for (size_t i = 0; i < pn; ++i) {
+        uint32_t p = pd[i];
         if (p < mask.size() && mask.Get(p)) return true;
       }
       return false;
@@ -199,7 +230,8 @@ bool CompressedRow::IntersectsWith(const Bitvector& mask) const {
       const uint64_t* words = mask.words().data();
       uint64_t pos = 0;
       bool bit = first_bit_;
-      for (uint32_t run : payload_) {
+      for (size_t r = 0; r < pn; ++r) {
+        uint32_t run = pd[r];
         if (bit) {
           uint64_t end = std::min<uint64_t>(pos + run, mask.size());
           if (pos < end && bitops::AnyInRange(words, pos, end)) return true;
@@ -224,22 +256,24 @@ void CompressedRow::IntersectSortedPositions(
       // In-place sorted intersection through the dispatched kernel; the
       // output cursor never passes the read cursor, so out == a is safe.
       size_t kept = bitops::IntersectSortedU32(
-          positions->data(), positions->size(), payload_.data(),
-          payload_.size(), positions->data());
+          positions->data(), positions->size(), pdata(), psize(),
+          positions->data());
       positions->resize(kept);
       return;
     }
     case Encoding::kRuns: {
+      const uint32_t* pd = pdata();
+      const size_t pn = psize();
       size_t kept = 0, ri = 0;
-      uint64_t run_end = payload_.empty() ? 0 : payload_[0];
+      uint64_t run_end = pn == 0 ? 0 : pd[0];
       bool bit = first_bit_;
       for (uint32_t p : *positions) {
-        while (ri < payload_.size() && run_end <= p) {
+        while (ri < pn && run_end <= p) {
           ++ri;
           bit = !bit;
-          if (ri < payload_.size()) run_end += payload_[ri];
+          if (ri < pn) run_end += pd[ri];
         }
-        if (ri == payload_.size()) break;  // implicit trailing zeros
+        if (ri == pn) break;  // implicit trailing zeros
         if (bit) (*positions)[kept++] = p;
       }
       positions->resize(kept);
@@ -253,16 +287,22 @@ bool CompressedRow::IsSubsetOf(const Bitvector& mask) const {
     case Encoding::kEmpty:
       return true;
     case Encoding::kPositions: {
-      for (uint32_t p : payload_) {
+      const uint32_t* pd = pdata();
+      const size_t pn = psize();
+      for (size_t i = 0; i < pn; ++i) {
+        uint32_t p = pd[i];
         if (p >= mask.size() || !mask.Get(p)) return false;
       }
       return true;
     }
     case Encoding::kRuns: {
+      const uint32_t* pd = pdata();
+      const size_t pn = psize();
       const uint64_t* words = mask.words().data();
       uint64_t pos = 0;
       bool bit = first_bit_;
-      for (uint32_t run : payload_) {
+      for (size_t r = 0; r < pn; ++r) {
+        uint32_t run = pd[r];
         if (bit) {
           if (pos + run > mask.size()) return false;  // bits past the mask
           if (!bitops::AllInRange(words, pos, pos + run)) return false;
@@ -288,22 +328,23 @@ std::vector<uint32_t> CompressedRow::SetBits() const {
 }
 
 bool CompressedRow::operator==(const CompressedRow& other) const {
-  // Canonical encodings: equal rows encode identically.
+  // Canonical encodings: equal rows encode identically. Compared through
+  // the payload span so views and owned rows with the same content match.
   return encoding_ == other.encoding_ && first_bit_ == other.first_bit_ &&
-         count_ == other.count_ && payload_ == other.payload_;
+         count_ == other.count_ && psize() == other.psize() &&
+         std::equal(pdata(), pdata() + psize(), other.pdata());
 }
 
 void CompressedRow::WriteTo(std::ostream* out) const {
   uint8_t tag = static_cast<uint8_t>(encoding_);
   uint8_t fb = first_bit_ ? 1 : 0;
-  uint32_t n = static_cast<uint32_t>(payload_.size());
+  uint32_t n = static_cast<uint32_t>(psize());
   out->write(reinterpret_cast<const char*>(&tag), 1);
   out->write(reinterpret_cast<const char*>(&fb), 1);
   out->write(reinterpret_cast<const char*>(&count_), sizeof(count_));
   out->write(reinterpret_cast<const char*>(&n), sizeof(n));
   if (n > 0) {
-    out->write(reinterpret_cast<const char*>(payload_.data()),
-               n * sizeof(uint32_t));
+    out->write(reinterpret_cast<const char*>(pdata()), n * sizeof(uint32_t));
   }
 }
 

@@ -40,8 +40,29 @@ class CompressedRow {
   static CompressedRow RleOnlyFromPositions(
       const std::vector<uint32_t>& positions);
 
+  /// Builds a zero-copy *view* over an externally owned payload (a snapshot
+  /// extent in a memory-mapped file). The row borrows `payload` — the
+  /// caller guarantees the words outlive every copy of the view (snapshot
+  /// extents live as long as the TripleIndex's mapping, so views sliced out
+  /// of them are safe to share, cache, and copy). All read operations work
+  /// identically on views; the first mutating operation (AndWithInPlace
+  /// re-encode) converts the row to owned storage.
+  static CompressedRow View(Encoding encoding, bool first_bit, uint32_t count,
+                            const uint32_t* payload, uint32_t payload_words);
+
+  /// True when the payload is borrowed (see View()).
+  bool is_view() const { return ext_data_ != nullptr; }
+
+  /// Heap bytes owned by this row (0 for views) — the unit of the snapshot
+  /// tier's resident-memory accounting.
+  size_t OwnedHeapBytes() const {
+    return ext_data_ != nullptr ? 0 : payload_.capacity() * sizeof(uint32_t);
+  }
+
   Encoding encoding() const { return encoding_; }
   bool IsEmpty() const { return encoding_ == Encoding::kEmpty; }
+  /// Value of run 0 (kRuns only) — exposed for snapshot serialization.
+  bool first_bit() const { return first_bit_; }
 
   /// Number of set bits.
   uint32_t Count() const { return count_; }
@@ -96,16 +117,19 @@ class CompressedRow {
   /// Calls `fn(pos)` for every set bit, ascending.
   template <typename Fn>
   void ForEachSetBit(Fn&& fn) const {
+    const uint32_t* pd = pdata();
+    const size_t pn = psize();
     switch (encoding_) {
       case Encoding::kEmpty:
         return;
       case Encoding::kPositions:
-        for (uint32_t p : payload_) fn(p);
+        for (size_t i = 0; i < pn; ++i) fn(pd[i]);
         return;
       case Encoding::kRuns: {
         uint32_t pos = 0;
         bool bit = first_bit_;
-        for (uint32_t run : payload_) {
+        for (size_t r = 0; r < pn; ++r) {
+          uint32_t run = pd[r];
           if (bit) {
             for (uint32_t i = 0; i < run; ++i) fn(pos + i);
           }
@@ -118,10 +142,20 @@ class CompressedRow {
   }
 
   /// Bytes used by the payload (the 4-byte integers of the paper's scheme),
-  /// for index-size accounting.
-  size_t PayloadBytes() const { return payload_.size() * sizeof(uint32_t); }
+  /// for index-size accounting. Views count their borrowed words.
+  size_t PayloadBytes() const { return psize() * sizeof(uint32_t); }
   /// Number of payload integers.
-  size_t PayloadInts() const { return payload_.size(); }
+  size_t PayloadInts() const { return psize(); }
+
+  /// Payload span: the owned vector or, for views, the borrowed extent
+  /// words. Every read path decodes through this pair, so views and owned
+  /// rows are indistinguishable to consumers.
+  const uint32_t* pdata() const {
+    return ext_data_ != nullptr ? ext_data_ : payload_.data();
+  }
+  size_t psize() const {
+    return ext_data_ != nullptr ? ext_size_ : payload_.size();
+  }
 
   bool operator==(const CompressedRow& other) const;
   bool operator!=(const CompressedRow& other) const {
@@ -144,6 +178,11 @@ class CompressedRow {
   bool first_bit_ = false;       // Only meaningful for kRuns.
   uint32_t count_ = 0;           // Cached set-bit count.
   std::vector<uint32_t> payload_;
+  // View mode (snapshot extents): non-null borrows `ext_size_` words from
+  // external storage; payload_ stays empty. Copies stay views (the borrow
+  // outlives them by the View() contract); re-encoding clears it.
+  const uint32_t* ext_data_ = nullptr;
+  uint32_t ext_size_ = 0;
 };
 
 }  // namespace lbr

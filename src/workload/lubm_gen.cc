@@ -38,17 +38,16 @@ std::string LubmDepartmentIri(uint32_t university, uint32_t department) {
   return DeptIri(university, department);
 }
 
-std::vector<TermTriple> GenerateLubm(const LubmConfig& cfg) {
-  std::vector<TermTriple> out;
+void GenerateLubm(const LubmConfig& cfg, const LubmSink& sink) {
   Rng rng(cfg.seed);
 
-  auto add = [&out](const std::string& s, const std::string& p,
-                    const std::string& o) {
-    out.push_back(TermTriple{Term::Iri(s), Term::Iri(p), Term::Iri(o)});
+  auto add = [&sink](const std::string& s, const std::string& p,
+                     const std::string& o) {
+    sink(TermTriple{Term::Iri(s), Term::Iri(p), Term::Iri(o)});
   };
-  auto add_lit = [&out](const std::string& s, const std::string& p,
-                        const std::string& o) {
-    out.push_back(TermTriple{Term::Iri(s), Term::Iri(p), Term::Literal(o)});
+  auto add_lit = [&sink](const std::string& s, const std::string& p,
+                         const std::string& o) {
+    sink(TermTriple{Term::Iri(s), Term::Iri(p), Term::Literal(o)});
   };
 
   const char* interests[] = {"databases",  "graphics",  "systems",
@@ -158,6 +157,11 @@ std::vector<TermTriple> GenerateLubm(const LubmConfig& cfg) {
       }
     }
   }
+}
+
+std::vector<TermTriple> GenerateLubm(const LubmConfig& cfg) {
+  std::vector<TermTriple> out;
+  GenerateLubm(cfg, [&out](const TermTriple& t) { out.push_back(t); });
   return out;
 }
 

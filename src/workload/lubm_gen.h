@@ -2,6 +2,7 @@
 #define LBR_WORKLOAD_LUBM_GEN_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "rdf/term.h"
@@ -60,7 +61,20 @@ inline constexpr char kMemberOf[] = "http://lubm/memberOf";
 inline constexpr char kName[] = "http://lubm/name";
 }  // namespace lubm
 
-/// Generates the LUBM-like dataset. Deterministic for a given config.
+/// Streaming sink the generator pushes triples into, one at a time. A sink
+/// never sees a triple twice and sees them in the same deterministic order
+/// the vector API returns them in.
+using LubmSink = std::function<void(const TermTriple&)>;
+
+/// Streaming core: generates the LUBM-like dataset and hands each triple to
+/// `sink` as it is produced, never materializing the whole set. Peak memory
+/// is O(1) in the dataset size, which is what lets the snapshot pipeline
+/// build N-Triples files (or feed a parser) at scales where the vector API
+/// would dominate RSS. Deterministic for a given config.
+void GenerateLubm(const LubmConfig& config, const LubmSink& sink);
+
+/// Generates the LUBM-like dataset as a vector. Wrapper over the streaming
+/// core; identical triples in identical order.
 std::vector<TermTriple> GenerateLubm(const LubmConfig& config);
 
 /// IRI of department `d` of university `u`, for selective test queries

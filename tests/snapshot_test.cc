@@ -1,0 +1,370 @@
+#include "core/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bitmat/snapshot_format.h"
+#include "core/database.h"
+#include "test_util.h"
+#include "util/thread_pool.h"
+#include "workload/dbpedia_gen.h"
+#include "workload/lubm_gen.h"
+#include "workload/query_sets.h"
+#include "workload/uniprot_gen.h"
+
+namespace lbr {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+/// Locates a section by kind straight from the on-disk header, so the
+/// corruption tests hit the intended bytes regardless of layout changes.
+SnapSectionEntry FindSection(const std::string& bytes, uint32_t kind) {
+  const uint8_t* base = reinterpret_cast<const uint8_t*>(bytes.data());
+  for (uint32_t i = 0; i < kSnapNumSections; ++i) {
+    SnapSectionEntry e = ReadPod<SnapSectionEntry>(
+        base, sizeof(SnapHeader) + i * sizeof(SnapSectionEntry));
+    if (e.kind == kind) return e;
+  }
+  ADD_FAILURE() << "section kind " << kind << " not found";
+  return {};
+}
+
+SnapshotErrorCode OpenErrorCode(const std::string& path,
+                                SnapshotOptions snap = {}) {
+  try {
+    Database::OpenSnapshot(path, {}, snap);
+  } catch (const SnapshotError& e) {
+    return e.code();
+  }
+  ADD_FAILURE() << "OpenSnapshot(" << path << ") did not throw";
+  return SnapshotErrorCode::kIo;
+}
+
+Database SmallLubmDb() {
+  LubmConfig cfg;
+  cfg.num_universities = 2;
+  return Database::Build(GenerateLubm(cfg));
+}
+
+/// Saves `heap_db` as a snapshot, reopens it mapped, and requires every
+/// query in `queries` to return the bit-identical result multiset.
+void ExpectRoundTrip(Database& heap_db, const std::vector<BenchQuery>& queries,
+                     const std::string& name) {
+  const std::string path = TempPath(name);
+  heap_db.SaveSnapshot(path);
+  Database snap_db = Database::OpenSnapshot(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(snap_db.index().mapped());
+  ASSERT_FALSE(heap_db.index().mapped());
+  EXPECT_EQ(snap_db.num_triples(), heap_db.num_triples());
+  for (const BenchQuery& q : queries) {
+    SCOPED_TRACE(q.id);
+    EXPECT_EQ(testing::Canonicalize(heap_db.engine().ExecuteToTable(q.sparql)),
+              testing::Canonicalize(snap_db.engine().ExecuteToTable(q.sparql)));
+  }
+}
+
+TEST(SnapshotTest, RoundTripLubm) {
+  Database db = SmallLubmDb();
+  ExpectRoundTrip(db, LubmQueries(), "snap_lubm.snap");
+}
+
+TEST(SnapshotTest, RoundTripUniprot) {
+  UniprotConfig cfg;
+  Database db = Database::Build(GenerateUniprot(cfg));
+  ExpectRoundTrip(db, UniprotQueries(), "snap_uniprot.snap");
+}
+
+TEST(SnapshotTest, RoundTripDbpedia) {
+  DbpediaConfig cfg;
+  Database db = Database::Build(GenerateDbpedia(cfg));
+  ExpectRoundTrip(db, DbpediaQueries(), "snap_dbpedia.snap");
+}
+
+TEST(SnapshotTest, OpenDispatchesOnMagic) {
+  const std::string path = TempPath("snap_sniff.snap");
+  {
+    Database db = SmallLubmDb();
+    db.SaveSnapshot(path);
+  }
+  // Plain Open() must sniff the magic and come back mapped.
+  Database db = Database::Open(path);
+  std::remove(path.c_str());
+  EXPECT_TRUE(db.index().mapped());
+  EXPECT_GT(db.num_triples(), 0u);
+}
+
+TEST(SnapshotTest, StatsSurviveWithoutCollect) {
+  // OpenSnapshot deserializes PredicateStats instead of re-collecting;
+  // the table must match what the heap build derived.
+  Database heap_db = SmallLubmDb();
+  const std::string path = TempPath("snap_stats.snap");
+  heap_db.SaveSnapshot(path);
+  Database snap_db = Database::OpenSnapshot(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(snap_db.predicate_stats().total_triples(),
+            heap_db.predicate_stats().total_triples());
+}
+
+TEST(SnapshotTest, LazyMaterializationIsCountedOncePerPredicate) {
+  Database heap_db = SmallLubmDb();
+  const std::string path = TempPath("snap_lazy.snap");
+  heap_db.SaveSnapshot(path);
+  Database db = Database::OpenSnapshot(path);
+  std::remove(path.c_str());
+
+  const std::string q = LubmQueries()[0].sparql;
+  QueryStats first, second;
+  ResultTable t1 = db.engine().ExecuteToTable(q, &first);
+  ResultTable t2 = db.engine().ExecuteToTable(q, &second);
+  EXPECT_EQ(testing::Canonicalize(t1), testing::Canonicalize(t2));
+  // The first run pays the materializations; with no budget nothing spills,
+  // so the warm run touches only already-resident slices.
+  EXPECT_GT(first.snapshot_materializations, 0u);
+  EXPECT_EQ(second.snapshot_materializations, 0u);
+  EXPECT_EQ(first.snapshot_spills, 0u);
+  EXPECT_GT(first.snapshot_resident_bytes, 0u);
+}
+
+TEST(SnapshotTest, ResaveFromMappedIndex) {
+  // The writer must work from the mapped backend too (materializing each
+  // slice as it streams out): snapshot -> open -> snapshot -> open.
+  Database heap_db = SmallLubmDb();
+  const std::string path1 = TempPath("snap_gen1.snap");
+  const std::string path2 = TempPath("snap_gen2.snap");
+  heap_db.SaveSnapshot(path1);
+  Database gen1 = Database::OpenSnapshot(path1);
+  gen1.SaveSnapshot(path2);
+  Database gen2 = Database::OpenSnapshot(path2);
+  std::remove(path1.c_str());
+  std::remove(path2.c_str());
+  for (const BenchQuery& q : LubmQueries()) {
+    SCOPED_TRACE(q.id);
+    EXPECT_EQ(testing::Canonicalize(heap_db.engine().ExecuteToTable(q.sparql)),
+              testing::Canonicalize(gen2.engine().ExecuteToTable(q.sparql)));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rejection: every malformed input fails closed with a structured code.
+// ---------------------------------------------------------------------------
+
+class SnapshotRejectTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = TempPath("snap_reject.snap");
+    Database db = SmallLubmDb();
+    db.SaveSnapshot(path_);
+    bytes_ = ReadFileBytes(path_);
+    ASSERT_GT(bytes_.size(), kSnapHeaderBytes);
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  /// Rewrites the file with byte `off` flipped.
+  void FlipByte(uint64_t off) {
+    ASSERT_LT(off, bytes_.size());
+    std::string mutated = bytes_;
+    mutated[off] = static_cast<char>(mutated[off] ^ 0x5a);
+    WriteFileBytes(path_, mutated);
+  }
+
+  std::string path_;
+  std::string bytes_;
+};
+
+TEST_F(SnapshotRejectTest, TinyFile) {
+  WriteFileBytes(path_, bytes_.substr(0, 4));
+  EXPECT_EQ(OpenErrorCode(path_), SnapshotErrorCode::kTruncated);
+}
+
+TEST_F(SnapshotRejectTest, BadMagic) {
+  FlipByte(0);
+  EXPECT_EQ(OpenErrorCode(path_), SnapshotErrorCode::kBadMagic);
+}
+
+TEST_F(SnapshotRejectTest, BadVersion) {
+  // The version field sits right after the 8-byte magic; its check runs
+  // before the header crc so the code is specific, not kChecksum.
+  FlipByte(8);
+  EXPECT_EQ(OpenErrorCode(path_), SnapshotErrorCode::kBadVersion);
+}
+
+TEST_F(SnapshotRejectTest, TruncatedBody) {
+  WriteFileBytes(path_, bytes_.substr(0, bytes_.size() * 3 / 4));
+  EXPECT_EQ(OpenErrorCode(path_), SnapshotErrorCode::kTruncated);
+}
+
+TEST_F(SnapshotRejectTest, HeaderCrc) {
+  // A flipped section-table byte keeps magic/version intact but must trip
+  // the header crc before any section is trusted.
+  FlipByte(sizeof(SnapHeader) + 4);
+  EXPECT_EQ(OpenErrorCode(path_), SnapshotErrorCode::kChecksum);
+}
+
+TEST_F(SnapshotRejectTest, DictChecksum) {
+  SnapSectionEntry dict = FindSection(bytes_, kSnapSectionDict);
+  ASSERT_GT(dict.size, 8u);
+  FlipByte(dict.offset + dict.size / 2);
+  EXPECT_EQ(OpenErrorCode(path_), SnapshotErrorCode::kChecksum);
+}
+
+TEST_F(SnapshotRejectTest, MetaChecksum) {
+  SnapSectionEntry meta = FindSection(bytes_, kSnapSectionMeta);
+  ASSERT_GT(meta.size, 8u);
+  FlipByte(meta.offset + meta.size / 2);
+  EXPECT_EQ(OpenErrorCode(path_), SnapshotErrorCode::kChecksum);
+}
+
+TEST_F(SnapshotRejectTest, ExtentChecksumEager) {
+  // verify_extents=true promotes the lazy per-slice checksums to open time.
+  // Corrupt the section densely: a single flipped byte could land in the
+  // inter-slice page padding, which no slice's crc covers (dead bytes).
+  SnapSectionEntry ext = FindSection(bytes_, kSnapSectionExtents);
+  ASSERT_GT(ext.size, 8u);
+  std::string mutated = bytes_;
+  for (uint64_t off = ext.offset; off < ext.offset + ext.size; off += 32) {
+    mutated[off] = static_cast<char>(mutated[off] ^ 0x5a);
+  }
+  WriteFileBytes(path_, mutated);
+  SnapshotOptions snap;
+  snap.verify_extents = true;
+  EXPECT_EQ(OpenErrorCode(path_, snap), SnapshotErrorCode::kChecksum);
+}
+
+TEST_F(SnapshotRejectTest, ExtentChecksumLazy) {
+  // Corrupt the whole extents section: open succeeds (lazy contract), but
+  // the first query to materialize any slice must throw kChecksum.
+  SnapSectionEntry ext = FindSection(bytes_, kSnapSectionExtents);
+  std::string mutated = bytes_;
+  for (uint64_t off = ext.offset; off < ext.offset + ext.size; off += 32) {
+    mutated[off] = static_cast<char>(mutated[off] ^ 0x5a);
+  }
+  WriteFileBytes(path_, mutated);
+  Database db = Database::OpenSnapshot(path_);
+  try {
+    db.engine().ExecuteToTable(LubmQueries()[0].sparql);
+    FAIL() << "query over corrupted extents did not throw";
+  } catch (const SnapshotError& e) {
+    EXPECT_EQ(e.code(), SnapshotErrorCode::kChecksum);
+  }
+}
+
+TEST_F(SnapshotRejectTest, RowDirChecksumLazy) {
+  SnapSectionEntry dir = FindSection(bytes_, kSnapSectionRowDir);
+  std::string mutated = bytes_;
+  for (uint64_t off = dir.offset; off < dir.offset + dir.size; off += 8) {
+    mutated[off] = static_cast<char>(mutated[off] ^ 0x5a);
+  }
+  WriteFileBytes(path_, mutated);
+  Database db = Database::OpenSnapshot(path_);
+  EXPECT_THROW(db.engine().ExecuteToTable(LubmQueries()[0].sparql),
+               SnapshotError);
+}
+
+// ---------------------------------------------------------------------------
+// Budgeted spill: correctness under memory pressure.
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotTest, BudgetedSpillStaysBitIdentical) {
+  Database heap_db = SmallLubmDb();
+  const std::string path = TempPath("snap_budget.snap");
+  heap_db.SaveSnapshot(path);
+
+  // Measure the unbudgeted working set first so the budget is guaranteed
+  // smaller than the full index on any build config.
+  uint64_t full_bytes = 0;
+  {
+    Database db = Database::OpenSnapshot(path);
+    for (const BenchQuery& q : LubmQueries()) {
+      db.engine().ExecuteToTable(q.sparql);
+    }
+    full_bytes = db.index().snapshot_resident_bytes();
+  }
+  ASSERT_GT(full_bytes, 0u);
+
+  SnapshotOptions snap;
+  snap.memory_budget_bytes = full_bytes / 4 + 1;
+  Database db = Database::OpenSnapshot(path, {}, snap);
+  std::remove(path.c_str());
+
+  uint64_t total_spills = 0;
+  for (const BenchQuery& q : LubmQueries()) {
+    SCOPED_TRACE(q.id);
+    QueryStats stats;
+    ResultTable got = db.engine().ExecuteToTable(q.sparql, &stats);
+    EXPECT_EQ(testing::Canonicalize(heap_db.engine().ExecuteToTable(q.sparql)),
+              testing::Canonicalize(got));
+    EXPECT_EQ(stats.snapshot_budget_bytes, snap.memory_budget_bytes);
+    total_spills += stats.snapshot_spills;
+  }
+  // A budget a quarter of the working set cannot hold every predicate: the
+  // sweep must have spilled and re-materialized cold slices.
+  EXPECT_GT(total_spills, 0u);
+}
+
+TEST(SnapshotConcurrencyTest, ParallelQueriesUnderBudget) {
+  Database heap_db = SmallLubmDb();
+  const std::string path = TempPath("snap_conc.snap");
+  heap_db.SaveSnapshot(path);
+
+  std::vector<BenchQuery> queries = LubmQueries();
+  std::vector<std::vector<std::string>> expected;
+  for (const BenchQuery& q : queries) {
+    expected.push_back(
+        testing::Canonicalize(heap_db.engine().ExecuteToTable(q.sparql)));
+  }
+
+  SnapshotOptions snap;
+  snap.memory_budget_bytes = 256 * 1024;
+  Database db = Database::OpenSnapshot(path, {}, snap);
+  std::remove(path.c_str());
+
+  // Hammer materialize/spill from a pool of batch workers (one engine per
+  // slot, sharing the mapped index, the metered TP cache, and the spill
+  // hook); every query must come back heap-identical.
+  std::vector<std::string> stream;
+  std::vector<size_t> stream_qi;
+  for (int rep = 0; rep < 4; ++rep) {
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      stream.push_back(queries[(qi + static_cast<size_t>(rep)) %
+                               queries.size()].sparql);
+      stream_qi.push_back((qi + static_cast<size_t>(rep)) % queries.size());
+    }
+  }
+  ThreadPool pool(4);
+  std::vector<BatchResult> results = db.ExecuteBatch(stream, &pool);
+  ASSERT_EQ(results.size(), stream.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    SCOPED_TRACE(queries[stream_qi[i]].id);
+    ASSERT_TRUE(results[i].ok()) << results[i].error;
+    EXPECT_EQ(testing::Canonicalize(results[i].table),
+              expected[stream_qi[i]]);
+  }
+}
+
+}  // namespace
+}  // namespace lbr

@@ -52,6 +52,16 @@ TEST(LubmGenTest, DeterministicForSeed) {
   EXPECT_EQ(a.back(), b.back());
 }
 
+TEST(LubmGenTest, StreamingSinkMatchesVector) {
+  // The vector API is a wrapper over the streaming core: a sink must see
+  // exactly the same triples in exactly the same order.
+  auto vec = GenerateLubm(TinyLubm());
+  std::vector<TermTriple> streamed;
+  GenerateLubm(TinyLubm(),
+               [&streamed](const TermTriple& t) { streamed.push_back(t); });
+  EXPECT_EQ(vec, streamed);
+}
+
 TEST(LubmGenTest, ScalesWithUniversities) {
   LubmConfig small = TinyLubm();
   LubmConfig large = TinyLubm();
