@@ -243,7 +243,8 @@ int main(int argc, char** argv) {
   std::cerr << "enter SPARQL queries (end with a blank line); "
                "'EXPLAIN <query>' for plans; '.stats', '.format tsv|csv|"
                "table', '.save <path>', '.snapshot <path>', '.batch <path>', '.timeout <ms>', "
-               "'.maxmem <bytes>', '.cancel <ms>', '.predstats', '.quit'\n";
+               "'.maxmem <bytes>', '.cancel <ms>', '.predstats', '.verify', "
+               "'.quit'\n";
 
   std::string buffer;
   std::string line;
@@ -306,6 +307,24 @@ int main(int argc, char** argv) {
       }
       if (text == ".predstats") {
         std::cout << db.predicate_stats().Summary(db.dict());
+        return;
+      }
+      if (text == ".verify") {
+        Database::SnapshotVerifyReport report = db.VerifySnapshot();
+        if (!report.mapped) {
+          std::cout << "verify: heap-backed database, nothing to check\n";
+          return;
+        }
+        std::cout << "verify: " << report.num_predicates << " predicate(s), "
+                  << report.corrupt.size() << " corrupt, "
+                  << report.quarantined.size() << " quarantined"
+                  << (report.ok() ? " -- ok" : "") << "\n";
+        for (uint32_t p : report.corrupt) {
+          std::cout << "  corrupt: predicate " << p << "\n";
+        }
+        for (uint32_t p : report.quarantined) {
+          std::cout << "  quarantined: predicate " << p << "\n";
+        }
         return;
       }
       QueryStats stats;
@@ -378,7 +397,7 @@ int main(int argc, char** argv) {
         line.rfind(".batch ", 0) == 0 ||
         line.rfind(".timeout ", 0) == 0 || line.rfind(".maxmem ", 0) == 0 ||
         line.rfind(".cancel ", 0) == 0 || line == ".predstats" ||
-        StartsWithWord(line, "EXPLAIN")) {
+        line == ".verify" || StartsWithWord(line, "EXPLAIN")) {
       buffer = line;
       run_buffer();
       continue;

@@ -127,12 +127,16 @@ class TpCache {
     return flight_waits_.load(std::memory_order_relaxed);
   }
 
-  /// Fault-injection test hook (also armed by the LBR_FAULT environment
-  /// variable at construction): every `rate`-th single-flight cache load
-  /// throws instead of loading — rate 1 fails every load, 0 disables.
-  /// Exercises the error path of the single-flight protocol: waiters must
-  /// wake, observe no entry, and fall through to a direct load, leaving no
-  /// poisoned entry behind. Thread-safe.
+  /// Legacy per-instance fault-injection hook (also armed by the bare
+  /// LBR_FAULT=<n> environment form at construction; the site:spec syntax
+  /// belongs to util/fault_injection): every `rate`-th single-flight cache
+  /// load of this instance throws a transient FaultInjectedError — rate 1
+  /// fails every load, 0 disables. Loads are wrapped in RetryTransient, so
+  /// rate >= 2 faults are absorbed after a backoff (each attempt still
+  /// counted in faults_injected()); rate 1 exhausts the retry budget and
+  /// surfaces, exercising the error path of the single-flight protocol:
+  /// waiters must wake, observe no entry, and fall through to a direct
+  /// load, leaving no poisoned entry behind. Thread-safe.
   void set_fault_rate(uint32_t rate) {
     fault_rate_.store(rate, std::memory_order_relaxed);
   }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/fault_injection.h"
+
 namespace lbr {
 
 namespace {
@@ -79,9 +81,11 @@ void AlignMaskInto(const Bitvector& src, DomainKind src_kind,
   }
 }
 
-TpBitMat LoadTpBitMat(const TripleIndex& index, const Dictionary& dict,
-                      const TriplePattern& tp, bool prefer_subject_rows,
-                      const ActiveMasks& masks, ExecContext* ctx) {
+namespace {
+
+TpBitMat LoadTpBitMatImpl(const TripleIndex& index, const Dictionary& dict,
+                          const TriplePattern& tp, bool prefer_subject_rows,
+                          const ActiveMasks& masks, ExecContext* ctx) {
   const bool sv = tp.s.is_var, pv = tp.p.is_var, ov = tp.o.is_var;
   if (sv && pv && ov) {
     throw UnsupportedQueryError(
@@ -239,6 +243,20 @@ TpBitMat LoadTpBitMat(const TripleIndex& index, const Dictionary& dict,
     }
   }
   return out;
+}
+
+}  // namespace
+
+TpBitMat LoadTpBitMat(const TripleIndex& index, const Dictionary& dict,
+                      const TriplePattern& tp, bool prefer_subject_rows,
+                      const ActiveMasks& masks, ExecContext* ctx) {
+  // Materialization is a pure read of the index: a transient fault injected
+  // at tp_loader.load (or bubbling up from a slice materialization) leaves
+  // nothing partial behind, so the whole load is safely retryable.
+  return RetryTransient([&] {
+    FaultRegistry::Instance().MaybeInject(FaultSiteId::kTpLoaderLoad);
+    return LoadTpBitMatImpl(index, dict, tp, prefer_subject_rows, masks, ctx);
+  });
 }
 
 }  // namespace lbr

@@ -5,6 +5,8 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "util/fault_injection.h"
+
 namespace lbr {
 
 namespace {
@@ -52,6 +54,8 @@ uint64_t SliceHeapBytes(const TripleIndex::PredSlice& slice) {
     (void)id;
     bytes += row.OwnedHeapBytes();
   }
+  bytes += slice.so_extent_copy.capacity() * sizeof(uint32_t);
+  bytes += slice.os_extent_copy.capacity() * sizeof(uint32_t);
   return bytes;
 }
 
@@ -146,30 +150,53 @@ TripleIndex::SlicePin TripleIndex::Slice(uint32_t p) const {
 
 void TripleIndex::DecodeSliceRows(
     const SliceLoc& loc, const char* what,
-    std::vector<std::pair<uint32_t, CompressedRow>>* rows) const {
+    std::vector<std::pair<uint32_t, CompressedRow>>* rows,
+    std::vector<uint32_t>* extent_copy) const {
   const uint8_t* base = backing_->file->data();
   const uint64_t dir_bytes =
       static_cast<uint64_t>(loc.dir_rows) * sizeof(SnapRowDirEntry);
+  const uint8_t* dir = base + loc.dir_off;
+  const uint32_t* extent =
+      reinterpret_cast<const uint32_t*>(base + loc.extent_off);
+  std::vector<uint8_t> dir_copy;
+  if (extent_copy != nullptr) {
+    // Paranoid mode: pread both regions into heap buffers and verify/decode
+    // the copies — a storage-level fault surfaces as a clean pread error or
+    // checksum mismatch here, never a SIGBUS on a later mapped access.
+    dir_copy.resize(dir_bytes);
+    if (dir_bytes > 0) {
+      backing_->file->ReadAt(loc.dir_off, dir_bytes, dir_copy.data());
+    }
+    dir = dir_copy.data();
+    extent_copy->resize(loc.extent_words);
+    if (loc.extent_words > 0) {
+      backing_->file->ReadAt(loc.extent_off, loc.extent_words * 4,
+                             extent_copy->data());
+    }
+    extent = extent_copy->data();
+  }
   // Lazy integrity: verify the directory and extent checksums on every
   // materialization (re-materializing after a spill re-reads from disk, so
-  // re-verifying is the honest contract).
-  if (Crc64(base + loc.dir_off, dir_bytes) != loc.dir_crc) {
+  // re-verifying is the honest contract). The index.checksum fault site
+  // forces the mismatch path — how tests exercise quarantine without
+  // corrupting a real file.
+  const bool forced =
+      FaultRegistry::Instance().ShouldInject(FaultSiteId::kIndexChecksum);
+  if (forced || Crc64(dir, dir_bytes) != loc.dir_crc) {
     throw SnapshotError(SnapshotErrorCode::kChecksum,
                         std::string("row directory of ") + what + " in " +
                             backing_->file->path());
   }
-  if (Crc64(base + loc.extent_off, loc.extent_words * 4) != loc.extent_crc) {
+  if (Crc64(extent, loc.extent_words * 4) != loc.extent_crc) {
     throw SnapshotError(SnapshotErrorCode::kChecksum,
                         std::string("extent of ") + what + " in " +
                             backing_->file->path());
   }
   rows->clear();
   rows->reserve(loc.dir_rows);
-  const uint32_t* extent =
-      reinterpret_cast<const uint32_t*>(base + loc.extent_off);
   for (uint32_t i = 0; i < loc.dir_rows; ++i) {
-    SnapRowDirEntry e = ReadPod<SnapRowDirEntry>(
-        base, loc.dir_off + i * sizeof(SnapRowDirEntry));
+    SnapRowDirEntry e =
+        ReadPod<SnapRowDirEntry>(dir, i * sizeof(SnapRowDirEntry));
     if (e.payload_off_words + e.payload_words > loc.extent_words ||
         e.encoding > static_cast<uint8_t>(CompressedRow::Encoding::kRuns)) {
       throw SnapshotError(SnapshotErrorCode::kCorrupt,
@@ -187,6 +214,16 @@ void TripleIndex::DecodeSliceRows(
 std::shared_ptr<TripleIndex::PredSlice> TripleIndex::MaterializeSlice(
     uint32_t p) const {
   Backing& b = *backing_;
+  // Degraded mode: a predicate that previously failed integrity checks is
+  // quarantined — every subsequent touch fails fast with the same
+  // structured error (this query fails; other predicates keep serving).
+  if (b.quarantined[p].load(std::memory_order_relaxed) != 0) {
+    throw SnapshotError(SnapshotErrorCode::kChecksum,
+                        "predicate " + std::to_string(p) +
+                            " quarantined after an earlier integrity "
+                            "failure in " +
+                            b.file->path());
+  }
   b.last_touch[p].store(
       b.touch_seq.fetch_add(1, std::memory_order_relaxed) + 1,
       std::memory_order_relaxed);
@@ -195,8 +232,25 @@ std::shared_ptr<TripleIndex::PredSlice> TripleIndex::MaterializeSlice(
     std::lock_guard<std::mutex> lk(b.mu[p]);
     if (preds_[p] != nullptr) return preds_[p];
     auto slice = std::make_shared<PredSlice>();
-    DecodeSliceRows(b.so_loc[p], "S-O slice", &slice->so_rows);
-    DecodeSliceRows(b.os_loc[p], "O-S slice", &slice->os_rows);
+    try {
+      // The decode pair is the transient-I/O boundary: a retry starts from
+      // clear vectors, so nothing partial survives a failed attempt.
+      RetryTransient([&] {
+        FaultRegistry::Instance().MaybeInject(FaultSiteId::kIndexMaterialize);
+        DecodeSliceRows(b.so_loc[p], "S-O slice", &slice->so_rows,
+                        b.paranoid ? &slice->so_extent_copy : nullptr);
+        DecodeSliceRows(b.os_loc[p], "O-S slice", &slice->os_rows,
+                        b.paranoid ? &slice->os_extent_copy : nullptr);
+      });
+    } catch (const SnapshotError& e) {
+      if (e.code() == SnapshotErrorCode::kChecksum ||
+          e.code() == SnapshotErrorCode::kCorrupt) {
+        if (b.quarantined[p].exchange(1, std::memory_order_relaxed) == 0) {
+          b.quarantines.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      throw;
+    }
     slice->heap_bytes = SliceHeapBytes(*slice);
     if (b.meter != nullptr) b.meter->ChargeMemory(slice->heap_bytes);
     b.resident_bytes.fetch_add(slice->heap_bytes, std::memory_order_relaxed);
@@ -319,6 +373,46 @@ void TripleIndex::Prefetch(uint32_t p) const {
   b.file->Advise(os.extent_off, os.extent_words * 4,
                  MappedFile::Advice::kWillNeed);
   b.prefetches.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<uint32_t> TripleIndex::QuarantinedSlices() const {
+  std::vector<uint32_t> out;
+  if (backing_ == nullptr) return out;
+  for (uint32_t p = 0; p < num_predicates_; ++p) {
+    if (backing_->quarantined[p].load(std::memory_order_relaxed) != 0) {
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+bool TripleIndex::VerifySlices(std::vector<uint32_t>* corrupt,
+                               std::vector<uint32_t>* quarantined) const {
+  if (backing_ == nullptr) return true;
+  const Backing& b = *backing_;
+  const uint8_t* base = b.file->data();
+  bool ok = true;
+  for (uint32_t p = 0; p < num_predicates_; ++p) {
+    bool bad = false;
+    for (const SliceLoc* loc : {&b.so_loc[p], &b.os_loc[p]}) {
+      const uint64_t dir_bytes =
+          static_cast<uint64_t>(loc->dir_rows) * sizeof(SnapRowDirEntry);
+      if (Crc64(base + loc->dir_off, dir_bytes) != loc->dir_crc ||
+          Crc64(base + loc->extent_off, loc->extent_words * 4) !=
+              loc->extent_crc) {
+        bad = true;
+      }
+    }
+    if (bad) {
+      ok = false;
+      if (corrupt != nullptr) corrupt->push_back(p);
+    }
+    if (b.quarantined[p].load(std::memory_order_relaxed) != 0) {
+      ok = false;
+      if (quarantined != nullptr) quarantined->push_back(p);
+    }
+  }
+  return ok;
 }
 
 const CompressedRow& TripleIndex::SoRow(uint32_t p, uint32_t s) const {

@@ -62,9 +62,16 @@ class TripleIndex {
     // Sorted by first (row id); only non-empty rows present.
     std::vector<std::pair<uint32_t, CompressedRow>> so_rows;
     std::vector<std::pair<uint32_t, CompressedRow>> os_rows;
-    /// Heap bytes of the slice's own structures (vectors + owned payload;
-    /// view payload stays in the map and is not counted) — the unit the
-    /// snapshot memory budget meters.
+    /// Paranoid mode (LBR_SNAPSHOT_PARANOID, DESIGN.md §12): heap copies of
+    /// the payload extents, pread from the file instead of borrowed from
+    /// the mapping — the rows above view into these buffers, so a
+    /// storage-level bit flip surfaces as a pread error or checksum
+    /// mismatch, never a SIGBUS on a mapped access. Empty in normal mode.
+    std::vector<uint32_t> so_extent_copy;
+    std::vector<uint32_t> os_extent_copy;
+    /// Heap bytes of the slice's own structures (vectors + owned payload +
+    /// paranoid extent copies; view payload in the map is not counted) —
+    /// the unit the snapshot memory budget meters.
     uint64_t heap_bytes = 0;
   };
   using SlicePin = std::shared_ptr<const PredSlice>;
@@ -182,6 +189,23 @@ class TripleIndex {
   uint64_t snapshot_budget_bytes() const {
     return backing_ ? backing_->budget_bytes : 0;
   }
+  /// Predicates quarantined by a checksum/corruption failure (degraded
+  /// mode, DESIGN.md §12). Zero in heap mode.
+  uint64_t snapshot_quarantined() const {
+    return backing_ ? backing_->quarantines.load(std::memory_order_relaxed)
+                    : 0;
+  }
+  /// The quarantined predicate IDs, ascending (empty in heap mode).
+  std::vector<uint32_t> QuarantinedSlices() const;
+
+  /// Integrity sweep for `.verify` / Database::VerifySnapshot: re-checks
+  /// every slice's directory and extent checksums against the mapped bytes
+  /// without materializing anything. Appends failing predicate IDs to
+  /// `corrupt` and currently-quarantined IDs to `quarantined` (either may
+  /// be null). Returns true when both lists are empty. Heap mode always
+  /// verifies clean.
+  bool VerifySlices(std::vector<uint32_t>* corrupt,
+                    std::vector<uint32_t>* quarantined) const;
 
   /// Index-size accounting for the Section 6 "Index Sizes" experiment.
   struct SizeReport {
@@ -240,6 +264,15 @@ class TripleIndex {
     std::atomic<uint64_t> spills{0};
     std::atomic<uint64_t> prefetches{0};
     std::atomic<uint64_t> resident_bytes{0};
+    /// Degraded mode (DESIGN.md §12): per-predicate quarantine flags, set
+    /// when a materialization hits a checksum/corruption failure. A
+    /// quarantined slice fails fast with a structured error on every
+    /// subsequent touch (that query fails; other predicates keep serving).
+    std::unique_ptr<std::atomic<uint8_t>[]> quarantined;
+    std::atomic<uint64_t> quarantines{0};
+    /// LBR_SNAPSHOT_PARANOID: pread slice bytes into heap instead of
+    /// borrowing mapped words (for unreliable storage).
+    bool paranoid = false;
   };
 
   /// Materialize-on-first-touch for mapped mode; heap mode returns the
@@ -247,10 +280,13 @@ class TripleIndex {
   const PredSlice& EnsureSlice(uint32_t p) const;
   std::shared_ptr<PredSlice> MaterializeSlice(uint32_t p) const;
   /// Decodes one orientation's rows from the mapped directory + extent,
-  /// verifying both checksums. Throws SnapshotError on any mismatch.
+  /// verifying both checksums. Throws SnapshotError on any mismatch. When
+  /// `extent_copy` is non-null (paranoid mode), the extent is pread into it
+  /// and the rows view the heap copy instead of the map.
   void DecodeSliceRows(
       const SliceLoc& loc, const char* what,
-      std::vector<std::pair<uint32_t, CompressedRow>>* rows) const;
+      std::vector<std::pair<uint32_t, CompressedRow>>* rows,
+      std::vector<uint32_t>* extent_copy = nullptr) const;
 
   uint32_t num_subjects_ = 0;
   uint32_t num_predicates_ = 0;

@@ -90,6 +90,16 @@ void Database::SaveSnapshot(const std::string& path) const {
   SnapshotIO::Write(*dict_, *index_, *stats_, path);
 }
 
+Database::SnapshotVerifyReport Database::VerifySnapshot() const {
+  SnapshotVerifyReport report;
+  report.mapped = index_->mapped();
+  report.num_predicates = index_->num_predicates();
+  if (report.mapped) {
+    index_->VerifySlices(&report.corrupt, &report.quarantined);
+  }
+  return report;
+}
+
 Database Database::OpenSnapshot(const std::string& path, EngineOptions options,
                                 SnapshotOptions snap) {
   SnapshotIO::OpenResult opened = SnapshotIO::Open(path, snap);

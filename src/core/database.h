@@ -87,6 +87,23 @@ class Database {
   std::vector<BatchResult> ExecuteBatch(const std::vector<std::string>& queries,
                                         BatchOptions options);
 
+  /// Integrity report from VerifySnapshot (the shell's `.verify`).
+  struct SnapshotVerifyReport {
+    bool mapped = false;          ///< False for heap-mode databases.
+    uint32_t num_predicates = 0;
+    /// Predicates whose directory/extent checksums mismatch on disk now.
+    std::vector<uint32_t> corrupt;
+    /// Predicates quarantined by an earlier materialization failure
+    /// (degraded mode, DESIGN.md §12).
+    std::vector<uint32_t> quarantined;
+    bool ok() const { return corrupt.empty() && quarantined.empty(); }
+  };
+
+  /// Re-checks every slice's checksums against the mapped bytes (without
+  /// materializing) and reports quarantined predicates. Heap-mode
+  /// databases verify trivially clean.
+  SnapshotVerifyReport VerifySnapshot() const;
+
   uint64_t num_triples() const { return index_->num_triples(); }
 
  private:

@@ -21,6 +21,7 @@
 #include "sparql/parser.h"
 #include "sparql/plan_shape.h"
 #include "sparql/rewrite.h"
+#include "util/fault_injection.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
@@ -602,6 +603,9 @@ uint64_t Engine::ExecutePlanned(const CompiledPlan& plan,
   const uint64_t snap_mat0 = index_->snapshot_materializations();
   const uint64_t snap_spill0 = index_->snapshot_spills();
   const uint64_t snap_pref0 = index_->snapshot_prefetches();
+  FaultRegistry& faults = FaultRegistry::Instance();
+  const uint64_t faults0 = faults.injected_total();
+  const uint64_t retries0 = faults.retries_total();
 
   std::vector<RawRow> all_rows;
   for (size_t bi = 0; bi < plan.branches.size(); ++bi) {
@@ -629,6 +633,9 @@ uint64_t Engine::ExecutePlanned(const CompiledPlan& plan,
   st->snapshot_prefetches = index_->snapshot_prefetches() - snap_pref0;
   st->snapshot_resident_bytes = index_->snapshot_resident_bytes();
   st->snapshot_budget_bytes = index_->snapshot_budget_bytes();
+  st->faults_injected = faults.injected_total() - faults0;
+  st->fault_retries = faults.retries_total() - retries0;
+  st->quarantined_slices = index_->snapshot_quarantined();
 
   // Rule-3 UNION rewrites can introduce spurious results across branches
   // (footnote 6 of the paper): rows subsumed by another branch's fuller

@@ -163,6 +163,15 @@ struct QueryStats {
   uint64_t snapshot_prefetches = 0;
   uint64_t snapshot_resident_bytes = 0;
   uint64_t snapshot_budget_bytes = 0;
+  // Fault-injection observability (DESIGN.md §12; all zero with the
+  // registry disarmed). Per-query deltas of the process-wide registry
+  // totals: faults injected at any site and transient-fault retry attempts
+  // absorbed by the backoff layer during this query. Like the cache
+  // deltas, concurrent queries' traffic is included. quarantined_slices is
+  // the end-of-query level of degraded (quarantined) predicates.
+  uint64_t faults_injected = 0;
+  uint64_t fault_retries = 0;
+  uint64_t quarantined_slices = 0;
 };
 
 /// A fully decoded result table (SELECT projection applied).

@@ -166,6 +166,12 @@ std::string ExplainCacheStats(const QueryStats& stats) {
     }
     os << "\n";
   }
+  if (stats.faults_injected > 0 || stats.fault_retries > 0 ||
+      stats.quarantined_slices > 0) {
+    os << "  faults: " << stats.faults_injected << " injected, "
+       << stats.fault_retries << " retried, " << stats.quarantined_slices
+       << " quarantined slice(s)\n";
+  }
   if (stats.plan_cache_hits > 0 || stats.plan_cache_misses > 0) {
     os << "  plan cache: " << stats.plan_cache_hits << " hit(s), "
        << stats.plan_cache_misses << " miss(es)\n";

@@ -1,10 +1,16 @@
 #include "core/snapshot.h"
 
+#include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <vector>
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "util/fault_injection.h"
 #include "util/mapped_file.h"
 
 namespace lbr {
@@ -114,6 +120,25 @@ struct SectionSpan {
   uint64_t crc = 0;
 };
 
+/// RAII cleanup of the snapshot temp file: closes the descriptor and
+/// unlinks the temp on every error path, so an aborted save never litters
+/// the snapshot directory. Disarmed once the rename consumes the temp.
+struct TempFileGuard {
+  std::string path;
+  int fd = -1;
+  bool armed = true;
+  ~TempFileGuard() {
+    if (fd >= 0) ::close(fd);
+    if (armed) ::unlink(path.c_str());
+  }
+};
+
+[[noreturn]] void ThrowIo(const std::string& what, const std::string& path) {
+  int err = errno;
+  throw SnapshotError(SnapshotErrorCode::kIo,
+                      what + " " + path + ": " + std::strerror(err));
+}
+
 }  // namespace
 
 void SnapshotIO::Write(const Dictionary& dict, const TripleIndex& index,
@@ -200,26 +225,92 @@ void SnapshotIO::Write(const Dictionary& dict, const TripleIndex& index,
   uint64_t hdr_crc = Crc64(&hdr, sizeof(hdr));
   hdr_crc = Crc64(sections, sizeof(sections), hdr_crc);
 
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    throw SnapshotError(SnapshotErrorCode::kIo, "cannot create " + path);
+  // Crash-safe emission (DESIGN.md §12): the complete image is built in a
+  // same-directory temp file, fsync'd, atomically renamed over `path`,
+  // then the directory is fsync'd to make the rename durable. A crash or
+  // error at any point leaves `path` pointing at a complete, openable
+  // snapshot — the previous one until the rename lands, the new one after
+  // — and the guard unlinks the temp on every error path.
+  FaultRegistry& faults = FaultRegistry::Instance();
+  const std::string tmp_path =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  int fd = -1;
+  if (faults.ShouldInject(FaultSiteId::kSnapshotWriteCreate)) {
+    errno = EIO;
+  } else {
+    fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   }
-  out.write(reinterpret_cast<const char*>(&hdr), sizeof(hdr));
-  out.write(reinterpret_cast<const char*>(sections), sizeof(sections));
-  out.write(reinterpret_cast<const char*>(&hdr_crc), 8);
-  out.write(dict_blob.data(), static_cast<std::streamsize>(dict_blob.size()));
-  out.write(stats_blob.data(),
-            static_cast<std::streamsize>(stats_blob.size()));
-  out.write(rowdir_blob.data(),
-            static_cast<std::streamsize>(rowdir_blob.size()));
-  out.write(meta_blob.data(), static_cast<std::streamsize>(meta_blob.size()));
-  std::string pad(extents_off - (meta_off + meta_blob.size()), '\0');
-  out.write(pad.data(), static_cast<std::streamsize>(pad.size()));
-  out.write(extents_blob.data(),
-            static_cast<std::streamsize>(extents_blob.size()));
-  out.flush();
-  if (!out) {
-    throw SnapshotError(SnapshotErrorCode::kIo, "short write to " + path);
+  if (fd < 0) ThrowIo("cannot create", tmp_path);
+  TempFileGuard guard{tmp_path, fd};
+
+  auto write_all = [&](const void* data, uint64_t len) {
+    if (faults.ShouldInject(FaultSiteId::kSnapshotWriteWrite)) {
+      errno = EIO;
+      ThrowIo("cannot write", tmp_path);
+    }
+    const uint8_t* p = static_cast<const uint8_t*>(data);
+    while (len > 0) {
+      ssize_t n = ::write(fd, p, len);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        ThrowIo("cannot write", tmp_path);
+      }
+      p += n;
+      len -= static_cast<uint64_t>(n);
+    }
+  };
+  write_all(&hdr, sizeof(hdr));
+  write_all(sections, sizeof(sections));
+  write_all(&hdr_crc, 8);
+  write_all(dict_blob.data(), dict_blob.size());
+  write_all(stats_blob.data(), stats_blob.size());
+  write_all(rowdir_blob.data(), rowdir_blob.size());
+  write_all(meta_blob.data(), meta_blob.size());
+  const std::string pad(extents_off - (meta_off + meta_blob.size()), '\0');
+  write_all(pad.data(), pad.size());
+  write_all(extents_blob.data(), extents_blob.size());
+
+  if (faults.ShouldInject(FaultSiteId::kSnapshotWriteFsync)) {
+    errno = EIO;
+    ThrowIo("cannot fsync", tmp_path);
+  }
+  if (::fsync(fd) != 0) ThrowIo("cannot fsync", tmp_path);
+  guard.fd = -1;
+  if (::close(fd) != 0) ThrowIo("cannot close", tmp_path);
+
+  if (faults.ShouldInject(FaultSiteId::kSnapshotWriteRename)) {
+    errno = EIO;
+    ThrowIo("cannot rename over " + path + ":", tmp_path);
+  }
+  if (::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    ThrowIo("cannot rename over " + path + ":", tmp_path);
+  }
+  guard.armed = false;  // the rename consumed the temp
+
+  // Directory fsync: the rename is in the page cache until the directory
+  // itself is durable. A failure here still leaves `path` a complete new
+  // snapshot — only its crash-durability is in question — so the thrown
+  // error reports that honestly.
+  std::string dir_path = ".";
+  size_t slash = path.find_last_of('/');
+  if (slash != std::string::npos) {
+    dir_path = slash == 0 ? "/" : path.substr(0, slash);
+  }
+  int dfd = ::open(dir_path.c_str(), O_RDONLY);
+  if (dfd < 0) ThrowIo("cannot open directory", dir_path);
+  if (faults.ShouldInject(FaultSiteId::kSnapshotWriteDirSync)) {
+    ::close(dfd);
+    errno = EIO;
+    ThrowIo("cannot fsync directory (snapshot written but rename may not "
+            "be durable)",
+            dir_path);
+  }
+  int sync_rc = ::fsync(dfd);
+  ::close(dfd);
+  if (sync_rc != 0) {
+    ThrowIo("cannot fsync directory (snapshot written but rename may not "
+            "be durable)",
+            dir_path);
   }
 }
 
@@ -232,6 +323,10 @@ bool SnapshotIO::SniffMagic(const std::string& path) {
 
 SnapshotIO::OpenResult SnapshotIO::Open(const std::string& path,
                                         const SnapshotOptions& options) {
+  if (FaultRegistry::Instance().ShouldInject(FaultSiteId::kSnapshotOpen)) {
+    errno = EIO;
+    ThrowIo("injected open fault:", path);
+  }
   std::shared_ptr<MappedFile> file;
   try {
     file = MappedFile::Open(path);
@@ -385,9 +480,17 @@ SnapshotIO::OpenResult SnapshotIO::Open(const std::string& path,
   backing->mu = std::make_unique<std::mutex[]>(np);
   backing->last_touch = std::make_unique<std::atomic<uint64_t>[]>(np);
   backing->resident = std::make_unique<std::atomic<uint8_t>[]>(np);
+  backing->quarantined = std::make_unique<std::atomic<uint8_t>[]>(np);
   for (uint32_t p = 0; p < np; ++p) {
     backing->last_touch[p].store(0, std::memory_order_relaxed);
     backing->resident[p].store(0, std::memory_order_relaxed);
+    backing->quarantined[p].store(0, std::memory_order_relaxed);
+  }
+  backing->paranoid = options.paranoid;
+  if (!backing->paranoid) {
+    const char* env = std::getenv("LBR_SNAPSHOT_PARANOID");
+    backing->paranoid =
+        env != nullptr && *env != '\0' && std::strcmp(env, "0") != 0;
   }
   index->preds_.assign(np, nullptr);
   index->backing_ = std::move(backing);

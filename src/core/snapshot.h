@@ -26,6 +26,13 @@ struct SnapshotOptions {
   /// Let the engine madvise(WILLNEED) the extents of predicates its load
   /// order is about to probe.
   bool prefetch = true;
+  /// Paranoid reads for unreliable storage (also armed by the
+  /// LBR_SNAPSHOT_PARANOID environment variable): slice materialization
+  /// preads directory + extent bytes into heap buffers and verifies/serves
+  /// the copies instead of borrowing mapped words — storage faults surface
+  /// as structured errors, never a SIGBUS on a mapped access. Costs one
+  /// extent copy per materialization (DESIGN.md §12).
+  bool paranoid = false;
 };
 
 /// Writer/reader of the page-organized snapshot format (DESIGN.md §11).
@@ -33,8 +40,14 @@ struct SnapshotOptions {
 /// saving from a mapped index); the reader installs the mmap backing.
 class SnapshotIO {
  public:
-  /// Serializes dictionary + index + stats as one page-organized file.
-  /// Throws SnapshotError(kIo) on filesystem failures.
+  /// Serializes dictionary + index + stats as one page-organized file,
+  /// crash-safely: the image is built in a same-directory temp file,
+  /// fsync'd, atomically renamed over `path`, and the directory fsync'd —
+  /// an interrupted save at any point leaves `path` pointing at a
+  /// complete, openable snapshot (the previous one before the rename
+  /// lands, the new one after) and never litters a temp file. Throws
+  /// SnapshotError(kIo) with errno detail on filesystem failures. Fault
+  /// sites: snapshot.write.{create,write,fsync,rename,dirsync}.
   static void Write(const Dictionary& dict, const TripleIndex& index,
                     const PredicateStats& stats, const std::string& path);
 

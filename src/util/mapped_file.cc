@@ -10,6 +10,8 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include "util/fault_injection.h"
+
 namespace lbr {
 
 namespace {
@@ -33,23 +35,47 @@ std::shared_ptr<MappedFile> MappedFile::Open(const std::string& path) {
   file->path_ = path;
   file->size_ = static_cast<uint64_t>(st.st_size);
   if (file->size_ > 0) {
-    void* addr =
-        ::mmap(nullptr, file->size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    void* addr = nullptr;
+    if (FaultRegistry::Instance().ShouldInject(FaultSiteId::kMappedFileMap)) {
+      errno = EIO;  // simulate mmap failing on unreliable storage
+      addr = MAP_FAILED;
+    } else {
+      addr = ::mmap(nullptr, file->size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    }
     if (addr == MAP_FAILED) {
       ::close(fd);
       ThrowErrno("cannot mmap", path);
     }
     file->data_ = static_cast<const uint8_t*>(addr);
   }
-  // The mapping holds its own reference to the file; the descriptor is no
-  // longer needed.
-  ::close(fd);
+  // The descriptor is retained for ReadAt (paranoid pread path); the
+  // mapping itself no longer needs it.
+  file->fd_ = fd;
   return file;
 }
 
 MappedFile::~MappedFile() {
   if (data_ != nullptr) {
     ::munmap(const_cast<uint8_t*>(data_), size_);
+  }
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void MappedFile::ReadAt(uint64_t offset, uint64_t length, void* dst) const {
+  uint8_t* out = static_cast<uint8_t*>(dst);
+  while (length > 0) {
+    ssize_t n = ::pread(fd_, out, length, static_cast<off_t>(offset));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ThrowErrno("cannot pread", path_);
+    }
+    if (n == 0) {
+      errno = EIO;
+      ThrowErrno("short pread past EOF in", path_);
+    }
+    out += n;
+    offset += static_cast<uint64_t>(n);
+    length -= static_cast<uint64_t>(n);
   }
 }
 
@@ -61,6 +87,11 @@ uint64_t MappedFile::PageSize() {
 void MappedFile::Advise(uint64_t offset, uint64_t length,
                         Advice advice) const {
   if (data_ == nullptr || offset >= size_) return;
+  // Degraded mode: an injected advise fault drops the hint — the contract
+  // is best-effort, so the system must behave identically without it.
+  if (FaultRegistry::Instance().ShouldInject(FaultSiteId::kMappedFileAdvise)) {
+    return;
+  }
   length = std::min<uint64_t>(length, size_ - offset);
   // Expand outward to page boundaries: madvise requires a page-aligned
   // start, and partial trailing pages are covered by rounding up.

@@ -24,7 +24,10 @@ class MappedFile {
 
   /// Maps `path` read-only. Throws std::runtime_error (with errno detail)
   /// when the file cannot be opened, stat'ed, or mapped. Zero-length files
-  /// map to data() == nullptr, size() == 0.
+  /// map to data() == nullptr, size() == 0. The descriptor is retained for
+  /// the object's lifetime so ReadAt can pread past the mapping (the
+  /// LBR_SNAPSHOT_PARANOID read path, DESIGN.md §12). Fault site:
+  /// mapped_file.map.
   static std::shared_ptr<MappedFile> Open(const std::string& path);
 
   ~MappedFile();
@@ -40,14 +43,22 @@ class MappedFile {
 
   /// madvise hint over [offset, offset + length); the range is clamped to
   /// the file and expanded outward to page boundaries. Best-effort: advice
-  /// failures are ignored (they are hints, not correctness).
+  /// failures are ignored (they are hints, not correctness), and the
+  /// mapped_file.advise fault site drops the hint the same way.
   void Advise(uint64_t offset, uint64_t length, Advice advice) const;
+
+  /// pread `length` bytes at `offset` into `dst`, bypassing the mapping —
+  /// unreliable storage faults surface here as a clean error instead of a
+  /// SIGBUS on a mapped access. Throws std::runtime_error (with errno
+  /// detail) on I/O failure or short read past EOF.
+  void ReadAt(uint64_t offset, uint64_t length, void* dst) const;
 
  private:
   MappedFile() = default;
 
   const uint8_t* data_ = nullptr;
   uint64_t size_ = 0;
+  int fd_ = -1;
   std::string path_;
 };
 

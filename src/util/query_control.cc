@@ -1,5 +1,7 @@
 #include "util/query_control.h"
 
+#include "util/fault_injection.h"
+
 namespace lbr {
 
 const char* QueryTerminationName(QueryTermination t) {
@@ -28,6 +30,9 @@ void QueryControl::PollNow() {
 }
 
 void QueryControl::ChargeMemory(uint64_t bytes) {
+  // Injection happens before the fetch_add so a simulated accounting
+  // failure never leaks charged bytes into mem_used_.
+  FaultRegistry::Instance().MaybeInject(FaultSiteId::kQueryControlCharge);
   uint64_t used = mem_used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
   uint64_t peak = mem_peak_.load(std::memory_order_relaxed);
   while (used > peak &&

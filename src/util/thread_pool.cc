@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/fault_injection.h"
+
 namespace lbr {
 
 namespace {
@@ -59,6 +61,13 @@ void ThreadPool::RunChunks(const ChunkFn& fn, ExecContext* ctx, int slot) {
       // drain as first-exception captures instead of running to completion,
       // so a collective's abort latency is one chunk, not the whole range.
       if (ctx != nullptr) ctx->CheckCancel();
+      // Dispatch fault site: fires before the chunk body runs, so a retry
+      // (nothing partial has executed) just re-checks the trigger after
+      // backoff. Exhaustion propagates through job_error_ like any chunk
+      // exception.
+      RetryTransient([] {
+        FaultRegistry::Instance().MaybeInject(FaultSiteId::kThreadPoolDispatch);
+      });
       fn(begin, end, ctx, slot);
     } catch (...) {
       std::lock_guard<std::mutex> lk(mu_);

@@ -10,9 +10,12 @@
 #include <thread>
 #include <vector>
 
+#include <unistd.h>
+
 #include "bitmat/snapshot_format.h"
 #include "core/database.h"
 #include "test_util.h"
+#include "util/fault_injection.h"
 #include "util/thread_pool.h"
 #include "workload/dbpedia_gen.h"
 #include "workload/lubm_gen.h"
@@ -363,6 +366,228 @@ TEST(SnapshotConcurrencyTest, ParallelQueriesUnderBudget) {
     ASSERT_TRUE(results[i].ok()) << results[i].error;
     EXPECT_EQ(testing::Canonicalize(results[i].table),
               expected[stream_qi[i]]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection (DESIGN.md §12): crash-safe writes, fail-closed taxonomy
+// per site, quarantine, and paranoid reads.
+// ---------------------------------------------------------------------------
+
+class SnapshotFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FaultRegistry::Instance().DisarmAll();
+    FaultRegistry::Instance().ResetCounters();
+  }
+  void TearDown() override {
+    FaultRegistry::Instance().DisarmAll();
+    FaultRegistry::Instance().ResetCounters();
+  }
+
+  /// Arms `site` with `spec` or fails the test with the parse error.
+  static void Arm(const std::string& site, const std::string& spec) {
+    std::string error;
+    ASSERT_TRUE(FaultRegistry::Instance().Arm(site, spec, &error)) << error;
+  }
+
+  /// The temp name SnapshotIO::Write uses in this process.
+  static std::string TempFileFor(const std::string& path) {
+    return path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  }
+};
+
+TEST_F(SnapshotFaultTest, TornWriteNeverCorruptsPreviousSnapshot) {
+  // The crash-safety invariant: a SaveSnapshot interrupted at the create,
+  // write, fsync, or rename boundary leaves the previous snapshot at
+  // `path` bit-identical and openable, and no temp file behind.
+  LubmConfig small;
+  small.num_universities = 1;
+  Database db_old = Database::Build(GenerateLubm(small));
+  Database db_new = SmallLubmDb();  // 2 universities: different content
+  ASSERT_NE(db_old.num_triples(), db_new.num_triples());
+
+  const std::string path = TempPath("snap_torn.snap");
+  db_old.SaveSnapshot(path);
+  const std::string old_bytes = ReadFileBytes(path);
+
+  for (const char* site :
+       {"snapshot.write.create", "snapshot.write.write",
+        "snapshot.write.fsync", "snapshot.write.rename"}) {
+    SCOPED_TRACE(site);
+    Arm(site, "once");
+    try {
+      db_new.SaveSnapshot(path);
+      FAIL() << "interrupted save did not throw";
+    } catch (const SnapshotError& e) {
+      EXPECT_EQ(e.code(), SnapshotErrorCode::kIo);
+      // Satellite: the errno detail must surface in the message.
+      EXPECT_NE(std::string(e.what()).find("Input/output error"),
+                std::string::npos)
+          << e.what();
+    }
+    // Bit-identical old snapshot, still openable, no temp litter.
+    EXPECT_EQ(ReadFileBytes(path), old_bytes);
+    EXPECT_NE(::access(TempFileFor(path).c_str(), F_OK), 0);
+    Database reopened = Database::OpenSnapshot(path);
+    EXPECT_EQ(reopened.num_triples(), db_old.num_triples());
+  }
+
+  // The dirsync site fires AFTER the atomic rename: the error still
+  // surfaces (the rename's durability is in question) but `path` now holds
+  // the complete NEW snapshot — the invariant is "always a complete,
+  // openable snapshot", not "always the old one".
+  Arm("snapshot.write.dirsync", "once");
+  EXPECT_THROW(db_new.SaveSnapshot(path), SnapshotError);
+  EXPECT_NE(::access(TempFileFor(path).c_str(), F_OK), 0);
+  Database after_dirsync = Database::OpenSnapshot(path);
+  EXPECT_EQ(after_dirsync.num_triples(), db_new.num_triples());
+  std::remove(path.c_str());
+}
+
+TEST_F(SnapshotFaultTest, OpenSitesFailClosedAsIoErrors) {
+  Database db = SmallLubmDb();
+  const std::string path = TempPath("snap_opensite.snap");
+  db.SaveSnapshot(path);
+
+  Arm("snapshot.open", "once");
+  EXPECT_EQ(OpenErrorCode(path), SnapshotErrorCode::kIo);
+  // once self-disarmed: the next open succeeds.
+  EXPECT_NO_THROW(Database::OpenSnapshot(path));
+
+  Arm("mapped_file.map", "once");
+  EXPECT_EQ(OpenErrorCode(path), SnapshotErrorCode::kIo);
+  EXPECT_NO_THROW(Database::OpenSnapshot(path));
+  std::remove(path.c_str());
+}
+
+TEST_F(SnapshotFaultTest, ChecksumFaultQuarantinesOnlyThatPredicate) {
+  Database heap_db = SmallLubmDb();
+  const std::string path = TempPath("snap_quarantine.snap");
+  heap_db.SaveSnapshot(path);
+  Database db = Database::OpenSnapshot(path);
+  std::remove(path.c_str());
+  ASSERT_GE(db.index().num_predicates(), 2u);
+
+  // Force a checksum mismatch on predicate 0's first materialization.
+  Arm("index.checksum", "once");
+  try {
+    db.index().Slice(0);
+    FAIL() << "forced checksum mismatch did not throw";
+  } catch (const SnapshotError& e) {
+    EXPECT_EQ(e.code(), SnapshotErrorCode::kChecksum);
+  }
+
+  // Degraded mode: predicate 0 is quarantined and fails fast on every
+  // subsequent touch; other predicates keep serving.
+  EXPECT_EQ(db.index().snapshot_quarantined(), 1u);
+  try {
+    db.index().Slice(0);
+    FAIL() << "quarantined predicate did not fail fast";
+  } catch (const SnapshotError& e) {
+    EXPECT_EQ(e.code(), SnapshotErrorCode::kChecksum);
+    EXPECT_NE(std::string(e.what()).find("quarantined"), std::string::npos);
+  }
+  EXPECT_NO_THROW(db.index().Slice(1));
+
+  // The verify report distinguishes quarantined (runtime state) from
+  // corrupt (bytes on disk — none here, the mismatch was injected).
+  Database::SnapshotVerifyReport report = db.VerifySnapshot();
+  EXPECT_TRUE(report.mapped);
+  EXPECT_TRUE(report.corrupt.empty());
+  ASSERT_EQ(report.quarantined.size(), 1u);
+  EXPECT_EQ(report.quarantined[0], 0u);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(db.index().QuarantinedSlices(), std::vector<uint32_t>{0u});
+
+  // Heap-mode databases verify trivially clean.
+  Database::SnapshotVerifyReport heap_report = heap_db.VerifySnapshot();
+  EXPECT_FALSE(heap_report.mapped);
+  EXPECT_TRUE(heap_report.ok());
+}
+
+TEST_F(SnapshotFaultTest, TransientMaterializeFaultIsRetriedInvisibly) {
+  Database heap_db = SmallLubmDb();
+  const std::string path = TempPath("snap_retry.snap");
+  heap_db.SaveSnapshot(path);
+  Database db = Database::OpenSnapshot(path);
+  std::remove(path.c_str());
+
+  // nth=2: every second materialization attempt faults; the retry gets a
+  // fresh crossing and lands. The whole query sweep must come back
+  // bit-identical with the recovery visible only in the stats.
+  Arm("index.materialize", "nth=2");
+  uint64_t retries = 0;
+  for (const BenchQuery& q : LubmQueries()) {
+    SCOPED_TRACE(q.id);
+    QueryStats stats;
+    EXPECT_EQ(testing::Canonicalize(heap_db.engine().ExecuteToTable(q.sparql)),
+              testing::Canonicalize(db.engine().ExecuteToTable(q.sparql,
+                                                               &stats)));
+    retries += stats.fault_retries;
+  }
+  EXPECT_GT(retries, 0u);
+
+  // nth=1 fires on every attempt: the retry budget exhausts and the fault
+  // surfaces as a structured error — the query fails, the process doesn't.
+  FaultRegistry::Instance().DisarmAll();
+  Arm("tp_loader.load", "nth=1");
+  EXPECT_THROW(db.engine().ExecuteToTable(LubmQueries()[0].sparql),
+               FaultInjectedError);
+  FaultRegistry::Instance().DisarmAll();
+  EXPECT_NO_THROW(db.engine().ExecuteToTable(LubmQueries()[0].sparql));
+}
+
+TEST_F(SnapshotFaultTest, ChargeFaultLeavesSliceUnpublished) {
+  // query_control.charge is a permanent site on the metered path: the
+  // injected failure unwinds the materialization before the slice is
+  // published, so the next touch starts clean and succeeds.
+  Database heap_db = SmallLubmDb();
+  const std::string path = TempPath("snap_charge.snap");
+  heap_db.SaveSnapshot(path);
+  SnapshotOptions snap;
+  snap.memory_budget_bytes = 64 * 1024 * 1024;
+  Database db = Database::OpenSnapshot(path, {}, snap);
+  std::remove(path.c_str());
+
+  Arm("query_control.charge", "once");
+  EXPECT_THROW(db.engine().ExecuteToTable(LubmQueries()[0].sparql),
+               FaultInjectedError);
+  EXPECT_EQ(testing::Canonicalize(db.engine().ExecuteToTable(
+                LubmQueries()[0].sparql)),
+            testing::Canonicalize(heap_db.engine().ExecuteToTable(
+                LubmQueries()[0].sparql)));
+}
+
+TEST_F(SnapshotFaultTest, ParanoidModeServesIdenticalResults) {
+  Database heap_db = SmallLubmDb();
+  const std::string path = TempPath("snap_paranoid.snap");
+  heap_db.SaveSnapshot(path);
+
+  SnapshotOptions snap;
+  snap.paranoid = true;
+  Database db = Database::OpenSnapshot(path, {}, snap);
+  for (const BenchQuery& q : LubmQueries()) {
+    SCOPED_TRACE(q.id);
+    EXPECT_EQ(testing::Canonicalize(heap_db.engine().ExecuteToTable(q.sparql)),
+              testing::Canonicalize(db.engine().ExecuteToTable(q.sparql)));
+  }
+
+  // Paranoid reads keep the same fail-closed taxonomy: corrupted extents
+  // trip the checksum on the pread copy.
+  std::string bytes = ReadFileBytes(path);
+  SnapSectionEntry ext = FindSection(bytes, kSnapSectionExtents);
+  for (uint64_t off = ext.offset; off < ext.offset + ext.size; off += 32) {
+    bytes[off] = static_cast<char>(bytes[off] ^ 0x5a);
+  }
+  WriteFileBytes(path, bytes);
+  Database corrupted = Database::OpenSnapshot(path, {}, snap);
+  std::remove(path.c_str());
+  try {
+    corrupted.engine().ExecuteToTable(LubmQueries()[0].sparql);
+    FAIL() << "paranoid query over corrupted extents did not throw";
+  } catch (const SnapshotError& e) {
+    EXPECT_EQ(e.code(), SnapshotErrorCode::kChecksum);
   }
 }
 

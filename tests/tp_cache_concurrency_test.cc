@@ -19,6 +19,7 @@
 #include "bitmat/tp_loader.h"
 #include "bitmat/triple_index.h"
 #include "test_util.h"
+#include "util/fault_injection.h"
 #include "workload/lubm_gen.h"
 
 namespace lbr {
@@ -315,18 +316,20 @@ TEST_F(TpCacheConcurrencyTest, SharedCacheEnginesAgreeWithPrivateEngines) {
 
 TEST_F(TpCacheConcurrencyTest, InjectedFaultFailsEveryNthLoad) {
   // LBR_FAULT-style chaos hook, set programmatically: with rate 2 the
-  // second claiming load throws; a retry of the same key then succeeds and
-  // publishes normally — the failure is transient, never sticky.
+  // second claiming load faults, the RetryTransient boundary absorbs it
+  // (the backoff retry gets a fresh sequence number and lands), and the
+  // caller never observes the failure — transient faults at rate >= 2 are
+  // recovered, not surfaced.
+  const uint64_t retries0 = FaultRegistry::Instance().retries_total();
   TpCache cache(/*triple_budget=*/~uint64_t{0});
   cache.set_fault_rate(2);
   TriplePattern a = VarPredVar(lubm::kTakesCourse);
   TriplePattern b = VarPredVar(lubm::kAdvisor);
   EXPECT_NO_THROW(cache.GetOrLoad(*index_, graph_->dict(), a, true));
-  EXPECT_THROW(cache.GetOrLoad(*index_, graph_->dict(), b, true),
-               std::runtime_error);
-  EXPECT_EQ(cache.faults_injected(), 1u);
-  // Retry lands (seq 3), and cache hits keep bypassing the hook entirely.
   EXPECT_NO_THROW(cache.GetOrLoad(*index_, graph_->dict(), b, true));
+  EXPECT_EQ(cache.faults_injected(), 1u);
+  EXPECT_EQ(FaultRegistry::Instance().retries_total() - retries0, 1u);
+  // Both entries published despite the fault; hits bypass the hook.
   EXPECT_NO_THROW(cache.GetOrLoad(*index_, graph_->dict(), b, true));
   EXPECT_EQ(cache.size(), 2u);
   EXPECT_EQ(cache.faults_injected(), 1u);
@@ -384,9 +387,11 @@ TEST_F(TpCacheConcurrencyTest, FaultRateReadFromEnvironment) {
   TpCache cache(/*triple_budget=*/~uint64_t{0});
   ASSERT_EQ(unsetenv("LBR_FAULT"), 0);
   TriplePattern tp = VarPredVar(lubm::kTakesCourse);
+  // Rate 1 fires on every attempt, so the retry budget exhausts and the
+  // fault surfaces; each attempt counts an injection.
   EXPECT_THROW(cache.GetOrLoad(*index_, graph_->dict(), tp, true),
                std::runtime_error);
-  EXPECT_EQ(cache.faults_injected(), 1u);
+  EXPECT_GE(cache.faults_injected(), 1u);
   cache.set_fault_rate(0);
   EXPECT_NO_THROW(cache.GetOrLoad(*index_, graph_->dict(), tp, true));
 
